@@ -1,0 +1,6 @@
+"""Benchmark harness: one module per paper table/figure/claim.
+
+Run with ``pytest benchmarks/ --benchmark-only``; see DESIGN.md for the
+experiment index and EXPERIMENTS.md for recorded paper-vs-measured
+results.
+"""

@@ -1,0 +1,99 @@
+"""Ablations of the MI pipeline's design choices (Section 5.2).
+
+The paper's MI pipeline stacks five defenses between raw DMV entries and
+implemented indexes: the ad-hoc execution filter, the impact-slope t-test,
+conservative merging, the top-N cut, and the trained low-impact
+classifier.  This bench removes them one at a time and measures how many
+(and how redundant) the resulting recommendations are.
+
+Expected shape: the full pipeline emits few, merged, high-impact
+recommendations; removing the slope test floods in one-observation noise;
+removing merging produces redundant prefix-duplicates; loosening the
+ad-hoc filter admits rarely-executed templates.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.recommender import MiRecommender, MiRecommenderSettings
+from repro.workload import make_profile
+
+
+def build_warm_recommender(settings: MiRecommenderSettings):
+    profile = make_profile(
+        "ablate", seed=501, tier="standard", archetype="saas_invoicing"
+    )
+    recommender = MiRecommender(profile.engine, settings)
+    for _ in range(5):
+        profile.workload.run(profile.engine, hours=3, max_statements=220)
+        recommender.take_snapshot()
+    return recommender
+
+
+def _redundancy(recommendations) -> int:
+    """Pairs of recommendations where one key list prefixes another."""
+    pairs = 0
+    for i, a in enumerate(recommendations):
+        for b in recommendations[i + 1 :]:
+            if a.table != b.table:
+                continue
+            shorter, longer = sorted(
+                (a.key_columns, b.key_columns), key=len
+            )
+            if longer[: len(shorter)] == shorter:
+                pairs += 1
+    return pairs
+
+
+CONFIGS = {
+    "full pipeline": MiRecommenderSettings(),
+    "no slope test": MiRecommenderSettings(use_slope_test=False, top_n=50),
+    "no merging": MiRecommenderSettings(use_merging=False, top_n=50),
+    "no ad-hoc filter": MiRecommenderSettings(min_seeks=1, top_n=50),
+    "uncapped": MiRecommenderSettings(
+        use_slope_test=False, use_merging=False, min_seeks=1, top_n=50,
+        min_avg_impact_pct=0.0,
+    ),
+    # Extension (Section 10): spend a few what-if calls double-checking
+    # candidates; never looser than the estimate-only pipeline.
+    "whatif verified": MiRecommenderSettings(verify_with_whatif=True),
+}
+
+
+def run_ablations():
+    results = {}
+    for label, settings in CONFIGS.items():
+        recommender = build_warm_recommender(settings)
+        recommendations = recommender.recommend()
+        results[label] = {
+            "count": len(recommendations),
+            "redundant_pairs": _redundancy(recommendations),
+            "min_impact": min(
+                (r.estimated_improvement_pct for r in recommendations),
+                default=0.0,
+            ),
+        }
+    return results
+
+
+def test_mi_pipeline_ablations(benchmark):
+    results = benchmark.pedantic(run_ablations, rounds=1, iterations=1)
+    lines = ["== MI pipeline ablations (Section 5.2) =="]
+    for label, stats in results.items():
+        lines.append(
+            f"  {label:<17} {stats['count']:3d} recommendations, "
+            f"{stats['redundant_pairs']} redundant pairs, "
+            f"min impact {stats['min_impact']:.0f}%"
+        )
+    emit(lines)
+    full = results["full pipeline"]
+    uncapped = results["uncapped"]
+    assert full["count"] <= MiRecommenderSettings().top_n
+    assert uncapped["count"] > full["count"], (
+        "the pipeline must prune the raw candidate flood"
+    )
+    assert (
+        results["no merging"]["redundant_pairs"]
+        >= results["full pipeline"]["redundant_pairs"]
+    )
+    assert results["whatif verified"]["count"] <= full["count"]

@@ -1,0 +1,114 @@
+"""Engine micro-benchmarks: the substrate's own performance and shape.
+
+Not a paper table — sanity numbers for the simulator itself: a B+ tree
+seek touches O(height) pages while a scan touches every leaf; what-if
+optimization is orders of magnitude cheaper than execution (which is why
+DTA can afford hundreds of calls per session, Section 5.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.engine import (
+    Column,
+    Database,
+    IndexDefinition,
+    Op,
+    Predicate,
+    SelectQuery,
+    SqlEngine,
+    SqlType,
+    TableSchema,
+)
+from repro.engine.btree import BPlusTree, PageMeter
+
+
+@pytest.fixture(scope="module")
+def big_tree():
+    entries = [((int(i),), (int(i),)) for i in range(200_000)]
+    return BPlusTree.bulk_load(entries, leaf_capacity=128, internal_capacity=128)
+
+
+def test_btree_seek(benchmark, big_tree):
+    rng = np.random.default_rng(0)
+
+    def seek():
+        key = int(rng.integers(0, 200_000))
+        return list(big_tree.seek_prefix((key,)))
+
+    benchmark(seek)
+    meter = PageMeter()
+    list(big_tree.seek_prefix((100_000,), meter=meter))
+    emit([f"== B+ tree: seek touches {meter.pages} pages of "
+          f"{big_tree.page_count} (height {big_tree.height}) =="])
+    assert meter.pages <= big_tree.height + 1
+
+
+def test_btree_full_scan(benchmark, big_tree):
+    def scan():
+        count = 0
+        for _ in big_tree.scan():
+            count += 1
+        return count
+
+    result = benchmark(scan)
+    assert result == 200_000
+
+
+@pytest.fixture(scope="module")
+def bench_engine():
+    db = Database("engine-bench", seed=1)
+    schema = TableSchema(
+        "t",
+        [
+            Column("id", SqlType.BIGINT, nullable=False),
+            Column("grp", SqlType.INT),
+            Column("val", SqlType.FLOAT),
+        ],
+        primary_key=["id"],
+    )
+    table = db.create_table(schema)
+    rng = np.random.default_rng(2)
+    for i in range(20_000):
+        table.insert((i, int(rng.integers(0, 500)), float(rng.random())))
+    engine = SqlEngine(db)
+    engine.build_all_statistics()
+    engine.create_index(IndexDefinition("ix_grp", "t", ("grp",), ("val",)))
+    return engine
+
+
+QUERY = SelectQuery("t", ("val",), (Predicate("grp", Op.EQ, 77),))
+
+
+def test_execute_indexed_query(benchmark, bench_engine):
+    result = benchmark(lambda: bench_engine.execute(QUERY))
+    assert result.metrics.logical_reads < 20
+
+
+def test_whatif_call(benchmark, bench_engine):
+    hyp = IndexDefinition("hyp", "t", ("val",), hypothetical=True)
+    plan = benchmark(lambda: bench_engine.whatif_optimize(QUERY, (hyp,)))
+    assert plan.est_cost > 0
+
+
+def test_whatif_cheaper_than_execution(bench_engine):
+    import time
+
+    start = time.perf_counter()
+    for _ in range(200):
+        bench_engine.whatif_optimize(QUERY)
+    whatif_time = time.perf_counter() - start
+    start = time.perf_counter()
+    scan_query = SelectQuery("t", ("id",), (Predicate("val", Op.GT, 0.5),))
+    for _ in range(20):
+        bench_engine.execute(scan_query)
+    execute_time = (time.perf_counter() - start) * 10
+    emit([
+        "== what-if vs execution (per 200 ops) ==",
+        f"  what-if optimize: {whatif_time * 1000:.1f} ms",
+        f"  scan execution:   {execute_time * 1000:.1f} ms",
+    ])
+    assert whatif_time < execute_time

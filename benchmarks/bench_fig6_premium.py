@@ -1,0 +1,45 @@
+"""Figure 6(a): recommender comparison on the premium tier.
+
+Paper (SIGMOD'19, §7.3, Figure 6a): over a few thousand premium-tier
+production databases, indexes from DTA outperformed both MI's and the
+user's on ~27% of databases, MI won ~13%, the user's own tuning won ~15%,
+and ~45% were statistically indistinguishable ("Comparable").  Expected
+shape here: no arm dominates; Comparable is the largest slice; automation
+matches or beats the user on the large majority of databases.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit, fleet_size
+from repro.experiment.compare import compare_fleet
+from repro.fleet import Fleet, FleetSpec
+
+PAPER_SHARES = {"DTA": 27.0, "Comparable": 42.0, "User": 15.0, "MI": 13.0}
+
+
+def run_premium_comparison():
+    fleet = Fleet(FleetSpec(n_databases=fleet_size(6), tier="premium", seed=5))
+    return compare_fleet(fleet)
+
+
+def test_fig6_premium(benchmark):
+    summary = benchmark.pedantic(run_premium_comparison, rounds=1, iterations=1)
+    shares = summary.shares()
+    emit(
+        ["== Figure 6(a), premium tier =="]
+        + [
+            f"  {arm:<11} measured {shares.get(arm, 0.0):5.1f}%   paper {PAPER_SHARES[arm]:5.1f}%"
+            for arm in ("DTA", "Comparable", "User", "MI")
+        ]
+        + [
+            f"  automation matched/beat User on "
+            f"{summary.automation_matches_user_pct():.0f}% of databases "
+            "(paper: 85-90%)"
+        ]
+    )
+    # Shape assertions, not absolute numbers.
+    assert summary.usable, "no usable database comparisons"
+    assert shares.get("Comparable", 0) >= max(
+        shares.get("User", 0), 10.0
+    ), "Comparable should be a major slice"
+    assert summary.automation_matches_user_pct() >= 60.0

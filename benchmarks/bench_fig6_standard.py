@@ -1,0 +1,44 @@
+"""Figure 6(b): recommender comparison on the standard tier.
+
+Paper (§7.3, Figure 6b): DTA won on ~42% of standard-tier databases,
+Comparable ~45%, User ~10%, MI ~6%.  Standard-tier users tune less
+expertly, so automation's margin over User is larger than in premium,
+and the User slice smaller.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit, fleet_size
+from repro.experiment.compare import compare_fleet
+from repro.fleet import Fleet, FleetSpec
+
+PAPER_SHARES = {"DTA": 42.0, "Comparable": 45.0, "User": 10.0, "MI": 6.0}
+
+
+def run_standard_comparison():
+    fleet = Fleet(FleetSpec(n_databases=fleet_size(6), tier="standard", seed=9))
+    return compare_fleet(fleet)
+
+
+def test_fig6_standard(benchmark):
+    summary = benchmark.pedantic(run_standard_comparison, rounds=1, iterations=1)
+    shares = summary.shares()
+    emit(
+        ["== Figure 6(b), standard tier =="]
+        + [
+            f"  {arm:<11} measured {shares.get(arm, 0.0):5.1f}%   paper {PAPER_SHARES[arm]:5.1f}%"
+            for arm in ("DTA", "Comparable", "User", "MI")
+        ]
+        + [
+            f"  automation matched/beat User on "
+            f"{summary.automation_matches_user_pct():.0f}% of databases "
+            "(paper: 85-90%)"
+        ]
+    )
+    assert summary.usable
+    automation = shares.get("DTA", 0) + shares.get("MI", 0)
+    assert automation >= shares.get("User", 0), (
+        "automated arms should win at least as often as the user on the "
+        "standard tier"
+    )
+    assert summary.automation_matches_user_pct() >= 70.0

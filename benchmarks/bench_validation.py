@@ -1,0 +1,154 @@
+"""§6: validation quality under injected regressions, and the
+conservative-vs-aggregate trigger trade-off.
+
+Paper: the validator compares logical execution metrics before/after with
+Welch t-tests, scoped to statements whose plan changed because of the
+index.  The conservative trigger reverts when any significant statement
+regresses; the aggregate alternative tolerates offset regressions but "may
+significantly regress one or more statements if improvements to other
+statements offset the regressions".
+
+Expected shape: clearly good indexes are never reverted; clearly bad ones
+always are; on mixed outcomes, conservative reverts strictly more often
+than aggregate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.engine import (
+    Column,
+    Database,
+    IndexDefinition,
+    InsertQuery,
+    Op,
+    Predicate,
+    SelectQuery,
+    SqlEngine,
+    SqlType,
+    TableSchema,
+)
+from repro.engine.cost_model import CostModelSettings
+from repro.engine.engine import EngineSettings
+from repro.validation import (
+    ValidationMode,
+    ValidationSettings,
+    Validator,
+)
+
+
+def _engine(seed: int) -> SqlEngine:
+    db = Database(f"val-bench-{seed}", seed=seed)
+    schema = TableSchema(
+        "t",
+        [
+            Column("id", SqlType.BIGINT, nullable=False),
+            Column("grp", SqlType.INT),
+            Column("val", SqlType.FLOAT),
+            Column("pad", SqlType.TEXT),
+        ],
+        primary_key=["id"],
+    )
+    table = db.create_table(schema)
+    rng = np.random.default_rng(seed)
+    for i in range(4000):
+        table.insert((i, int(rng.integers(0, 150)), float(rng.random() * 100), "x"))
+    settings = EngineSettings(
+        interval_minutes=5.0,
+        cost_model=CostModelSettings(error_sigma=0.0, severe_error_rate=0.0),
+    )
+    engine = SqlEngine(db, settings=settings)
+    engine.build_all_statistics()
+    return engine
+
+
+def _phase(engine, queries, rounds, insert_base):
+    for i in range(rounds):
+        for query in queries:
+            engine.execute(query)
+        engine.execute(
+            InsertQuery("t", tuple(
+                (insert_base + i * 4 + j, 1, 1.0, "x") for j in range(4)
+            ))
+        )
+        engine.clock.advance(2.0)
+
+
+GOOD_QUERY = SelectQuery("t", ("val",), (Predicate("grp", Op.EQ, 7),))
+
+
+def run_validation_scenarios():
+    outcomes = {}
+    # Scenario 1: clearly beneficial index.
+    engine = _engine(1)
+    _phase(engine, [GOOD_QUERY], rounds=25, insert_base=100_000)
+    before = (0.0, engine.now)
+    engine.create_index(IndexDefinition("ix_good", "t", ("grp",), ("val",)))
+    start = engine.now
+    _phase(engine, [GOOD_QUERY], rounds=25, insert_base=200_000)
+    outcomes["good"] = Validator(engine).validate(
+        "ix_good", "create", before, (start, engine.now)
+    )
+    # Scenario 2: pure-overhead index on a write-mostly table.
+    engine = _engine(2)
+    _phase(engine, [], rounds=30, insert_base=100_000)
+    before = (0.0, engine.now)
+    for i, column in enumerate(("grp", "val", "pad")):
+        engine.create_index(IndexDefinition(f"ix_bad{i}", "t", (column,)))
+    start = engine.now
+    _phase(engine, [], rounds=30, insert_base=200_000)
+    outcomes["bad"] = Validator(
+        engine, ValidationSettings(min_resource_share=0.0)
+    ).validate("ix_bad0", "create", before, (start, engine.now))
+    # Scenario 3: mixed — big SELECT win, real write regression.
+    results = {}
+    for mode in (ValidationMode.CONSERVATIVE, ValidationMode.AGGREGATE):
+        engine = _engine(3)
+        _phase(engine, [GOOD_QUERY], rounds=25, insert_base=100_000)
+        before = (0.0, engine.now)
+        for i, cols in enumerate((("grp",), ("val",), ("pad", "grp"))):
+            engine.create_index(
+                IndexDefinition(f"ix_mix{i}", "t", cols, ("val",) if "val" not in cols else ())
+            )
+        start = engine.now
+        _phase(engine, [GOOD_QUERY], rounds=25, insert_base=200_000)
+        results[mode] = Validator(
+            engine,
+            ValidationSettings(
+                mode=mode, min_resource_share=0.0, regression_threshold=0.15
+            ),
+        ).validate("ix_mix0", "create", before, (start, engine.now))
+    outcomes["mixed"] = results
+    return outcomes
+
+
+def test_validation_quality(benchmark):
+    outcomes = benchmark.pedantic(run_validation_scenarios, rounds=1, iterations=1)
+    good = outcomes["good"]
+    bad = outcomes["bad"]
+    mixed = outcomes["mixed"]
+    conservative = mixed[ValidationMode.CONSERVATIVE]
+    aggregate = mixed[ValidationMode.AGGREGATE]
+    emit(
+        [
+            "== Validator quality (Section 6) ==",
+            f"  good index:   verdict={good.verdict.value:9s} revert={good.should_revert}"
+            f"  (aggregate {good.aggregate_change:+.0%})",
+            f"  bad index:    verdict={bad.verdict.value:9s} revert={bad.should_revert}"
+            f"  (aggregate {bad.aggregate_change:+.0%})",
+            f"  mixed/conservative: revert={conservative.should_revert} "
+            f"(regressed={conservative.regressed_count}, improved={conservative.improved_count})",
+            f"  mixed/aggregate:    revert={aggregate.should_revert} "
+            f"(aggregate {aggregate.aggregate_change:+.0%})",
+        ]
+    )
+    assert not good.should_revert
+    assert good.aggregate_change < -0.3
+    assert bad.should_revert
+    assert not aggregate.should_revert, (
+        "aggregate mode should tolerate the offset write regression"
+    )
+    if conservative.regressed_count:
+        assert conservative.should_revert

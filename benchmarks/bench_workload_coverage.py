@@ -1,0 +1,69 @@
+"""§5.1.2 / §5.3.2: workload coverage from top-K statement selection.
+
+Paper: workload coverage — the fraction of total resources consumed by
+the analyzed statements — is the goodness measure for automatically
+identified workloads; >80% is called out as high coverage, and the top-K
+selection "efficiently identifies the most important statements,
+balancing workload coverage with the resources spent on analysis".
+
+Expected shape: coverage grows monotonically with K with strongly
+diminishing returns; a modest K (≈15, the standard-tier default) already
+clears 80%; MI's always-on coverage is near-total.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.recommender import MiRecommender
+from repro.recommender.workload_selection import coverage_for_k
+from repro.workload import make_profile
+
+KS = [1, 2, 4, 8, 15, 30, 60]
+
+
+def run_coverage_curves():
+    curves = {}
+    mi_coverages = {}
+    for archetype, seed in (
+        ("webshop", 301),
+        ("saas_invoicing", 302),
+        ("analytics", 303),
+    ):
+        profile = make_profile(
+            f"cov-{archetype}", seed=seed, archetype=archetype, tier="standard"
+        )
+        profile.workload.run(profile.engine, hours=24, max_statements=900)
+        engine = profile.engine
+        curves[archetype] = coverage_for_k(
+            engine, now=engine.now, hours=24, ks=KS
+        )
+        mi_coverages[archetype] = MiRecommender(engine).workload_coverage(
+            0.0, engine.now
+        )
+    return curves, mi_coverages
+
+
+def test_workload_coverage(benchmark):
+    curves, mi_coverages = benchmark.pedantic(
+        run_coverage_curves, rounds=1, iterations=1
+    )
+    lines = ["== Workload coverage vs K (Section 5.1.2) =="]
+    lines.append("  K:        " + "".join(f"{k:>7}" for k in KS))
+    for archetype, curve in curves.items():
+        lines.append(
+            f"  {archetype:<9} "
+            + "".join(f"{coverage:6.1%} " for _k, coverage in curve)
+        )
+    lines.append("  MI (always-on) coverage: " + ", ".join(
+        f"{a}={c:.1%}" for a, c in mi_coverages.items()
+    ))
+    emit(lines)
+    for archetype, curve in curves.items():
+        coverages = [c for _k, c in curve]
+        assert coverages == sorted(coverages), "coverage must grow with K"
+        at_default_k = dict(curve)[15]
+        assert at_default_k > 0.8, (
+            f"top-15 should cover >80% for {archetype}, got {at_default_k:.1%}"
+        )
+    for archetype, coverage in mi_coverages.items():
+        assert coverage > 0.8

@@ -1,0 +1,33 @@
+"""Shared benchmark configuration.
+
+Fleet sizes and phase volumes scale with the ``REPRO_BENCH_SCALE``
+environment variable (default 1).  Scale 1 keeps the full suite in the
+tens of minutes; the paper's shapes (who wins, rough factors) are already
+visible there.  Raise the scale for tighter share estimates.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale() -> int:
+    return max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
+
+
+@pytest.fixture(scope="session")
+def scale() -> int:
+    return bench_scale()
+
+
+def fleet_size(base: int = 6) -> int:
+    return base * bench_scale()
+
+
+def emit(lines) -> None:
+    """Print a result block so it lands in the benchmark log."""
+    print()
+    for line in lines:
+        print(line)

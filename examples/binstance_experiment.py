@@ -1,0 +1,53 @@
+"""Experimentation with B-instances (Section 7).
+
+Reproduces the paper's recommender-comparison methodology on a single
+database: the user's historical tuning is emulated, a random subset of
+their best indexes is dropped, MI and DTA each propose replacements on a
+learning B-instance, and four phases — baseline / User / MI / DTA — are
+measured on fresh B-instances replaying forks of the same traffic.  The
+winner must beat the others with statistical significance, otherwise the
+database counts as Comparable, exactly as in Figure 6.
+
+Run:  python examples/binstance_experiment.py
+"""
+
+from __future__ import annotations
+
+from repro.experiment import ComparisonSettings, compare_database
+from repro.workload import make_profile
+
+
+def main() -> None:
+    profile = make_profile(
+        "fig6-demo", seed=42, tier="premium", archetype="analytics"
+    )
+    print(
+        f"database {profile.name}: archetype={profile.archetype}, "
+        f"tables={[t.name for t in profile.schema_spec.tables]}"
+    )
+    settings = ComparisonSettings(
+        phase_statements=500,
+        learn_statements=550,
+        user_learn_statements=450,
+        warmup_statements=300,
+    )
+    result = compare_database(profile, settings)
+
+    print("\n== phase scores (fixed-execution-count CPU) ==")
+    for name, phase in sorted(result.phases.items()):
+        print(
+            f"  {name:<9} score={phase.score:10.1f}"
+            f"  (over {phase.templates} common templates)"
+        )
+    print("\n== improvements vs the untuned baseline ==")
+    for arm, improvement in result.improvements.items():
+        print(f"  {arm:<5} {improvement:5.1f}% CPU-time improvement")
+    print(
+        f"\ndropped {result.dropped_indexes} of the user's indexes; "
+        f"MI proposed {result.mi_recommended}, DTA proposed {result.dta_recommended}"
+    )
+    print(f"winner: {result.winner}")
+
+
+if __name__ == "__main__":
+    main()

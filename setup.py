@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project is fully described by ``pyproject.toml``; this file only
+enables ``pip install -e . --no-use-pep517`` in offline environments
+where PEP 660 editable builds are unavailable.
+"""
+
+from setuptools import setup
+
+setup()

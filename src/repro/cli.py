@@ -1,0 +1,133 @@
+"""Command-line interface.
+
+Three subcommands mirror the repo's main entry points:
+
+- ``repro demo`` — the quickstart flow on one generated database;
+- ``repro ops --days N --dbs K`` — a closed-loop service run with the
+  Section 8.1-style operational report;
+- ``repro fig6 --tier premium --dbs K`` — the Figure 6 experiment for one
+  tier.
+
+Invoke as ``python -m repro <command>``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.clock import HOURS
+from repro.controlplane import (
+    AutoIndexingConfig,
+    AutoMode,
+    ControlPlaneSettings,
+)
+from repro.experiment.compare import ComparisonSettings, compare_fleet
+from repro.fleet import Fleet, FleetSpec
+from repro.reporting import operational_report
+from repro.service import ServiceSettings, build_service
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0, help="root seed")
+    parser.add_argument(
+        "--tier",
+        choices=("basic", "standard", "premium"),
+        default="standard",
+    )
+    parser.add_argument("--dbs", type=int, default=4, help="fleet size")
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    """Run the quickstart example end to end."""
+    # The quickstart example is a self-contained script; load and reuse
+    # its main() so the CLI and the example cannot drift apart.
+    import importlib.util
+    import pathlib
+
+    path = pathlib.Path(__file__).resolve().parents[2] / "examples" / "quickstart.py"
+    if not path.exists():
+        print("examples/quickstart.py not found (installed without examples)")
+        return 1
+    spec = importlib.util.spec_from_file_location("quickstart", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    return 0
+
+
+def cmd_ops(args: argparse.Namespace) -> int:
+    """Closed-loop run over a fleet, ending with the operational report."""
+    service = build_service(
+        n_databases=args.dbs,
+        tier=args.tier,
+        seed=args.seed,
+        control_settings=ControlPlaneSettings(
+            snapshot_period=2 * HOURS,
+            analysis_period=8 * HOURS,
+            validation_window=6 * HOURS,
+        ),
+        service_settings=ServiceSettings(max_statements_per_step=80),
+        default_config=AutoIndexingConfig(create_mode=AutoMode.AUTO),
+    )
+    print(f"running the closed loop: {args.dbs} {args.tier} databases, "
+          f"{args.days} simulated days")
+    for day in range(args.days):
+        service.run(hours=24)
+        counts = service.plane.store.count_by_state()
+        summary = ", ".join(
+            f"{state.value}={count}"
+            for state, count in sorted(counts.items(), key=lambda i: i[0].value)
+        )
+        print(f"  day {day + 1}: {summary or '(quiet)'}")
+    print()
+    for line in operational_report(service.plane).lines():
+        print(line)
+    return 0
+
+
+def cmd_fig6(args: argparse.Namespace) -> int:
+    """Run the Figure 6 recommender comparison for one tier."""
+    fleet = Fleet(FleetSpec(n_databases=args.dbs, tier=args.tier, seed=args.seed))
+    print(f"running the Figure 6 experiment on {args.dbs} {args.tier} databases "
+          "(4 phases per database; this replays several days of traffic)")
+    summary = compare_fleet(fleet, ComparisonSettings())
+    for line in summary.table_rows():
+        print(line)
+    for result in summary.results:
+        improvements = ", ".join(
+            f"{arm}={value:.0f}%" for arm, value in result.improvements.items()
+        )
+        print(f"  {result.database}: winner={result.winner} ({improvements})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Auto-indexing service reproduction (SIGMOD 2019)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    demo = sub.add_parser("demo", help="quickstart on one database")
+    demo.set_defaults(func=cmd_demo)
+    ops = sub.add_parser("ops", help="closed-loop run + operational report")
+    _add_common(ops)
+    ops.add_argument("--days", type=int, default=4)
+    ops.set_defaults(func=cmd_ops)
+    fig6 = sub.add_parser("fig6", help="the Figure 6 recommender comparison")
+    _add_common(fig6)
+    fig6.set_defaults(func=cmd_fig6)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Simulated time.
+
+Everything in the library that cares about time — Query Store intervals,
+recommendation expiry, control-plane scheduling, lock waits — reads a
+:class:`SimClock`.  Tests and experiments advance it explicitly, so runs
+are deterministic and fast regardless of wall-clock time.
+
+Times are floats in **minutes** since the simulation epoch.  Helper
+constants make call sites readable (``clock.advance(2 * HOURS)``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+MINUTES = 1.0
+HOURS = 60.0
+DAYS = 24 * HOURS
+
+
+class SimClock:
+    """A manually advanced virtual clock with scheduled callbacks."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._timers: List[Tuple[float, int, Callable[[], None]]] = []
+        self._timer_seq = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in minutes since epoch."""
+        return self._now
+
+    def advance(self, minutes: float) -> None:
+        """Move time forward, firing any timers that come due, in order."""
+        if minutes < 0:
+            raise ValueError("cannot advance the clock backwards")
+        deadline = self._now + minutes
+        while True:
+            due = [t for t in self._timers if t[0] <= deadline]
+            if not due:
+                break
+            due.sort()
+            when, _seq, callback = due[0]
+            self._timers.remove(due[0])
+            self._now = max(self._now, when)
+            callback()
+        self._now = deadline
+
+    def advance_to(self, when: float) -> None:
+        """Advance to an absolute virtual time."""
+        if when < self._now:
+            raise ValueError("cannot advance the clock backwards")
+        self.advance(when - self._now)
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to fire when the clock reaches ``when``."""
+        if when < self._now:
+            raise ValueError("cannot schedule a callback in the past")
+        self._timer_seq += 1
+        self._timers.append((when, self._timer_seq, callback))
+
+    def call_after(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` after ``delay`` minutes."""
+        self.call_at(self._now + delay, callback)

@@ -1,0 +1,33 @@
+"""The control plane (Section 4): the backbone of the automation.
+
+A per-region, fault-tolerant service that drives the index lifecycle state
+machine for every managed database: it invokes the recommenders, implements
+recommendations (when permitted), validates them, reverts regressions, and
+watches its own health.  Implemented as a collection of micro-services
+(:mod:`services`) over a persistent, journaled state store (:mod:`store`),
+an event bus (:mod:`events`), a virtual-time scheduler (:mod:`scheduler`),
+and a fault injector (:mod:`faults`) used by tests and benchmarks to
+exercise the retry machinery.
+"""
+
+from repro.controlplane.control_plane import (
+    AutoIndexingConfig,
+    AutoMode,
+    ControlPlane,
+    ControlPlaneSettings,
+    ManagedDatabase,
+)
+from repro.controlplane.states import DatabaseState, RecommendationState
+from repro.controlplane.store import RecommendationRecord, StateStore
+
+__all__ = [
+    "AutoIndexingConfig",
+    "AutoMode",
+    "ControlPlane",
+    "ControlPlaneSettings",
+    "DatabaseState",
+    "ManagedDatabase",
+    "RecommendationRecord",
+    "RecommendationState",
+    "StateStore",
+]

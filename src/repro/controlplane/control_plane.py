@@ -1,0 +1,439 @@
+"""The control plane facade: managed databases plus the micro-services.
+
+``ControlPlane.process()`` is one pass of the region's automation: due
+scheduler jobs fire (MI snapshots, analysis sessions, drop analysis,
+health checks) and every non-terminal recommendation record is driven one
+step through its state machine by the implementation and validation
+micro-services.  Transient failures move records to RETRY with back-off;
+exhausted retries and permanent failures end in ERROR (Section 4).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional
+
+from repro.clock import DAYS, HOURS, SimClock
+from repro.controlplane.events import EventBus
+from repro.controlplane.faults import FaultInjector
+from repro.controlplane.scheduler import JobScheduler
+from repro.controlplane.states import DatabaseState, RecommendationState
+from repro.controlplane.store import RecommendationRecord, StateStore
+from repro.engine.engine import SqlEngine
+from repro.errors import PermanentError, TransientError
+from repro.recommender import (
+    DropRecommender,
+    MiRecommender,
+    MiRecommenderSettings,
+)
+from repro.recommender.classifier import LowImpactClassifier
+from repro.recommender.policy import RecommenderPolicy
+from repro.recommender.recommendation import Action, IndexRecommendation
+from repro.validation import ValidationSettings, Validator
+
+
+class AutoMode(enum.Enum):
+    """Per-database automation level (the Section 2 portal settings)."""
+
+    AUTO = "auto"
+    RECOMMEND_ONLY = "recommend_only"
+    OFF = "off"
+
+
+@dataclasses.dataclass
+class AutoIndexingConfig:
+    """CREATE INDEX / DROP INDEX automation settings for one database."""
+
+    create_mode: AutoMode = AutoMode.AUTO
+    drop_mode: AutoMode = AutoMode.RECOMMEND_ONLY
+    #: True when the settings come from the logical server default.
+    inherited: bool = True
+
+
+@dataclasses.dataclass
+class ControlPlaneSettings:
+    """Cadences and limits of the automation."""
+
+    snapshot_period: float = 2 * HOURS
+    analysis_period: float = 12 * HOURS
+    drop_analysis_period: float = 7 * DAYS
+    health_period: float = 6 * HOURS
+    #: Delay after implementation before the validation window opens.
+    validation_settle: float = 30.0
+    #: Length of the post-implementation observation window.
+    validation_window: float = 12 * HOURS
+    recommendation_expiry: float = 14 * DAYS
+    max_retries: int = 5
+    retry_backoff: float = 30.0
+    #: Index build speed (rows of build work per virtual minute).
+    build_rows_per_minute: float = 20_000.0
+    #: Restrict implementation starts to the low-activity window.
+    implement_low_activity_only: bool = False
+    low_activity_hours: tuple = (22, 6)
+    #: Maximum age of a record in a non-terminal state before the health
+    #: service raises an incident.
+    stuck_threshold: float = 3 * DAYS
+    #: A recommendation whose twin was recently REVERTED (or ERRORed) is
+    #: suppressed for this long — validation already proved it harmful.
+    revert_cooldown: float = 60 * DAYS
+    #: Index changes per database are serialized: validation compares
+    #: before/after windows, so only one change may be in flight at a time
+    #: for the attribution to be clean.
+    max_concurrent_implementations: int = 1
+
+
+@dataclasses.dataclass
+class ManagedDatabase:
+    """Everything the control plane tracks for one database."""
+
+    name: str
+    tier: str
+    engine: SqlEngine
+    config: AutoIndexingConfig
+    mi: MiRecommender
+    drops: DropRecommender
+    validator: Validator
+    state: DatabaseState = DatabaseState.IDLE
+    #: Active index build jobs keyed by recommendation id.
+    build_jobs: Dict[int, object] = dataclasses.field(default_factory=dict)
+    drop_protocols: Dict[int, object] = dataclasses.field(default_factory=dict)
+    last_driven: float = 0.0
+    dta_sessions: int = 0
+    analysis_runs: int = 0
+
+
+@dataclasses.dataclass
+class Incident:
+    """A service-health incident for on-call engineers (Section 4)."""
+
+    at: float
+    database: str
+    rec_id: Optional[int]
+    description: str
+
+
+class ControlPlane:
+    """Per-region auto-indexing automation."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        settings: Optional[ControlPlaneSettings] = None,
+        policy: Optional[RecommenderPolicy] = None,
+        validation_settings: Optional[ValidationSettings] = None,
+        classifier: Optional[LowImpactClassifier] = None,
+        mi_settings: Optional[MiRecommenderSettings] = None,
+        fault_seed: int = 0,
+    ) -> None:
+        self.clock = clock
+        self.settings = settings or ControlPlaneSettings()
+        self.policy = policy or RecommenderPolicy()
+        self.validation_settings = validation_settings or ValidationSettings()
+        self.classifier = classifier or LowImpactClassifier()
+        self.mi_settings = mi_settings
+        self.store = StateStore()
+        self.events = EventBus()
+        self.scheduler = JobScheduler()
+        self.faults = FaultInjector(fault_seed)
+        self.databases: Dict[str, ManagedDatabase] = {}
+        self.incidents: List[Incident] = []
+        #: Labeled validation outcomes for classifier training (Section 5.2).
+        self.validation_history: List[dict] = []
+        # Lazy service imports avoid a module cycle.
+        from repro.controlplane.services.recommend_service import (
+            RecommendationService,
+        )
+        from repro.controlplane.services.implement_service import (
+            ImplementationService,
+        )
+        from repro.controlplane.services.validate_service import (
+            ValidationService,
+        )
+        from repro.controlplane.services.dta_service import DtaSessionManager
+        from repro.controlplane.services.health_service import HealthService
+
+        self.recommend_service = RecommendationService(self)
+        self.implement_service = ImplementationService(self)
+        self.validate_service = ValidationService(self)
+        self.dta_service = DtaSessionManager(self)
+        self.health_service = HealthService(self)
+
+    # ------------------------------------------------------------------
+    # Registration
+
+    def add_database(
+        self,
+        name: str,
+        engine: SqlEngine,
+        tier: str = "standard",
+        config: Optional[AutoIndexingConfig] = None,
+    ) -> ManagedDatabase:
+        config = config or AutoIndexingConfig()
+        managed = ManagedDatabase(
+            name=name,
+            tier=tier,
+            engine=engine,
+            config=config,
+            mi=MiRecommender(
+                engine, settings=self.mi_settings, classifier=self.classifier
+            ),
+            drops=DropRecommender(engine),
+            validator=Validator(engine, self.validation_settings),
+            last_driven=self.clock.now,
+        )
+        self.databases[name] = managed
+        now = self.clock.now
+        settings = self.settings
+        self.scheduler.schedule(
+            f"{name}:snapshot",
+            lambda at, db=managed: self.recommend_service.snapshot(db, at),
+            first_run=now + settings.snapshot_period,
+            period=settings.snapshot_period,
+        )
+        self.scheduler.schedule(
+            f"{name}:analyze",
+            lambda at, db=managed: self.recommend_service.analyze(db, at),
+            first_run=now + settings.analysis_period,
+            period=settings.analysis_period,
+        )
+        self.scheduler.schedule(
+            f"{name}:drop-analyze",
+            lambda at, db=managed: self.recommend_service.analyze_drops(db, at),
+            first_run=now + settings.drop_analysis_period,
+            period=settings.drop_analysis_period,
+        )
+        self.scheduler.schedule(
+            f"{name}:health",
+            lambda at, db=managed: self.health_service.check(db, at),
+            first_run=now + settings.health_period,
+            period=settings.health_period,
+        )
+        return managed
+
+    # ------------------------------------------------------------------
+    # The main loop step
+
+    def process(self, now: Optional[float] = None) -> None:
+        """One automation pass at virtual time ``now``."""
+        now = self.clock.now if now is None else now
+        self.scheduler.run_due(now)
+        for record in self.store.all_records():
+            if record.terminal:
+                continue
+            managed = self.databases.get(record.database)
+            if managed is None:
+                continue
+            self._drive(record, managed, now)
+        for managed in self.databases.values():
+            managed.last_driven = now
+
+    # ------------------------------------------------------------------
+    # Record driving
+
+    def _drive(
+        self, record: RecommendationRecord, managed: ManagedDatabase, now: float
+    ) -> None:
+        try:
+            if record.state is RecommendationState.ACTIVE:
+                self._drive_active(record, managed, now)
+            elif record.state is RecommendationState.IMPLEMENTING:
+                self.implement_service.drive(record, managed, now)
+            elif record.state is RecommendationState.VALIDATING:
+                self.validate_service.drive(record, managed, now)
+            elif record.state is RecommendationState.REVERTING:
+                self.implement_service.drive_revert(record, managed, now)
+            elif record.state is RecommendationState.RETRY:
+                self._drive_retry(record, managed, now)
+        except TransientError as exc:
+            self._to_retry(record, managed, now, str(exc))
+        except PermanentError as exc:
+            self._to_error(record, managed, now, str(exc))
+
+    def _drive_active(
+        self, record: RecommendationRecord, managed: ManagedDatabase, now: float
+    ) -> None:
+        if now - record.recommendation.created_at > self.settings.recommendation_expiry:
+            self.store.transition(record, RecommendationState.EXPIRED, now, "aged out")
+            self.events.emit(now, "recommendation_expired", managed.name, rec_id=record.rec_id)
+            return
+        mode = (
+            managed.config.create_mode
+            if record.recommendation.action is Action.CREATE
+            else managed.config.drop_mode
+        )
+        if mode is not AutoMode.AUTO:
+            return  # waits for the user (request_implementation) or expiry
+        if not self._implementation_window_open(now):
+            return
+        if self._in_flight(managed) >= self.settings.max_concurrent_implementations:
+            return
+        self.implement_service.begin(record, managed, now)
+
+    def _in_flight(self, managed: ManagedDatabase) -> int:
+        busy_states = (
+            RecommendationState.IMPLEMENTING,
+            RecommendationState.VALIDATING,
+            RecommendationState.REVERTING,
+            RecommendationState.RETRY,
+        )
+        return sum(
+            1
+            for record in self.store.records_for(database=managed.name)
+            if record.state in busy_states
+        )
+
+    def _implementation_window_open(self, now: float) -> bool:
+        if not self.settings.implement_low_activity_only:
+            return True
+        hour = (now / HOURS) % 24.0
+        start, end = self.settings.low_activity_hours
+        if start <= end:
+            return start <= hour < end
+        return hour >= start or hour < end
+
+    def _drive_retry(
+        self, record: RecommendationRecord, managed: ManagedDatabase, now: float
+    ) -> None:
+        if record.retry_at is not None and now < record.retry_at:
+            return
+        target = record.retry_target or RecommendationState.IMPLEMENTING
+        needs_begin = (
+            target is RecommendationState.IMPLEMENTING
+            and record.implemented_at is None
+            and record.rec_id not in managed.build_jobs
+            and record.rec_id not in managed.drop_protocols
+        )
+        if needs_begin:
+            # The failure happened before implementation started; re-run
+            # the begin step (it performs the RETRY -> IMPLEMENTING move).
+            self.implement_service.begin(record, managed, now)
+            return
+        self.store.transition(record, target, now, "retrying")
+
+    def _to_retry(
+        self,
+        record: RecommendationRecord,
+        managed: ManagedDatabase,
+        now: float,
+        reason: str,
+    ) -> None:
+        record.attempts += 1
+        if record.attempts > self.settings.max_retries:
+            self._to_error(record, managed, now, f"retries exhausted: {reason}")
+            return
+        previous = record.state
+        self.store.update(
+            record,
+            now,
+            retry_target=previous
+            if previous
+            in (
+                RecommendationState.IMPLEMENTING,
+                RecommendationState.VALIDATING,
+                RecommendationState.REVERTING,
+            )
+            else RecommendationState.IMPLEMENTING,
+            retry_at=now + self.settings.retry_backoff * (2 ** (record.attempts - 1)),
+        )
+        if previous is not RecommendationState.RETRY:
+            self.store.transition(record, RecommendationState.RETRY, now, reason)
+        self.events.emit(
+            now, "recommendation_retry", managed.name,
+            rec_id=record.rec_id, attempts=record.attempts,
+        )
+
+    def _to_error(
+        self,
+        record: RecommendationRecord,
+        managed: ManagedDatabase,
+        now: float,
+        reason: str,
+    ) -> None:
+        if record.state is not RecommendationState.ERROR:
+            self.store.transition(record, RecommendationState.ERROR, now, reason)
+        self.events.emit(
+            now, "recommendation_error", managed.name, rec_id=record.rec_id,
+            reason=reason,
+        )
+        self.incidents.append(
+            Incident(at=now, database=managed.name, rec_id=record.rec_id, description=reason)
+        )
+
+    # ------------------------------------------------------------------
+    # User actions (Section 2)
+
+    def request_implementation(self, rec_id: int) -> None:
+        """User-initiated apply of a recommendation (validated by the system)."""
+        record = self.store.get(rec_id)
+        if record is None or record.state is not RecommendationState.ACTIVE:
+            raise PermanentError(f"recommendation {rec_id} is not applicable")
+        managed = self.databases[record.database]
+        self.implement_service.begin(record, managed, self.clock.now)
+
+    def recommendation_history(self, database: str) -> List[RecommendationRecord]:
+        """The transparency view: every action and its state (Section 2)."""
+        return sorted(
+            self.store.records_for(database=database),
+            key=lambda r: r.rec_id,
+        )
+
+    # ------------------------------------------------------------------
+    # Aggregate reporting
+
+    def register_recommendations(
+        self,
+        managed: ManagedDatabase,
+        recommendations: List[IndexRecommendation],
+        now: float,
+    ) -> List[RecommendationRecord]:
+        """Insert new ACTIVE records, expiring superseded duplicates."""
+        records = []
+        existing_active = {
+            r.recommendation.structure_key(): r
+            for r in self.store.records_for(
+                database=managed.name, state=RecommendationState.ACTIVE
+            )
+        }
+        # Validation verdicts are sticky: re-proposing an index that was
+        # just reverted (or errored) would thrash (Section 8.1's revert
+        # statistics count each action once).
+        suppressed = {}
+        for r in self.store.records_for(database=managed.name):
+            if r.state in (RecommendationState.REVERTED, RecommendationState.ERROR):
+                when = r.state_history[-1][0] if r.state_history else 0.0
+                key = r.recommendation.structure_key()
+                suppressed[key] = max(suppressed.get(key, 0.0), when)
+        # An index currently being implemented/validated is also not
+        # re-proposed.
+        for r in self.store.records_for(database=managed.name):
+            if not r.terminal and r.state is not RecommendationState.ACTIVE:
+                suppressed[r.recommendation.structure_key()] = float("inf")
+        for recommendation in recommendations:
+            key = recommendation.structure_key()
+            suppressed_at = suppressed.get(key)
+            if suppressed_at is not None and (
+                suppressed_at == float("inf")
+                or now - suppressed_at < self.settings.revert_cooldown
+            ):
+                continue
+            previous = existing_active.get(key)
+            if previous is not None:
+                self.store.transition(
+                    previous,
+                    RecommendationState.EXPIRED,
+                    now,
+                    "superseded by newer recommendation",
+                )
+            record = self.store.insert(managed.name, recommendation, now)
+            records.append(record)
+            existing_active[key] = record
+            self.events.emit(
+                now,
+                "recommendation_created",
+                managed.name,
+                rec_id=record.rec_id,
+                action=recommendation.action.value,
+                source=recommendation.source,
+            )
+        return records

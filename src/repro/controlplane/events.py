@@ -1,0 +1,63 @@
+"""Telemetry event bus.
+
+The control plane's components are decentralized and communicate through
+asynchronous events (Section 3).  For compliance, events never carry
+customer data (query text, literals) — only anonymized identifiers and
+aggregates, which is also how the paper's engineers debug the service
+(Section 1.2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Callable, Dict, List, Optional
+
+
+@dataclasses.dataclass(frozen=True)
+class Event:
+    """One telemetry event."""
+
+    at: float
+    kind: str
+    database: str
+    payload: dict
+
+
+_FORBIDDEN_PAYLOAD_KEYS = {"query_text", "text", "literal", "parameters"}
+
+
+class EventBus:
+    """Publish/subscribe bus with bounded history."""
+
+    def __init__(self, history_limit: int = 50_000) -> None:
+        self._subscribers: Dict[str, List[Callable[[Event], None]]] = {}
+        self._history: List[Event] = []
+        self._history_limit = history_limit
+        self.counts: Counter = Counter()
+
+    def subscribe(self, kind: str, callback: Callable[[Event], None]) -> None:
+        """Subscribe to a kind; '*' receives everything."""
+        self._subscribers.setdefault(kind, []).append(callback)
+
+    def emit(self, at: float, kind: str, database: str, **payload) -> Event:
+        leaked = _FORBIDDEN_PAYLOAD_KEYS.intersection(payload)
+        if leaked:
+            raise ValueError(
+                f"event payload contains customer data keys: {sorted(leaked)}"
+            )
+        event = Event(at=at, kind=kind, database=database, payload=payload)
+        self._history.append(event)
+        if len(self._history) > self._history_limit:
+            del self._history[: self._history_limit // 10]
+        self.counts[kind] += 1
+        for callback in self._subscribers.get(kind, ()):
+            callback(event)
+        for callback in self._subscribers.get("*", ()):
+            callback(event)
+        return event
+
+    def history(self, kind: Optional[str] = None) -> List[Event]:
+        if kind is None:
+            return list(self._history)
+        return [event for event in self._history if event.kind == kind]

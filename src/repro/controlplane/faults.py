@@ -1,0 +1,51 @@
+"""Fault injection for control-plane operations.
+
+At Azure scale every dependency fails sometimes (Section 8.3); the control
+plane's state machine must absorb transient faults via RETRY and surface
+irrecoverable ones as ERROR.  The injector decides, deterministically from
+a seed, whether a given operation attempt fails.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from repro.errors import PermanentError, TransientError
+from repro.rng import derive
+
+
+@dataclasses.dataclass
+class FaultRates:
+    """Failure probabilities per operation kind."""
+
+    transient: float = 0.0
+    permanent: float = 0.0
+
+
+class FaultInjector:
+    """Deterministic fault source shared by the micro-services."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = derive(seed, "faults")
+        self._rates: Dict[str, FaultRates] = {}
+        self.injected_transient = 0
+        self.injected_permanent = 0
+
+    def configure(
+        self, operation: str, transient: float = 0.0, permanent: float = 0.0
+    ) -> None:
+        self._rates[operation] = FaultRates(transient=transient, permanent=permanent)
+
+    def check(self, operation: str) -> None:
+        """Raise an injected fault for this attempt, if the dice say so."""
+        rates = self._rates.get(operation)
+        if rates is None:
+            return
+        draw = float(self._rng.random())
+        if draw < rates.permanent:
+            self.injected_permanent += 1
+            raise PermanentError(f"injected permanent fault in {operation}")
+        if draw < rates.permanent + rates.transient:
+            self.injected_transient += 1
+            raise TransientError(f"injected transient fault in {operation}")

@@ -1,0 +1,68 @@
+"""Virtual-time job scheduling for control-plane micro-services."""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+
+@dataclasses.dataclass
+class ScheduledJob:
+    """A (possibly periodic) job."""
+
+    name: str
+    callback: Callable[[float], None]
+    period: Optional[float]
+    next_run: float
+    enabled: bool = True
+    runs: int = 0
+
+
+class JobScheduler:
+    """Runs due jobs when the control plane processes a tick.
+
+    Unlike :class:`repro.clock.SimClock` timers, jobs here are durable and
+    periodic; the control plane calls :meth:`run_due` with the current
+    virtual time (typically right after advancing the workload).
+    """
+
+    def __init__(self) -> None:
+        self._jobs: List[ScheduledJob] = []
+        self._heap: List[Tuple[float, int, ScheduledJob]] = []
+        self._counter = itertools.count()
+
+    def schedule(
+        self,
+        name: str,
+        callback: Callable[[float], None],
+        first_run: float,
+        period: Optional[float] = None,
+    ) -> ScheduledJob:
+        job = ScheduledJob(
+            name=name, callback=callback, period=period, next_run=first_run
+        )
+        self._jobs.append(job)
+        heapq.heappush(self._heap, (first_run, next(self._counter), job))
+        return job
+
+    def run_due(self, now: float) -> int:
+        """Run every job due at or before ``now``; returns the run count."""
+        executed = 0
+        while self._heap and self._heap[0][0] <= now:
+            _when, _seq, job = heapq.heappop(self._heap)
+            if not job.enabled:
+                continue
+            job.callback(now)
+            job.runs += 1
+            executed += 1
+            if job.period is not None:
+                job.next_run = now + job.period
+                heapq.heappush(
+                    self._heap, (job.next_run, next(self._counter), job)
+                )
+        return executed
+
+    def jobs(self) -> List[ScheduledJob]:
+        return list(self._jobs)

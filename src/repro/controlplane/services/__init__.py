@@ -1,0 +1,2 @@
+"""Control-plane micro-services (Section 4): recommendation generation,
+implementation, validation, DTA session management, and health."""

@@ -1,0 +1,83 @@
+"""Micro-service: DTA session management (Section 5.3.3).
+
+Owns session lifecycle at fleet scale: creates sessions with tier-derived
+settings, tolerates budget exhaustion by leaving the session resumable
+(its what-if cache is retained), aborts sessions that interfere with user
+queries, and guarantees terminal states with cleanup.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.errors import ResourceBudgetExceededError, SessionAbortedError
+from repro.recommender.dta import DtaSession, DtaSettings
+from repro.recommender.recommendation import IndexRecommendation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.controlplane.control_plane import ControlPlane, ManagedDatabase
+
+
+class DtaSessionManager:
+    """Tracks at most one live DTA session per database."""
+
+    MAX_BUDGET_DEFERRALS = 8
+
+    def __init__(self, plane: "ControlPlane") -> None:
+        self.plane = plane
+        self._sessions: Dict[str, DtaSession] = {}
+        self._deferrals: Dict[str, int] = {}
+
+    def settings_for(self, managed: "ManagedDatabase") -> DtaSettings:
+        return DtaSettings(tier=managed.tier)
+
+    def run(self, managed: "ManagedDatabase", now: float) -> List[IndexRecommendation]:
+        """Run (or resume) a session; raises TransientError on budget."""
+        session = self._sessions.get(managed.name)
+        if session is None:
+            session = DtaSession(
+                managed.engine,
+                self.settings_for(managed),
+                interference_check=lambda: self._interfering(managed),
+            )
+            self._sessions[managed.name] = session
+            self._deferrals[managed.name] = 0
+        try:
+            recommendations = session.run()
+        except ResourceBudgetExceededError:
+            self._deferrals[managed.name] += 1
+            self.plane.events.emit(
+                now, "dta_budget_exhausted", managed.name,
+                deferrals=self._deferrals[managed.name],
+            )
+            if self._deferrals[managed.name] >= self.MAX_BUDGET_DEFERRALS:
+                # Give up: clean up and surface an analysis failure.
+                del self._sessions[managed.name]
+                self.plane.events.emit(now, "dta_abandoned", managed.name)
+                return []
+            raise  # transient: the next analysis period resumes the session
+        except SessionAbortedError:
+            del self._sessions[managed.name]
+            self.plane.events.emit(now, "dta_aborted", managed.name)
+            return []
+        managed.dta_sessions += 1
+        del self._sessions[managed.name]
+        self.plane.events.emit(
+            now,
+            "dta_completed",
+            managed.name,
+            whatif_calls=session.whatif.stats.calls,
+            coverage=session.report.coverage if session.report else 0.0,
+        )
+        return recommendations
+
+    def _interfering(self, managed: "ManagedDatabase") -> bool:
+        """Detect that tuning is slowing user queries (Section 5.3.1).
+
+        Uses the tuning pool's headroom as the interference proxy: a pool
+        pushed to its limit while the user pool is busy indicates pressure.
+        """
+        headroom = managed.engine.governor.tuning.window_headroom(
+            managed.engine.now
+        )
+        return headroom is not None and headroom <= 0.0

@@ -1,0 +1,74 @@
+"""Micro-service (d): detect issues and take corrective action (Section 4).
+
+Well-known stuck conditions are processed automatically (stale ACTIVE
+records expire, records stuck in RETRY past their horizon error out);
+anything else raises an :class:`Incident` for on-call engineers.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.controlplane.control_plane import Incident
+from repro.controlplane.states import RecommendationState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.controlplane.control_plane import ControlPlane, ManagedDatabase
+
+
+class HealthService:
+    """Periodic per-database health sweep."""
+
+    def __init__(self, plane: "ControlPlane") -> None:
+        self.plane = plane
+
+    def check(self, managed: "ManagedDatabase", now: float) -> None:
+        threshold = self.plane.settings.stuck_threshold
+        for record in self.plane.store.records_for(database=managed.name):
+            if record.terminal:
+                continue
+            last_change = (
+                record.state_history[-1][0] if record.state_history else 0.0
+            )
+            age = now - last_change
+            if age < threshold:
+                continue
+            if record.state is RecommendationState.RETRY:
+                # Known condition: retries stopped being scheduled.
+                self.plane.store.transition(
+                    record,
+                    RecommendationState.ERROR,
+                    now,
+                    "health: stuck in retry",
+                )
+                self.plane.events.emit(
+                    now, "health_corrected", managed.name, rec_id=record.rec_id
+                )
+            elif record.state is RecommendationState.ACTIVE:
+                self.plane.store.transition(
+                    record,
+                    RecommendationState.EXPIRED,
+                    now,
+                    "health: stale active recommendation",
+                )
+                self.plane.events.emit(
+                    now, "health_corrected", managed.name, rec_id=record.rec_id
+                )
+            else:
+                incident = Incident(
+                    at=now,
+                    database=managed.name,
+                    rec_id=record.rec_id,
+                    description=(
+                        f"recommendation stuck in {record.state.value} "
+                        f"for {age / 60:.1f} h"
+                    ),
+                )
+                self.plane.incidents.append(incident)
+                self.plane.events.emit(
+                    now,
+                    "incident",
+                    managed.name,
+                    rec_id=record.rec_id,
+                    state=record.state.value,
+                )

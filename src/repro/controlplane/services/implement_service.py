@@ -1,0 +1,228 @@
+"""Micro-service (b): implement recommendations (and perform reverts).
+
+Creates run as online, resumable index builds advanced at a configured
+rate of virtual time (Section 6's "schedule during low activity" and
+Section 8.3's resumable-create lessons); drops use the low-priority Sch-M
+protocol with back-off/retry so they never convoy user transactions.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.controlplane.states import RecommendationState
+from repro.controlplane.store import RecommendationRecord
+from repro.engine.ddl import (
+    BuildState,
+    LowPriorityDropProtocol,
+    OnlineIndexBuildJob,
+)
+from repro.errors import PermanentError, TransientError
+from repro.recommender.recommendation import Action
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.controlplane.control_plane import ControlPlane, ManagedDatabase
+
+
+class ImplementationService:
+    """Starts and advances implementations; executes reverts."""
+
+    def __init__(self, plane: "ControlPlane") -> None:
+        self.plane = plane
+
+    # ------------------------------------------------------------------
+    # Starting
+
+    def begin(
+        self,
+        record: RecommendationRecord,
+        managed: "ManagedDatabase",
+        now: float,
+    ) -> None:
+        self.plane.faults.check("implement")
+        recommendation = record.recommendation
+        engine = managed.engine
+        if recommendation.action is Action.CREATE:
+            if recommendation.table not in engine.database.tables:
+                raise PermanentError(
+                    f"table {recommendation.table!r} was dropped"
+                )
+            definition = recommendation.to_definition()
+            if engine.index_exists(recommendation.table, definition.name):
+                raise PermanentError(
+                    f"an index named {definition.name!r} already exists"
+                )
+            table = engine.database.table(recommendation.table)
+            job = OnlineIndexBuildJob(table, definition, resumable=True)
+            managed.build_jobs[record.rec_id] = (job, now)
+            self.plane.store.update(record, now, index_name=definition.name)
+        else:
+            index_name = recommendation.existing_index_name
+            if not engine.index_exists(recommendation.table, index_name):
+                raise PermanentError(
+                    f"index {index_name!r} was dropped external to the system"
+                )
+            protocol = LowPriorityDropProtocol(
+                engine.locks,
+                engine.database.table(recommendation.table),
+                index_name,
+            )
+            managed.drop_protocols[record.rec_id] = protocol
+            self.plane.store.update(record, now, index_name=index_name)
+        self.plane.store.transition(
+            record, RecommendationState.IMPLEMENTING, now, "implementation started"
+        )
+        self.plane.events.emit(
+            now,
+            "implement_started",
+            managed.name,
+            rec_id=record.rec_id,
+            action=recommendation.action.value,
+        )
+
+    # ------------------------------------------------------------------
+    # Advancing
+
+    def drive(
+        self,
+        record: RecommendationRecord,
+        managed: "ManagedDatabase",
+        now: float,
+    ) -> None:
+        if record.recommendation.action is Action.CREATE:
+            self._advance_build(record, managed, now)
+        else:
+            self._advance_drop(record, managed, now)
+
+    def _advance_build(
+        self,
+        record: RecommendationRecord,
+        managed: "ManagedDatabase",
+        now: float,
+    ) -> None:
+        entry = managed.build_jobs.get(record.rec_id)
+        if entry is None:
+            # Control plane restarted mid-build: restart the build.
+            self.begin_rebuild(record, managed, now)
+            return
+        job, last_advance = entry
+        elapsed = max(0.0, now - last_advance)
+        rows = int(elapsed * self.plane.settings.build_rows_per_minute) + 1
+        progress = job.advance(rows, now=now)
+        managed.build_jobs[record.rec_id] = (job, now)
+        managed.engine.governor.index_build.charge_cpu(
+            rows * OnlineIndexBuildJob.CPU_MS_PER_ROW, now
+        )
+        if progress.state is BuildState.COMPLETED:
+            del managed.build_jobs[record.rec_id]
+            managed.engine.missing_indexes.reset()  # schema change
+            self._implemented(record, managed, now)
+
+    def begin_rebuild(
+        self,
+        record: RecommendationRecord,
+        managed: "ManagedDatabase",
+        now: float,
+    ) -> None:
+        """Re-create the build job after a control-plane crash."""
+        definition = record.recommendation.to_definition(record.index_name)
+        if managed.engine.index_exists(record.recommendation.table, definition.name):
+            self._implemented(record, managed, now)
+            return
+        table = managed.engine.database.table(record.recommendation.table)
+        job = OnlineIndexBuildJob(table, definition, resumable=True)
+        managed.build_jobs[record.rec_id] = (job, now)
+
+    def _advance_drop(
+        self,
+        record: RecommendationRecord,
+        managed: "ManagedDatabase",
+        now: float,
+    ) -> None:
+        protocol = managed.drop_protocols.get(record.rec_id)
+        if protocol is None:
+            raise TransientError("drop protocol lost; retrying")
+        if protocol.attempt(now):
+            del managed.drop_protocols[record.rec_id]
+            managed.engine.usage_stats.drop_index(record.index_name)
+            managed.engine.missing_indexes.reset()
+            self._implemented(record, managed, now)
+            return
+        if protocol.exhausted():
+            raise TransientError(
+                f"low-priority drop of {record.index_name!r} kept timing out"
+            )
+
+    def _implemented(
+        self,
+        record: RecommendationRecord,
+        managed: "ManagedDatabase",
+        now: float,
+    ) -> None:
+        settings = self.plane.settings
+        self.plane.store.update(
+            record,
+            now,
+            implemented_at=now,
+            validate_after=now + settings.validation_settle,
+        )
+        self.plane.store.transition(
+            record, RecommendationState.VALIDATING, now, "implemented"
+        )
+        self.plane.events.emit(
+            now,
+            "implement_completed",
+            managed.name,
+            rec_id=record.rec_id,
+            action=record.recommendation.action.value,
+            index_name=record.index_name,
+        )
+
+    # ------------------------------------------------------------------
+    # Reverting (Section 6)
+
+    def drive_revert(
+        self,
+        record: RecommendationRecord,
+        managed: "ManagedDatabase",
+        now: float,
+    ) -> None:
+        self.plane.faults.check("revert")
+        engine = managed.engine
+        recommendation = record.recommendation
+        if recommendation.action is Action.CREATE:
+            # Revert a create: drop the index (low priority, Section 8.3).
+            if engine.index_exists(recommendation.table, record.index_name):
+                protocol = managed.drop_protocols.get(record.rec_id)
+                if protocol is None:
+                    protocol = LowPriorityDropProtocol(
+                        engine.locks,
+                        engine.database.table(recommendation.table),
+                        record.index_name,
+                    )
+                    managed.drop_protocols[record.rec_id] = protocol
+                if not protocol.attempt(now):
+                    if protocol.exhausted():
+                        raise TransientError("revert drop kept timing out")
+                    return
+                del managed.drop_protocols[record.rec_id]
+                engine.usage_stats.drop_index(record.index_name)
+                engine.missing_indexes.reset()
+        else:
+            # Revert a drop: recreate the index.
+            definition = record.recommendation.to_definition(record.index_name)
+            if not engine.index_exists(recommendation.table, definition.name):
+                table = engine.database.table(recommendation.table)
+                job = OnlineIndexBuildJob(table, definition, resumable=True)
+                job.advance(table.row_count + 1, now=now)
+                engine.missing_indexes.reset()
+        self.plane.store.transition(
+            record, RecommendationState.REVERTED, now, "reverted"
+        )
+        self.plane.events.emit(
+            now,
+            "reverted",
+            managed.name,
+            rec_id=record.rec_id,
+            action=recommendation.action.value,
+        )

@@ -1,0 +1,68 @@
+"""Micro-service (a): invoke database analysis and generate recommendations."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ReproError, TransientError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.controlplane.control_plane import ControlPlane, ManagedDatabase
+
+
+class RecommendationService:
+    """Drives MI snapshots and analysis sessions per database."""
+
+    def __init__(self, plane: "ControlPlane") -> None:
+        self.plane = plane
+
+    def snapshot(self, managed: "ManagedDatabase", now: float) -> None:
+        """Periodic MI DMV snapshot (reset tolerance, Section 5.2)."""
+        groups = managed.mi.take_snapshot()
+        self.plane.events.emit(
+            now, "mi_snapshot", managed.name, groups=groups
+        )
+
+    def analyze(self, managed: "ManagedDatabase", now: float) -> None:
+        """One analysis pass: pick the source by policy and run it."""
+        self.plane.faults.check("analyze")
+        managed.analysis_runs += 1
+        source = self.plane.policy.choose(managed.engine, managed.tier)
+        try:
+            if source == "DTA":
+                recommendations = self.plane.dta_service.run(managed, now)
+            else:
+                recommendations = managed.mi.recommend()
+        except TransientError:
+            # Budget exhaustion and friends: the scheduler will try again
+            # on the next analysis period; DTA's own cache keeps progress.
+            self.plane.events.emit(
+                now, "analysis_deferred", managed.name, source=source
+            )
+            return
+        except ReproError as exc:
+            self.plane.events.emit(
+                now, "analysis_failed", managed.name, source=source,
+                reason=type(exc).__name__,
+            )
+            return
+        self.plane.events.emit(
+            now,
+            "analysis_completed",
+            managed.name,
+            source=source,
+            recommendations=len(recommendations),
+        )
+        if recommendations:
+            self.plane.register_recommendations(managed, recommendations, now)
+
+    def analyze_drops(self, managed: "ManagedDatabase", now: float) -> None:
+        """Long-horizon drop analysis (Section 5.4)."""
+        self.plane.faults.check("analyze_drops")
+        recommendations = managed.drops.recommend()
+        self.plane.events.emit(
+            now, "drop_analysis_completed", managed.name,
+            recommendations=len(recommendations),
+        )
+        if recommendations:
+            self.plane.register_recommendations(managed, recommendations, now)

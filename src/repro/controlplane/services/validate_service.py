@@ -1,0 +1,112 @@
+"""Micro-service (c): validate implemented recommendations (Section 6)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.controlplane.states import RecommendationState
+from repro.controlplane.store import RecommendationRecord
+from repro.recommender.recommendation import Action
+from repro.validation.validator import Verdict
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.controlplane.control_plane import ControlPlane, ManagedDatabase
+
+
+class ValidationService:
+    """Waits out the observation window, judges, and triggers reverts."""
+
+    def __init__(self, plane: "ControlPlane") -> None:
+        self.plane = plane
+
+    def drive(
+        self,
+        record: RecommendationRecord,
+        managed: "ManagedDatabase",
+        now: float,
+    ) -> None:
+        settings = self.plane.settings
+        window_end = record.validate_after + settings.validation_window
+        if now < window_end:
+            return  # still observing
+        self.plane.faults.check("validate")
+        before = (
+            max(0.0, record.implemented_at - settings.validation_window),
+            record.implemented_at,
+        )
+        after = (record.validate_after, window_end)
+        action = (
+            "create" if record.recommendation.action is Action.CREATE else "drop"
+        )
+        outcome = managed.validator.validate(
+            record.index_name, action, before, after
+        )
+        self.plane.store.update(
+            record,
+            now,
+            validation_summary=(
+                f"{outcome.verdict.value}: {outcome.improved_count} improved, "
+                f"{outcome.regressed_count} regressed "
+                f"({outcome.aggregate_change:+.1%} aggregate)"
+            ),
+            aggregate_change=outcome.aggregate_change,
+        )
+        self._record_history(record, managed, outcome)
+        if outcome.should_revert:
+            self.plane.store.transition(
+                record,
+                RecommendationState.REVERTING,
+                now,
+                outcome.details or "regression detected",
+            )
+            self.plane.events.emit(
+                now,
+                "validation_regression",
+                managed.name,
+                rec_id=record.rec_id,
+                regressed=outcome.regressed_count,
+                aggregate_change=outcome.aggregate_change,
+            )
+            # Revert promptly rather than waiting a full process pass.
+            self.plane.implement_service.drive_revert(record, managed, now)
+            return
+        self.plane.store.transition(
+            record, RecommendationState.SUCCESS, now, "validated"
+        )
+        self.plane.events.emit(
+            now,
+            "validation_success",
+            managed.name,
+            rec_id=record.rec_id,
+            improved=outcome.improved_count,
+            aggregate_change=outcome.aggregate_change,
+        )
+
+    def _record_history(
+        self, record: RecommendationRecord, managed: "ManagedDatabase", outcome
+    ) -> None:
+        """Store a labeled example for the low-impact classifier."""
+        recommendation = record.recommendation
+        table = managed.engine.database.tables.get(recommendation.table)
+        usage = managed.engine.usage_stats.get(record.index_name or "")
+        regressed_kinds = []
+        for statement in outcome.statements:
+            if statement.verdict is Verdict.REGRESSED:
+                info = managed.engine.query_store.query_info(statement.query_id)
+                regressed_kinds.append(info.kind if info else "?")
+        self.plane.validation_history.append(
+            {
+                "database": managed.name,
+                "action": recommendation.action.value,
+                "source": recommendation.source,
+                "estimated_impact_pct": recommendation.estimated_improvement_pct,
+                "table_rows": table.row_count if table else 0,
+                "index_size_bytes": recommendation.estimated_size_bytes,
+                "observed_seeks": usage.user_seeks if usage else 0,
+                "beneficial": outcome.verdict is Verdict.IMPROVED
+                and not outcome.should_revert,
+                "reverted": outcome.should_revert,
+                "aggregate_change": outcome.aggregate_change,
+                "regressed_kinds": regressed_kinds,
+            }
+        )

@@ -1,0 +1,186 @@
+"""Persistent, journaled recommendation state store (Section 4).
+
+The paper stores the control plane's state in a highly available database
+in the same region.  Here a :class:`StateStore` keeps an in-memory table
+of :class:`RecommendationRecord` rows plus an append-only journal of every
+mutation; :meth:`StateStore.recover` rebuilds the table purely from the
+journal, which is how the tests exercise crash recovery.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from repro.controlplane.states import RecommendationState, check_transition
+from repro.recommender.recommendation import IndexRecommendation
+
+
+@dataclasses.dataclass
+class RecommendationRecord:
+    """One row of the recommendation table."""
+
+    rec_id: int
+    database: str
+    recommendation: IndexRecommendation
+    state: RecommendationState = RecommendationState.ACTIVE
+    state_history: List[Tuple[float, RecommendationState, str]] = dataclasses.field(
+        default_factory=list
+    )
+    #: Index name once implemented (auto-generated for CREATE actions).
+    index_name: Optional[str] = None
+    implemented_at: Optional[float] = None
+    validate_after: Optional[float] = None
+    #: Which state RETRY should re-enter.
+    retry_target: Optional[RecommendationState] = None
+    retry_at: Optional[float] = None
+    attempts: int = 0
+    note: str = ""
+    #: Filled by validation.
+    validation_summary: str = ""
+    aggregate_change: Optional[float] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state.terminal
+
+
+@dataclasses.dataclass(frozen=True)
+class JournalEntry:
+    """One append-only journal record."""
+
+    seq: int
+    at: float
+    op: str  # "insert" | "transition" | "update"
+    rec_id: int
+    payload: dict
+
+
+class StateStore:
+    """Journaled store of recommendation records."""
+
+    def __init__(self) -> None:
+        self._records: Dict[int, RecommendationRecord] = {}
+        self._journal: List[JournalEntry] = []
+        self._id_counter = itertools.count(1)
+        self._seq_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Mutations (journaled)
+
+    def _append(self, at: float, op: str, rec_id: int, payload: dict) -> None:
+        self._journal.append(
+            JournalEntry(
+                seq=next(self._seq_counter), at=at, op=op, rec_id=rec_id,
+                payload=payload,
+            )
+        )
+
+    def insert(
+        self, database: str, recommendation: IndexRecommendation, at: float
+    ) -> RecommendationRecord:
+        record = RecommendationRecord(
+            rec_id=next(self._id_counter),
+            database=database,
+            recommendation=recommendation,
+        )
+        record.state_history.append((at, record.state, "created"))
+        self._records[record.rec_id] = record
+        self._append(
+            at,
+            "insert",
+            record.rec_id,
+            {"database": database, "recommendation": recommendation},
+        )
+        return record
+
+    def transition(
+        self,
+        record: RecommendationRecord,
+        new_state: RecommendationState,
+        at: float,
+        note: str = "",
+    ) -> None:
+        check_transition(record.state, new_state)
+        record.state = new_state
+        record.note = note
+        record.state_history.append((at, new_state, note))
+        self._append(at, "transition", record.rec_id, {"state": new_state, "note": note})
+
+    def update(self, record: RecommendationRecord, at: float, **fields) -> None:
+        """Journaled update of auxiliary fields."""
+        for key, value in fields.items():
+            if not hasattr(record, key):
+                raise AttributeError(f"RecommendationRecord has no field {key!r}")
+            setattr(record, key, value)
+        self._append(at, "update", record.rec_id, dict(fields))
+
+    # ------------------------------------------------------------------
+    # Queries
+
+    def get(self, rec_id: int) -> Optional[RecommendationRecord]:
+        return self._records.get(rec_id)
+
+    def all_records(self) -> List[RecommendationRecord]:
+        return list(self._records.values())
+
+    def records_for(
+        self,
+        database: Optional[str] = None,
+        state: Optional[RecommendationState] = None,
+    ) -> List[RecommendationRecord]:
+        out = []
+        for record in self._records.values():
+            if database is not None and record.database != database:
+                continue
+            if state is not None and record.state is not state:
+                continue
+            out.append(record)
+        return out
+
+    def count_by_state(self) -> Dict[RecommendationState, int]:
+        counts: Dict[RecommendationState, int] = {}
+        for record in self._records.values():
+            counts[record.state] = counts.get(record.state, 0) + 1
+        return counts
+
+    def journal_length(self) -> int:
+        return len(self._journal)
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+
+    def recover(self) -> "StateStore":
+        """Rebuild a fresh store purely from this store's journal."""
+        rebuilt = StateStore()
+        max_id = 0
+        for entry in self._journal:
+            if entry.op == "insert":
+                record = RecommendationRecord(
+                    rec_id=entry.rec_id,
+                    database=entry.payload["database"],
+                    recommendation=entry.payload["recommendation"],
+                )
+                record.state_history.append(
+                    (entry.at, record.state, "created (recovered)")
+                )
+                rebuilt._records[entry.rec_id] = record
+                max_id = max(max_id, entry.rec_id)
+            elif entry.op == "transition":
+                record = rebuilt._records[entry.rec_id]
+                record.state = entry.payload["state"]
+                record.note = entry.payload.get("note", "")
+                record.state_history.append(
+                    (entry.at, record.state, record.note)
+                )
+            elif entry.op == "update":
+                record = rebuilt._records[entry.rec_id]
+                for key, value in entry.payload.items():
+                    setattr(record, key, value)
+            rebuilt._journal.append(entry)
+        rebuilt._id_counter = itertools.count(max_id + 1)
+        rebuilt._seq_counter = itertools.count(
+            self._journal[-1].seq + 1 if self._journal else 1
+        )
+        return rebuilt

@@ -1,0 +1,234 @@
+"""Optimizer cost model and the estimation-error mechanism.
+
+Two cost systems coexist, deliberately:
+
+- **Estimated cost** (abstract optimizer units) is what the optimizer and
+  the what-if API compute from histograms.  A deterministic per
+  (database, table, column, operator-kind) multiplicative error — modeling
+  the optimizer's blindness to correlation, skew, and stale statistics —
+  perturbs the histogram selectivities.  This is the paper's challenge #3:
+  indexes estimated to help can actually hurt.
+- **Actual cost** (milliseconds of CPU, logical page reads) is metered by
+  the executor from the pages and rows it really touches.
+
+Because the error is keyed deterministically, the same query template is
+mis-estimated the same way every time, so the mistake is stable enough for
+Query Store statistics and the validator to catch — exactly the
+production situation the paper's validation component addresses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional, Sequence, Tuple
+
+from repro.engine.query import Predicate
+from repro.engine.table import Table
+from repro.rng import stable_hash
+
+
+@dataclasses.dataclass
+class CostModelSettings:
+    """Tunable constants of the estimated-cost formulas."""
+
+    #: Cost of one sequentially read page.  The constants are calibrated to
+    #: the executor's actual-cost scale (ms-equivalents) so that the
+    #: optimizer's *systematic* model matches execution and mis-estimation
+    #: comes from cardinality errors, as in a real optimizer.
+    seq_page: float = 0.045
+    #: Cost of one randomly read page (seek traversals, key lookups).
+    rand_page: float = 0.11
+    #: CPU cost per processed row.
+    row_cpu: float = 0.002
+    #: Extra per-row CPU for sorting (times log2 of the row count).
+    sort_row_cpu: float = 0.0016
+    #: Extra per-row CPU for hashing (build + probe).
+    hash_row_cpu: float = 0.003
+    #: Std-dev of the log-normal estimation error (0 = perfect estimates).
+    error_sigma: float = 0.85
+    #: Probability that a (table, column) pair is severely mis-estimated,
+    #: modeling correlated predicates / out-of-model skew.  Calibrated so
+    #: the closed-loop service reverts ~10% of automated actions
+    #: (Section 8.1 reports ~11%).
+    severe_error_rate: float = 0.10
+    #: Multiplier applied to severe under-estimates (estimates too low by
+    #: roughly this factor; the optimizer then picks seek plans that touch
+    #: far more rows than predicted).
+    severe_error_factor: float = 14.0
+
+
+class CostModel:
+    """Selectivity and cost estimation with injected estimation error."""
+
+    def __init__(
+        self, db_seed: int, settings: Optional[CostModelSettings] = None
+    ) -> None:
+        self.db_seed = db_seed
+        self.settings = settings or CostModelSettings()
+
+    # ------------------------------------------------------------------
+    # Estimation error
+
+    def error_multiplier(self, table: str, column: str, op_kind: str) -> float:
+        """Deterministic multiplicative error on a predicate's selectivity.
+
+        Values < 1 under-estimate (dangerous: over-eager seek plans);
+        values > 1 over-estimate (indexes look less useful than they are).
+        """
+        sigma = self.settings.error_sigma
+        multiplier = 1.0
+        if sigma > 0:
+            h = stable_hash(self.db_seed, "esterr", table, column, op_kind)
+            unit = (h % (1 << 30)) / float(1 << 30)
+            # Box-Muller-free approximation of a standard normal via the
+            # inverse-CDF of a logistic, adequate for an error model.
+            unit = min(max(unit, 1e-9), 1 - 1e-9)
+            z = math.log(unit / (1.0 - unit)) / 1.702
+            multiplier = math.exp(sigma * z)
+        if self.settings.severe_error_rate > 0:
+            severe = stable_hash(self.db_seed, "severe", table, column)
+            draw = (severe % (1 << 20)) / float(1 << 20)
+            if draw < self.settings.severe_error_rate:
+                multiplier /= self.settings.severe_error_factor
+        if multiplier == 1.0:
+            return 1.0
+        return min(50.0, max(0.02, multiplier))
+
+    # ------------------------------------------------------------------
+    # Selectivity
+
+    def predicate_selectivity(self, table: Table, predicate: Predicate) -> float:
+        """Estimated selectivity of one predicate, error included."""
+        from repro.engine.plans import PARAM
+
+        stats = table.statistics.get(predicate.column)
+        if predicate.value is PARAM:
+            # Join-parameterized equality: estimated at the column density.
+            if stats is not None and stats.density:
+                return _clamp_selectivity(stats.density, table.row_count)
+            return _clamp_selectivity(
+                _DEFAULT_SELECTIVITY["eq"], table.row_count
+            )
+        if stats is None:
+            base = _DEFAULT_SELECTIVITY[_op_kind(predicate)]
+        elif predicate.is_equality:
+            base = stats.selectivity_eq(predicate.value)
+        elif predicate.is_range:
+            low, high, low_inc, high_inc = predicate.range_bounds()
+            base = stats.selectivity_range(low, high, low_inc, high_inc)
+        else:  # NEQ
+            base = max(0.0, 1.0 - stats.selectivity_eq(predicate.value))
+        error = self.error_multiplier(
+            table.name, predicate.column, _op_kind(predicate)
+        )
+        return _clamp_selectivity(base * error, table.row_count)
+
+    def combined_selectivity(
+        self, table: Table, predicates: Sequence[Predicate]
+    ) -> float:
+        """Independence-assumption product of predicate selectivities."""
+        selectivity = 1.0
+        for predicate in predicates:
+            selectivity *= self.predicate_selectivity(table, predicate)
+        return _clamp_selectivity(selectivity, table.row_count)
+
+    def true_selectivity(
+        self, table: Table, predicates: Sequence[Predicate]
+    ) -> float:
+        """Error-free histogram selectivity (used by tests and oracles)."""
+        selectivity = 1.0
+        for predicate in predicates:
+            stats = table.statistics.get(predicate.column)
+            if stats is None:
+                selectivity *= _DEFAULT_SELECTIVITY[_op_kind(predicate)]
+            elif predicate.is_equality:
+                selectivity *= stats.selectivity_eq(predicate.value)
+            elif predicate.is_range:
+                low, high, low_inc, high_inc = predicate.range_bounds()
+                selectivity *= stats.selectivity_range(low, high, low_inc, high_inc)
+            else:
+                selectivity *= max(0.0, 1.0 - stats.selectivity_eq(predicate.value))
+        return _clamp_selectivity(selectivity, table.row_count)
+
+    # ------------------------------------------------------------------
+    # Cost formulas (all return abstract optimizer units)
+
+    def scan_cost(self, pages: int, rows: int) -> float:
+        return pages * self.settings.seq_page + rows * self.settings.row_cpu
+
+    def seek_cost(
+        self, height: int, leaf_pages_touched: float, rows_out: float
+    ) -> float:
+        io = height * self.settings.rand_page
+        io += max(0.0, leaf_pages_touched - 1) * self.settings.seq_page
+        return io + rows_out * self.settings.row_cpu
+
+    def lookup_cost(self, rows: float, clustered_height: int) -> float:
+        return rows * clustered_height * self.settings.rand_page * 0.5 + (
+            rows * self.settings.row_cpu
+        )
+
+    def sort_cost(self, rows: float) -> float:
+        if rows <= 1:
+            return 0.0
+        return rows * math.log2(rows + 1) * self.settings.sort_row_cpu
+
+    def hash_cost(self, build_rows: float, probe_rows: float) -> float:
+        return (build_rows + probe_rows) * self.settings.hash_row_cpu
+
+    def aggregate_cost(self, rows: float, hashed: bool) -> float:
+        per_row = self.settings.hash_row_cpu if hashed else self.settings.row_cpu
+        return rows * per_row
+
+    def maintenance_cost(self, index_height: int, rows: float) -> float:
+        """Estimated cost of maintaining one index for ``rows`` modifications.
+
+        Mirrors the executor's actual charge: roughly one leaf write per
+        modified index entry (upper tree levels are cached).
+        """
+        return rows * (self.settings.rand_page + self.settings.row_cpu)
+
+
+@dataclasses.dataclass
+class ExecutionCostSettings:
+    """Constants converting metered work into *actual* execution metrics."""
+
+    cpu_ms_per_row: float = 0.0020
+    cpu_ms_per_page: float = 0.045
+    cpu_ms_per_sort_row: float = 0.0016
+    cpu_ms_per_hash_row: float = 0.0030
+    cpu_ms_per_maintained_entry: float = 0.0080
+    #: Mean IO wait per logical read converted into duration (ms).
+    io_wait_ms_per_page: float = 0.010
+    #: Log-normal sigma of run-to-run measurement noise (concurrency).
+    noise_sigma: float = 0.10
+
+
+def _op_kind(predicate: Predicate) -> str:
+    if predicate.is_equality:
+        return "eq"
+    if predicate.is_range:
+        return "range"
+    return "neq"
+
+
+_DEFAULT_SELECTIVITY = {"eq": 0.01, "range": 0.25, "neq": 0.9}
+
+
+def _clamp_selectivity(selectivity: float, row_count: int) -> float:
+    floor = 1.0 / row_count if row_count else 0.0
+    return min(1.0, max(floor, selectivity)) if row_count else 0.0
+
+
+def estimate_rows(selectivity: float, row_count: int) -> float:
+    """Estimated row count for a selectivity over a table."""
+    return selectivity * row_count
+
+
+__all__: Tuple[str, ...] = (
+    "CostModel",
+    "CostModelSettings",
+    "ExecutionCostSettings",
+    "estimate_rows",
+)

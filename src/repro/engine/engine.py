@@ -1,0 +1,379 @@
+"""The engine facade: databases and the `SqlEngine` execution surface.
+
+:class:`SqlEngine` wires together the optimizer, executor, Missing Index
+DMV, Query Store, usage statistics, lock manager, and resource governor,
+exposing the surfaces the auto-indexing service consumes:
+
+- ``execute(query)`` — optimize + execute, recording Query Store runtime
+  stats, MI candidates, and index usage;
+- ``whatif_optimize(query, extra_indexes, excluded)`` — the what-if API,
+  metered against the tuning resource pool (Section 5.3.1);
+- ``create_index`` / ``drop_index`` — immediate DDL (the control plane
+  wraps these in online build jobs and the low-priority drop protocol);
+- ``restart()`` / ``failover()`` — clear the MI DMV, exercising the
+  recommender's snapshot tolerance (Section 5.2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.clock import SimClock
+from repro.engine.cost_model import (
+    CostModel,
+    CostModelSettings,
+    ExecutionCostSettings,
+)
+from repro.engine.executor import ExecutionMetrics, Executor
+from repro.engine.locks import LockManager
+from repro.engine.missing_index import MissingIndexDmv
+from repro.engine.optimizer import Optimizer
+from repro.engine.plans import (
+    IndexScanNode,
+    IndexSeekNode,
+    KeyLookupNode,
+    PlanNode,
+)
+from repro.engine.query import InsertQuery, SelectQuery
+from repro.engine.query_store import PlanInfo, QueryInfo, QueryStore
+from repro.engine.resource_governor import ResourceGovernor
+from repro.engine.schema import IndexDefinition, TableSchema
+from repro.engine.sqlgen import render, template_text
+from repro.engine.table import Table
+from repro.engine.usage_stats import IndexUsageStats
+from repro.errors import DuplicateObjectError, UnknownTableError
+from repro.rng import derive, stable_uniform
+
+
+@dataclasses.dataclass
+class EngineSettings:
+    """Behavioral knobs of one simulated database server."""
+
+    interval_minutes: float = 60.0
+    cost_model: CostModelSettings = dataclasses.field(
+        default_factory=CostModelSettings
+    )
+    execution: ExecutionCostSettings = dataclasses.field(
+        default_factory=ExecutionCostSettings
+    )
+    #: Fraction of query templates whose Query Store text is an incomplete
+    #: fragment (procedural T-SQL), exercising DTA's workload-completion
+    #: logic (Section 5.3.2).
+    incomplete_text_rate: float = 0.08
+    #: Fraction of incomplete-text templates whose full text is recoverable
+    #: from the plan cache.
+    plan_cache_hit_rate: float = 0.6
+    #: Virtual CPU ms charged to the tuning pool per what-if optimize call.
+    whatif_call_cpu_ms: float = 6.0
+
+
+class Database:
+    """A named database: schema, data, and a seed for all derived RNG."""
+
+    def __init__(self, name: str, seed: int = 0) -> None:
+        self.name = name
+        self.seed = seed
+        self.tables: Dict[str, Table] = {}
+
+    def create_table(self, schema: TableSchema) -> Table:
+        if schema.name in self.tables:
+            raise DuplicateObjectError(f"table {schema.name!r} already exists")
+        table = Table(schema)
+        self.tables[schema.name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise UnknownTableError(f"table {name!r} does not exist") from None
+
+    def all_index_definitions(self) -> List[IndexDefinition]:
+        definitions: List[IndexDefinition] = []
+        for table in self.tables.values():
+            definitions.extend(table.index_definitions())
+        return definitions
+
+    def total_data_pages(self) -> int:
+        return sum(table.data_pages for table in self.tables.values())
+
+    def snapshot(self, name: Optional[str] = None) -> "Database":
+        """Structural copy of schema + data + indexes (B-instance seeding)."""
+        clone = Database(
+            name if name is not None else f"{self.name}-snapshot", seed=self.seed
+        )
+        for table_name, table in self.tables.items():
+            clone.tables[table_name] = table.clone()
+        return clone
+
+
+@dataclasses.dataclass
+class ExecutionResult:
+    """Outcome of one statement execution."""
+
+    query_id: int
+    plan_id: int
+    plan: PlanNode
+    rows: List[dict]
+    metrics: ExecutionMetrics
+
+
+class SqlEngine:
+    """Execution surface over one :class:`Database`."""
+
+    def __init__(
+        self,
+        database: Database,
+        settings: Optional[EngineSettings] = None,
+        clock: Optional[SimClock] = None,
+        tuning_budget_cpu_ms: Optional[float] = None,
+    ) -> None:
+        self.database = database
+        self.settings = settings or EngineSettings()
+        self.clock = clock or SimClock()
+        self.cost_model = CostModel(database.seed, self.settings.cost_model)
+        self.optimizer = Optimizer(database.tables, self.cost_model)
+        self.executor = Executor(
+            database.tables,
+            self.settings.execution,
+            rng=derive(database.seed, "executor", database.name),
+        )
+        self.query_store = QueryStore(self.settings.interval_minutes)
+        self.missing_indexes = MissingIndexDmv()
+        self.usage_stats = IndexUsageStats()
+        self.locks = LockManager()
+        self.governor = ResourceGovernor(tuning_budget_cpu_ms=tuning_budget_cpu_ms)
+        #: Ground-truth ASTs for every template seen (the simulator's stand-in
+        #: for "the application's statements"); access rules below model what
+        #: Query Store / the plan cache actually captured.
+        self._query_objects: Dict[int, object] = {}
+        self._plan_cache: Dict[int, object] = {}
+        self.restarts = 0
+
+    # ------------------------------------------------------------------
+    # Execution
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def execute(self, query, at_time: Optional[float] = None) -> ExecutionResult:
+        """Optimize and execute a statement, recording all telemetry."""
+        now = self.now if at_time is None else at_time
+        # Forcing changes the executed plan, never the query's identity.
+        query_id = query.template_key()
+        effective = self._apply_plan_forcing(query, query_id)
+        plan = self.optimizer.optimize(effective, mi_sink=self._mi_sink(now))
+        rows, metrics = self.executor.execute(plan, effective)
+        self._register(query, plan, query_id)
+        # Schema lock integration: statements hold Sch-S for their duration;
+        # a queued normal-priority Sch-M delays them (convoy, Section 8.3).
+        duration_min = metrics.duration_ms / 60000.0
+        delayed_start = self.locks.register_shared(query.table, now, duration_min)
+        if delayed_start > now:
+            metrics.duration_ms += (delayed_start - now) * 60000.0
+        self.query_store.record(
+            query_id,
+            plan.plan_id(),
+            metrics.cpu_time_ms,
+            metrics.logical_reads,
+            metrics.duration_ms,
+            now,
+        )
+        self._record_usage(plan, query, now)
+        self.governor.user.charge_cpu(metrics.cpu_time_ms, now)
+        return ExecutionResult(
+            query_id=query_id,
+            plan_id=plan.plan_id(),
+            plan=plan,
+            rows=rows,
+            metrics=metrics,
+        )
+
+    def _apply_plan_forcing(self, query, query_id: int):
+        """Honor Query Store plan forcing (§5.4's forced-plan case).
+
+        A forced plan that referenced a secondary index is realized as an
+        index hint: if the index was dropped, the statement fails — which
+        is exactly why the drop recommender must never drop such indexes.
+        """
+        if not isinstance(query, SelectQuery) or query.index_hint:
+            return query
+        forced = self.query_store.forced_plan(query_id)
+        if forced is None or not forced.referenced_indexes:
+            return query
+        return dataclasses.replace(query, index_hint=forced.referenced_indexes[0])
+
+    def _mi_sink(self, now: float):
+        dmv = self.missing_indexes
+
+        def sink(table, eq, ineq, incl, cost, impact):
+            dmv.record(table, eq, ineq, incl, cost, impact, now)
+
+        return sink
+
+    def _register(self, query, plan: PlanNode, query_id: int) -> None:
+        if query_id not in self._query_objects:
+            self._query_objects[query_id] = query
+            text = render(query)
+            complete = self._text_is_complete(query, query_id)
+            self.query_store.register_query(
+                QueryInfo(
+                    query_id=query_id,
+                    kind=query.kind,
+                    text=text if complete else text[: max(20, len(text) // 3)],
+                    template_text=template_text(query),
+                    text_complete=complete,
+                    table=query.table,
+                )
+            )
+        self.query_store.register_plan(
+            PlanInfo(
+                plan_id=plan.plan_id(),
+                signature=plan.signature(),
+                referenced_indexes=plan.referenced_indexes(),
+            )
+        )
+        # Plan cache: bounded, holds full statement context for recent
+        # templates; DTA falls back to it for incomplete QS text.
+        if self._text_is_complete(query, query_id) or self._plan_cache_holds(query_id):
+            self._plan_cache[query_id] = query
+            if len(self._plan_cache) > 512:
+                self._plan_cache.pop(next(iter(self._plan_cache)))
+
+    def _text_is_complete(self, query, query_id: int) -> bool:
+        if isinstance(query, InsertQuery) and query.bulk:
+            return True  # text is complete; it's what-if that rejects it
+        draw = stable_uniform(self.database.seed, "qstext", query_id)
+        return draw >= self.settings.incomplete_text_rate
+
+    def _plan_cache_holds(self, query_id: int) -> bool:
+        draw = stable_uniform(self.database.seed, "plancache", query_id)
+        return draw < self.settings.plan_cache_hit_rate
+
+    def _record_usage(self, plan: PlanNode, query, now: float) -> None:
+        table = query.table
+        for node in plan.walk():
+            if isinstance(node, IndexSeekNode):
+                self.usage_stats.record_seek(node.table, node.index_name, now)
+            elif isinstance(node, IndexScanNode):
+                self.usage_stats.record_scan(node.table, node.index_name, now)
+            elif isinstance(node, KeyLookupNode):
+                child = node.child
+                if isinstance(child, (IndexSeekNode, IndexScanNode)):
+                    self.usage_stats.record_lookup(child.table, child.index_name, now)
+        maintained = getattr(plan, "maintained_indexes", ())
+        for index_name in maintained:
+            self.usage_stats.record_update(table, index_name, now)
+
+    # ------------------------------------------------------------------
+    # What-if API (Section 5.3)
+
+    def whatif_optimize(
+        self,
+        query,
+        extra_indexes: Sequence[IndexDefinition] = (),
+        excluded: Sequence[str] = (),
+    ) -> PlanNode:
+        """Optimize under a hypothetical configuration; metered."""
+        self.governor.tuning.charge_cpu(self.settings.whatif_call_cpu_ms, self.now)
+        return self.optimizer.optimize(
+            query, extra_indexes=tuple(extra_indexes), excluded=frozenset(excluded)
+        )
+
+    def whatif_cost(
+        self,
+        query,
+        extra_indexes: Sequence[IndexDefinition] = (),
+        excluded: Sequence[str] = (),
+    ) -> float:
+        return self.whatif_optimize(query, extra_indexes, excluded).est_cost
+
+    # ------------------------------------------------------------------
+    # Workload text access (DTA's acquisition rules, Section 5.3.2)
+
+    def observed_statement(self, query_id: int) -> Optional[object]:
+        """Server-side ground-truth AST for a template.
+
+        Unlike :meth:`statement_for_tuning` this is not subject to text
+        capture limits — it models what the *server itself* saw during
+        optimization (e.g. the MI feature analyzes every statement it
+        optimizes regardless of Query Store text quality).
+        """
+        return self._query_objects.get(query_id)
+
+    def statement_for_tuning(self, query_id: int) -> Optional[object]:
+        """The AST DTA can obtain for a template, or None.
+
+        Complete Query Store text parses directly; incomplete fragments are
+        recoverable only if the plan cache still holds the full batch.
+        """
+        info = self.query_store.query_info(query_id)
+        if info is None:
+            return None
+        if info.text_complete:
+            return self._query_objects.get(query_id)
+        return self._plan_cache.get(query_id)
+
+    # ------------------------------------------------------------------
+    # DDL
+
+    def create_index(self, definition: IndexDefinition) -> None:
+        table = self.database.table(definition.table)
+        table.create_index(definition, created_at=self.now)
+        # Index creation is a schema change: the MI DMV resets (Section 5.2).
+        self.missing_indexes.reset()
+
+    def drop_index(self, table_name: str, index_name: str) -> IndexDefinition:
+        table = self.database.table(table_name)
+        definition = table.drop_index(index_name)
+        self.usage_stats.drop_index(index_name)
+        self.missing_indexes.reset()
+        return definition
+
+    def index_exists(self, table_name: str, index_name: str) -> bool:
+        table = self.database.tables.get(table_name)
+        return bool(table and index_name in table.indexes)
+
+    # ------------------------------------------------------------------
+    # Failures
+
+    def restart(self) -> None:
+        """Server restart: volatile DMVs (MI, plan cache) are lost."""
+        self.missing_indexes.reset()
+        self._plan_cache.clear()
+        self.restarts += 1
+
+    def failover(self) -> None:
+        """Replica failover: same volatile-state loss as a restart."""
+        self.restart()
+
+    # ------------------------------------------------------------------
+    # Convenience
+
+    def build_all_statistics(self, sample_fraction: float = 1.0) -> None:
+        for table in self.database.tables.values():
+            table.build_statistics(
+                sample_fraction=sample_fraction,
+                rng=derive(self.database.seed, "stats", table.name),
+                at_time=self.now,
+            )
+
+    def workload_coverage(
+        self,
+        analyzed_query_ids: Sequence[int],
+        since: float,
+        until: float,
+        metric: str = "cpu_time_ms",
+    ) -> float:
+        """Fraction of total resources consumed by the analyzed statements.
+
+        This is the paper's workload-coverage measure (Section 5.1.2).
+        """
+        totals = self.query_store.per_query_totals(since, until, metric)
+        total = sum(totals.values())
+        if total <= 0:
+            return 0.0
+        covered = sum(totals.get(qid, 0.0) for qid in analyzed_query_ids)
+        return covered / total

@@ -1,0 +1,860 @@
+"""Cost-based query optimizer with a what-if API and MI emission.
+
+The optimizer enumerates access paths (clustered scan/seek, secondary index
+seek with optional key lookup, covering index scan), join strategies
+(nested-loop with parameterized inner seek, hash join), and aggregation /
+ordering operators, picking the plan with the lowest *estimated* cost under
+the :class:`repro.engine.cost_model.CostModel`.
+
+Two features mirror the SQL Server surfaces the paper's service depends on:
+
+- **What-if mode** (Section 5.3): callers pass hypothetical index
+  definitions via ``extra_indexes``; the optimizer costs them from
+  closed-form shape estimates without materializing anything.  ``excluded``
+  similarly hides existing indexes, which is how index *drops* are costed.
+- **Missing-index emission** (Section 5.2): during normal (non-what-if)
+  optimization, the optimizer compares the chosen plan against an ideal
+  single-table index built from the query's own sargable predicates and, if
+  the ideal index would beat the plan, reports a missing-index candidate to
+  the DMV sink.  Deliberately local: join, GROUP BY and ORDER BY columns
+  are *not* considered — exactly the MI limitation the paper describes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.cost_model import CostModel
+from repro.engine.plans import (
+    PARAM,
+    ClusteredScanNode,
+    ClusteredSeekNode,
+    HashAggregateNode,
+    HashJoinNode,
+    IndexScanNode,
+    IndexSeekNode,
+    InsertPlanNode,
+    KeyLookupNode,
+    DeletePlanNode,
+    NestedLoopJoinNode,
+    PlanNode,
+    SortNode,
+    StreamAggregateNode,
+    TopNode,
+    UpdatePlanNode,
+)
+from repro.engine.query import (
+    DeleteQuery,
+    InsertQuery,
+    Op,
+    Predicate,
+    SelectQuery,
+    UpdateQuery,
+)
+from repro.engine.schema import IndexDefinition
+from repro.engine.table import IndexStatsView, Table
+from repro.errors import ExecutionError, OptimizeError, UnknownTableError
+
+#: Minimum relative improvement for the optimizer to report an MI candidate.
+MI_REPORT_THRESHOLD = 0.05
+
+#: Signature for a missing-index sink callback:
+#: (table, equality_cols, inequality_cols, include_cols, best_cost, impact_pct)
+MiSink = Callable[[str, Tuple[str, ...], Tuple[str, ...], Tuple[str, ...], float, float], None]
+
+
+@dataclasses.dataclass
+class _AccessCandidate:
+    """One candidate access path with its bookkeeping."""
+
+    node: PlanNode
+    out_rows: float
+    cost: float
+    #: Columns the output is ordered by (ascending), outermost first.
+    output_order: Tuple[str, ...]
+    index_name: Optional[str] = None
+
+
+class Optimizer:
+    """Plans queries against a database's tables."""
+
+    def __init__(self, tables: Dict[str, Table], cost_model: CostModel) -> None:
+        self._tables = tables
+        self._cost_model = cost_model
+        #: Number of optimizations performed in what-if mode (metered for
+        #: DTA resource accounting).
+        self.whatif_calls = 0
+
+    # ------------------------------------------------------------------
+    # Entry point
+
+    def optimize(
+        self,
+        query,
+        extra_indexes: Sequence[IndexDefinition] = (),
+        excluded: frozenset = frozenset(),
+        mi_sink: Optional[MiSink] = None,
+    ) -> PlanNode:
+        """Produce the cheapest estimated plan for ``query``.
+
+        ``extra_indexes``/``excluded`` put the optimizer in what-if mode
+        (hypothetical configuration); MI candidates are only emitted in
+        normal mode (``mi_sink`` provided and no hypothetical config).
+        """
+        whatif = bool(extra_indexes) or bool(excluded)
+        if whatif:
+            self.whatif_calls += 1
+        if isinstance(query, SelectQuery):
+            plan = self._plan_select(query, extra_indexes, excluded)
+            if mi_sink is not None and not whatif:
+                self._emit_missing_indexes(query, plan, mi_sink)
+            return plan
+        if isinstance(query, InsertQuery):
+            if query.bulk and whatif:
+                raise OptimizeError(
+                    "BULK INSERT cannot be optimized in what-if mode"
+                )
+            return self._plan_insert(query, extra_indexes, excluded)
+        if isinstance(query, UpdateQuery):
+            plan = self._plan_update(query, extra_indexes, excluded)
+            if mi_sink is not None and not whatif and query.predicates:
+                self._emit_dml_missing_indexes(query, plan, mi_sink)
+            return plan
+        if isinstance(query, DeleteQuery):
+            plan = self._plan_delete(query, extra_indexes, excluded)
+            if mi_sink is not None and not whatif and query.predicates:
+                self._emit_dml_missing_indexes(query, plan, mi_sink)
+            return plan
+        raise OptimizeError(f"cannot optimize {type(query).__name__}")
+
+    # ------------------------------------------------------------------
+    # Helpers
+
+    def _table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(f"table {name!r} does not exist") from None
+
+    def _visible_indexes(
+        self,
+        table: Table,
+        extra_indexes: Sequence[IndexDefinition],
+        excluded: frozenset,
+    ) -> List[Tuple[IndexDefinition, IndexStatsView]]:
+        visible: List[Tuple[IndexDefinition, IndexStatsView]] = []
+        for index in table.indexes.values():
+            if index.name in excluded:
+                continue
+            visible.append((index.definition, index.stats_view()))
+        for definition in extra_indexes:
+            if definition.table != table.name or definition.name in excluded:
+                continue
+            visible.append((definition, table.hypothetical_stats_view(definition)))
+        return visible
+
+    # ------------------------------------------------------------------
+    # Access-path enumeration
+
+    def _access_candidates(
+        self,
+        table: Table,
+        predicates: Tuple[Predicate, ...],
+        needed_columns: Tuple[str, ...],
+        extra_indexes: Sequence[IndexDefinition],
+        excluded: frozenset,
+    ) -> List[_AccessCandidate]:
+        model = self._cost_model
+        rows = table.row_count
+        all_sel = model.combined_selectivity(table, predicates)
+        out_rows = max(0.0, all_sel * rows) if predicates else float(rows)
+        candidates: List[_AccessCandidate] = []
+
+        # 1. Clustered scan (always available).
+        cview = table.clustered_stats_view()
+        scan_cost = model.scan_cost(cview.leaf_pages, rows)
+        candidates.append(
+            _AccessCandidate(
+                node=ClusteredScanNode(
+                    est_rows=out_rows,
+                    est_cost=scan_cost,
+                    table=table.name,
+                    residual=predicates,
+                ),
+                out_rows=out_rows,
+                cost=scan_cost,
+                output_order=table.schema.primary_key,
+            )
+        )
+
+        # 2. Clustered seek on a PK prefix.
+        pk_candidate = self._clustered_seek_candidate(table, predicates, out_rows)
+        if pk_candidate is not None:
+            candidates.append(pk_candidate)
+
+        # 3. Secondary indexes: seeks (covering or + lookup) and covering scans.
+        for definition, view in self._visible_indexes(table, extra_indexes, excluded):
+            candidate = self._index_seek_candidate(
+                table, definition, view, predicates, needed_columns, out_rows
+            )
+            if candidate is not None:
+                candidates.append(candidate)
+            candidate = self._index_scan_candidate(
+                table, definition, view, predicates, needed_columns, out_rows
+            )
+            if candidate is not None:
+                candidates.append(candidate)
+        return candidates
+
+    def _clustered_seek_candidate(
+        self,
+        table: Table,
+        predicates: Tuple[Predicate, ...],
+        out_rows: float,
+    ) -> Optional[_AccessCandidate]:
+        model = self._cost_model
+        pk = table.schema.primary_key
+        by_column = _predicates_by_column(predicates)
+        eq_preds: List[Predicate] = []
+        for column in pk:
+            pred = _first_equality(by_column.get(column, ()))
+            if pred is None:
+                break
+            eq_preds.append(pred)
+        range_pred = None
+        if len(eq_preds) < len(pk):
+            next_column = pk[len(eq_preds)]
+            range_pred = _first_range(by_column.get(next_column, ()))
+        if not eq_preds and range_pred is None:
+            return None
+        seek_preds = tuple(eq_preds) + ((range_pred,) if range_pred else ())
+        seek_sel = model.combined_selectivity(table, seek_preds)
+        view = table.clustered_stats_view()
+        matched = seek_sel * table.row_count
+        pages = max(1.0, seek_sel * view.leaf_pages)
+        residual = tuple(p for p in predicates if p not in seek_preds)
+        cost = model.seek_cost(view.height, pages, matched)
+        cost += matched * model.settings.row_cpu * len(residual)
+        node = ClusteredSeekNode(
+            est_rows=out_rows,
+            est_cost=cost,
+            table=table.name,
+            eq_predicates=tuple(eq_preds),
+            range_predicate=range_pred,
+            residual=residual,
+        )
+        remaining_order = pk[len(eq_preds):]
+        return _AccessCandidate(
+            node=node, out_rows=out_rows, cost=cost, output_order=remaining_order
+        )
+
+    def _index_seek_candidate(
+        self,
+        table: Table,
+        definition: IndexDefinition,
+        view: IndexStatsView,
+        predicates: Tuple[Predicate, ...],
+        needed_columns: Tuple[str, ...],
+        out_rows: float,
+    ) -> Optional[_AccessCandidate]:
+        model = self._cost_model
+        by_column = _predicates_by_column(predicates)
+        eq_preds: List[Predicate] = []
+        for column in definition.key_columns:
+            pred = _first_equality(by_column.get(column, ()))
+            if pred is None:
+                break
+            eq_preds.append(pred)
+        range_pred = None
+        if len(eq_preds) < len(definition.key_columns):
+            next_column = definition.key_columns[len(eq_preds)]
+            range_pred = _first_range(by_column.get(next_column, ()))
+        if not eq_preds and range_pred is None:
+            return None
+        seek_preds = tuple(eq_preds) + ((range_pred,) if range_pred else ())
+        seek_sel = model.combined_selectivity(table, seek_preds)
+        matched = seek_sel * table.row_count
+        leaf_pages = max(1.0, seek_sel * view.leaf_pages)
+        index_columns = set(definition.all_columns) | set(table.schema.primary_key)
+        leftover = [p for p in predicates if p not in seek_preds]
+        index_residual = tuple(p for p in leftover if p.column in index_columns)
+        lookup_residual = tuple(p for p in leftover if p.column not in index_columns)
+        covering = all(column in index_columns for column in needed_columns)
+        rows_after_index = matched * model.combined_selectivity(
+            table, index_residual
+        ) if index_residual else matched
+        cost = model.seek_cost(view.height, leaf_pages, matched)
+        cost += matched * model.settings.row_cpu * len(index_residual)
+        remaining_order = definition.key_columns[len(eq_preds):]
+        seek_node = IndexSeekNode(
+            est_rows=rows_after_index if covering and not lookup_residual else out_rows,
+            est_cost=cost,
+            table=table.name,
+            index_name=definition.name,
+            eq_predicates=tuple(eq_preds),
+            range_predicate=range_pred,
+            residual=index_residual,
+            covering=covering and not lookup_residual,
+            hypothetical=definition.hypothetical,
+        )
+        if covering and not lookup_residual:
+            return _AccessCandidate(
+                node=seek_node,
+                out_rows=rows_after_index,
+                cost=cost,
+                output_order=remaining_order,
+                index_name=definition.name,
+            )
+        cview = table.clustered_stats_view()
+        lookup = model.lookup_cost(rows_after_index, cview.height)
+        total = cost + lookup
+        node = KeyLookupNode(
+            est_rows=out_rows,
+            est_cost=total,
+            child=seek_node,
+            table=table.name,
+            residual=lookup_residual,
+        )
+        return _AccessCandidate(
+            node=node,
+            out_rows=out_rows,
+            cost=total,
+            output_order=remaining_order,
+            index_name=definition.name,
+        )
+
+    def _index_scan_candidate(
+        self,
+        table: Table,
+        definition: IndexDefinition,
+        view: IndexStatsView,
+        predicates: Tuple[Predicate, ...],
+        needed_columns: Tuple[str, ...],
+        out_rows: float,
+    ) -> Optional[_AccessCandidate]:
+        """Covering leaf scan of a narrower index (cheaper than table scan)."""
+        model = self._cost_model
+        index_columns = set(definition.all_columns) | set(table.schema.primary_key)
+        if not all(column in index_columns for column in needed_columns):
+            return None
+        if not all(p.column in index_columns for p in predicates):
+            return None
+        cost = model.scan_cost(view.leaf_pages, table.row_count)
+        node = IndexScanNode(
+            est_rows=out_rows,
+            est_cost=cost,
+            table=table.name,
+            index_name=definition.name,
+            residual=predicates,
+            hypothetical=definition.hypothetical,
+        )
+        return _AccessCandidate(
+            node=node,
+            out_rows=out_rows,
+            cost=cost,
+            output_order=definition.key_columns,
+            index_name=definition.name,
+        )
+
+    def _best_access(
+        self,
+        table: Table,
+        predicates: Tuple[Predicate, ...],
+        needed_columns: Tuple[str, ...],
+        extra_indexes: Sequence[IndexDefinition],
+        excluded: frozenset,
+        index_hint: Optional[str] = None,
+        preferred_order: Tuple[str, ...] = (),
+    ) -> _AccessCandidate:
+        candidates = self._access_candidates(
+            table, predicates, needed_columns, extra_indexes, excluded
+        )
+        if index_hint is not None:
+            hinted = [c for c in candidates if c.index_name == index_hint]
+            if not hinted:
+                raise ExecutionError(
+                    f"query hints index {index_hint!r} which does not exist "
+                    f"on table {table.name!r}"
+                )
+            candidates = hinted
+        if preferred_order:
+            # Credit order-providing candidates with the avoided sort cost.
+            sort_bonus = self._cost_model.sort_cost(
+                max(1.0, candidates[0].out_rows)
+            )
+
+            def effective(c: _AccessCandidate) -> float:
+                if _order_satisfied(c.output_order, preferred_order):
+                    return c.cost
+                return c.cost + sort_bonus
+
+            return min(candidates, key=effective)
+        return min(candidates, key=lambda c: c.cost)
+
+    # ------------------------------------------------------------------
+    # SELECT planning
+
+    def _plan_select(
+        self,
+        query: SelectQuery,
+        extra_indexes: Sequence[IndexDefinition],
+        excluded: frozenset,
+    ) -> PlanNode:
+        table = self._table(query.table)
+        needed = query.referenced_columns()
+        order_columns = tuple(
+            item.column for item in query.order_by if item.ascending
+        )
+        if len(order_columns) != len(query.order_by):
+            order_columns = ()  # descending sorts always need a Sort node
+        preferred = query.group_by or order_columns
+        candidate = self._best_access(
+            table,
+            query.predicates,
+            needed,
+            extra_indexes,
+            excluded,
+            index_hint=query.index_hint,
+            preferred_order=preferred,
+        )
+        plan = candidate.node
+        rows = candidate.out_rows
+        order = candidate.output_order
+        cost = candidate.cost
+
+        if query.join is not None:
+            plan, rows, order, cost = self._plan_join(
+                query, plan, rows, order, cost, extra_indexes, excluded
+            )
+
+        if query.group_by or query.aggregates:
+            plan, rows, order, cost = self._plan_aggregate(
+                query, table, plan, rows, order, cost
+            )
+
+        if query.order_by and not _order_satisfied(
+            order, tuple(i.column for i in query.order_by)
+        ):
+            cost += self._cost_model.sort_cost(rows)
+            plan = SortNode(
+                est_rows=rows, est_cost=cost, child=plan, order_by=query.order_by
+            )
+            order = tuple(i.column for i in query.order_by)
+
+        if query.limit is not None:
+            rows = min(rows, float(query.limit))
+            plan = TopNode(
+                est_rows=rows, est_cost=cost, child=plan, limit=query.limit
+            )
+        return plan
+
+    def _plan_join(
+        self,
+        query: SelectQuery,
+        outer_plan: PlanNode,
+        outer_rows: float,
+        outer_order: Tuple[str, ...],
+        outer_cost: float,
+        extra_indexes: Sequence[IndexDefinition],
+        excluded: frozenset,
+    ):
+        join = query.join
+        right = self._table(join.table)
+        model = self._cost_model
+        right_needed = tuple(
+            dict.fromkeys(
+                (join.right_column,)
+                + tuple(p.column for p in join.predicates)
+                + tuple(join.select_columns)
+            )
+        )
+        # Join output cardinality via the containment assumption.
+        right_sel = model.combined_selectivity(right, join.predicates)
+        right_rows = right_sel * right.row_count
+        distinct = _distinct_estimate(right, join.right_column)
+        join_rows = max(1.0, outer_rows * right_rows / max(1.0, distinct))
+
+        # Nested loop: parameterized seek on the inner side.
+        param_pred = Predicate(join.right_column, Op.EQ, PARAM)
+        inner_preds = (param_pred,) + tuple(join.predicates)
+        nl_inner = self._nl_inner_access(
+            right, inner_preds, right_needed, extra_indexes, excluded
+        )
+        nl_cost = None
+        if nl_inner is not None:
+            per_probe = nl_inner.cost
+            nl_cost = outer_cost + outer_rows * per_probe
+        # Hash join: scan both sides, build on inner.
+        hash_inner = self._best_access(
+            right, tuple(join.predicates), right_needed, extra_indexes, excluded
+        )
+        hash_cost = (
+            outer_cost
+            + hash_inner.cost
+            + model.hash_cost(right_rows, outer_rows)
+        )
+        if nl_cost is not None and nl_cost <= hash_cost:
+            plan = NestedLoopJoinNode(
+                est_rows=join_rows,
+                est_cost=nl_cost,
+                outer=outer_plan,
+                inner=nl_inner.node,
+                join=join,
+            )
+            return plan, join_rows, outer_order, nl_cost
+        plan = HashJoinNode(
+            est_rows=join_rows,
+            est_cost=hash_cost,
+            outer=outer_plan,
+            inner=hash_inner.node,
+            join=join,
+        )
+        return plan, join_rows, (), hash_cost
+
+    def _nl_inner_access(
+        self,
+        right: Table,
+        inner_preds: Tuple[Predicate, ...],
+        right_needed: Tuple[str, ...],
+        extra_indexes: Sequence[IndexDefinition],
+        excluded: frozenset,
+    ) -> Optional[_AccessCandidate]:
+        """Best per-probe access for the inner side, or None if only scans.
+
+        A nested loop over a full inner scan per probe is almost never
+        competitive; we only return seek-capable candidates so the planner
+        falls back to hash join otherwise.
+        """
+        candidates = self._access_candidates(
+            right, inner_preds, right_needed, extra_indexes, excluded
+        )
+        seekable = [
+            c
+            for c in candidates
+            if isinstance(c.node, (ClusteredSeekNode, IndexSeekNode))
+            or (
+                isinstance(c.node, KeyLookupNode)
+                and isinstance(c.node.child, IndexSeekNode)
+            )
+        ]
+        param_ok = []
+        for c in seekable:
+            seek_node = c.node.child if isinstance(c.node, KeyLookupNode) else c.node
+            eq_values = [p.value for p in seek_node.eq_predicates]
+            if any(value is PARAM for value in eq_values):
+                param_ok.append(c)
+        if not param_ok:
+            return None
+        return min(param_ok, key=lambda c: c.cost)
+
+    def _plan_aggregate(
+        self,
+        query: SelectQuery,
+        table: Table,
+        plan: PlanNode,
+        rows: float,
+        order: Tuple[str, ...],
+        cost: float,
+    ):
+        model = self._cost_model
+        if query.group_by:
+            groups = 1.0
+            for column in query.group_by:
+                groups *= _distinct_estimate(table, column)
+            groups = min(rows, max(1.0, groups))
+        else:
+            groups = 1.0
+        if query.group_by and _order_satisfied(order, query.group_by):
+            cost += model.aggregate_cost(rows, hashed=False)
+            plan = StreamAggregateNode(
+                est_rows=groups,
+                est_cost=cost,
+                child=plan,
+                group_by=query.group_by,
+                aggregates=query.aggregates,
+            )
+            return plan, groups, query.group_by, cost
+        cost += model.aggregate_cost(rows, hashed=True)
+        plan = HashAggregateNode(
+            est_rows=groups,
+            est_cost=cost,
+            child=plan,
+            group_by=query.group_by,
+            aggregates=query.aggregates,
+        )
+        return plan, groups, (), cost
+
+    # ------------------------------------------------------------------
+    # DML planning
+
+    def _maintained_indexes(
+        self,
+        table: Table,
+        extra_indexes: Sequence[IndexDefinition],
+        excluded: frozenset,
+        changed_columns: Optional[Sequence[str]] = None,
+    ) -> List[Tuple[IndexDefinition, IndexStatsView]]:
+        maintained = []
+        for definition, view in self._visible_indexes(table, extra_indexes, excluded):
+            if changed_columns is not None:
+                relevant = set(definition.all_columns) | set(
+                    table.schema.primary_key
+                )
+                if not any(c in relevant for c in changed_columns):
+                    continue
+            maintained.append((definition, view))
+        return maintained
+
+    def _plan_insert(
+        self,
+        query: InsertQuery,
+        extra_indexes: Sequence[IndexDefinition],
+        excluded: frozenset,
+    ) -> PlanNode:
+        table = self._table(query.table)
+        model = self._cost_model
+        maintained = self._maintained_indexes(table, extra_indexes, excluded)
+        rows = float(len(query.rows))
+        cview = table.clustered_stats_view()
+        cost = model.maintenance_cost(cview.height, rows)
+        for _definition, view in maintained:
+            cost += model.maintenance_cost(view.height, rows)
+        return InsertPlanNode(
+            est_rows=rows,
+            est_cost=cost,
+            table=table.name,
+            row_count=len(query.rows),
+            maintained_indexes=tuple(d.name for d, _v in maintained),
+        )
+
+    def _plan_update(
+        self,
+        query: UpdateQuery,
+        extra_indexes: Sequence[IndexDefinition],
+        excluded: frozenset,
+    ) -> PlanNode:
+        table = self._table(query.table)
+        model = self._cost_model
+        candidate = self._best_access(
+            table,
+            query.predicates,
+            tuple(table.schema.column_names),
+            extra_indexes,
+            excluded,
+        )
+        maintained = self._maintained_indexes(
+            table, extra_indexes, excluded, query.assigned_columns
+        )
+        rows = candidate.out_rows
+        cview = table.clustered_stats_view()
+        cost = candidate.cost + model.maintenance_cost(cview.height, rows)
+        for _definition, view in maintained:
+            cost += 2 * model.maintenance_cost(view.height, rows)
+        return UpdatePlanNode(
+            est_rows=rows,
+            est_cost=cost,
+            child=candidate.node,
+            table=table.name,
+            assignments=query.assignments,
+            maintained_indexes=tuple(d.name for d, _v in maintained),
+        )
+
+    def _plan_delete(
+        self,
+        query: DeleteQuery,
+        extra_indexes: Sequence[IndexDefinition],
+        excluded: frozenset,
+    ) -> PlanNode:
+        table = self._table(query.table)
+        model = self._cost_model
+        candidate = self._best_access(
+            table,
+            query.predicates,
+            tuple(table.schema.column_names),
+            extra_indexes,
+            excluded,
+        )
+        maintained = self._maintained_indexes(table, extra_indexes, excluded)
+        rows = candidate.out_rows
+        cview = table.clustered_stats_view()
+        cost = candidate.cost + model.maintenance_cost(cview.height, rows)
+        for _definition, view in maintained:
+            cost += model.maintenance_cost(view.height, rows)
+        return DeletePlanNode(
+            est_rows=rows,
+            est_cost=cost,
+            child=candidate.node,
+            table=table.name,
+            maintained_indexes=tuple(d.name for d, _v in maintained),
+        )
+
+    # ------------------------------------------------------------------
+    # Missing-index emission
+
+    def _emit_missing_indexes(
+        self, query: SelectQuery, plan: PlanNode, mi_sink: MiSink
+    ) -> None:
+        # MI's analysis is local, "predominantly in the leaf node of a
+        # plan" (Section 5.1.1): the include list captures the plan leaf's
+        # output — selected and filtered columns — but NOT columns needed
+        # by upstream joins, aggregations, or sorts.
+        leaf_columns = tuple(
+            dict.fromkeys(
+                tuple(query.select_columns)
+                + tuple(p.column for p in query.predicates)
+            )
+        )
+        self._emit_for_table(
+            query.table,
+            query.predicates,
+            leaf_columns,
+            plan.est_cost,
+            mi_sink,
+        )
+        if query.join is not None:
+            join_needed = tuple(
+                dict.fromkeys(
+                    (query.join.right_column,)
+                    + tuple(p.column for p in query.join.predicates)
+                    + tuple(query.join.select_columns)
+                )
+            )
+            self._emit_for_table(
+                query.join.table,
+                tuple(query.join.predicates),
+                join_needed,
+                plan.est_cost,
+                mi_sink,
+            )
+
+    def _emit_dml_missing_indexes(self, query, plan: PlanNode, mi_sink: MiSink) -> None:
+        self._emit_for_table(
+            query.table,
+            query.predicates,
+            tuple(p.column for p in query.predicates),
+            plan.est_cost,
+            mi_sink,
+        )
+
+    def _emit_for_table(
+        self,
+        table_name: str,
+        predicates: Tuple[Predicate, ...],
+        referenced: Tuple[str, ...],
+        plan_cost: float,
+        mi_sink: MiSink,
+    ) -> None:
+        """Compare the current plan to an ideal local index; report if better.
+
+        MI semantics (Section 5.2): equality predicate columns become
+        EQUALITY columns, range predicate columns become INEQUALITY columns,
+        other referenced columns become INCLUDE columns.  No join/group-by/
+        order-by awareness and no maintenance costing.
+        """
+        if not predicates:
+            return
+        table = self._table(table_name)
+        if table.row_count == 0:
+            return
+        eq_cols = tuple(
+            dict.fromkeys(p.column for p in predicates if p.is_equality)
+        )
+        ineq_cols = tuple(
+            dict.fromkeys(
+                p.column
+                for p in predicates
+                if p.is_range and p.column not in eq_cols
+            )
+        )
+        if not eq_cols and not ineq_cols:
+            return
+        key_cols = eq_cols + ineq_cols[:1]
+        include_cols = tuple(
+            c for c in referenced if c not in key_cols
+        ) + ineq_cols[1:]
+        include_cols = tuple(dict.fromkeys(include_cols))
+        ideal = IndexDefinition(
+            name="_mi_ideal",
+            table=table_name,
+            key_columns=key_cols,
+            included_columns=tuple(
+                c for c in include_cols if c not in key_cols
+            ),
+            hypothetical=True,
+        )
+        try:
+            view = table.hypothetical_stats_view(ideal)
+        except Exception:
+            return
+        candidate = self._index_seek_candidate(
+            table,
+            ideal,
+            view,
+            predicates,
+            referenced,
+            out_rows=self._cost_model.combined_selectivity(table, predicates)
+            * table.row_count,
+        )
+        if candidate is None:
+            return
+        # Compare against the best access over *existing* structures only.
+        best_existing = self._best_access(
+            table, predicates, referenced, (), frozenset()
+        )
+        if candidate.cost >= best_existing.cost * (1.0 - MI_REPORT_THRESHOLD):
+            return
+        impact = 100.0 * (1.0 - candidate.cost / best_existing.cost)
+        mi_sink(
+            table_name,
+            eq_cols,
+            ineq_cols,
+            ideal.included_columns,
+            best_existing.cost,
+            impact,
+        )
+
+
+# ----------------------------------------------------------------------
+# Small helpers
+
+
+def _predicates_by_column(
+    predicates: Sequence[Predicate],
+) -> Dict[str, List[Predicate]]:
+    by_column: Dict[str, List[Predicate]] = {}
+    for predicate in predicates:
+        by_column.setdefault(predicate.column, []).append(predicate)
+    return by_column
+
+
+def _first_equality(predicates: Sequence[Predicate]) -> Optional[Predicate]:
+    for predicate in predicates:
+        if predicate.is_equality:
+            return predicate
+    return None
+
+
+def _first_range(predicates: Sequence[Predicate]) -> Optional[Predicate]:
+    for predicate in predicates:
+        if predicate.is_range:
+            return predicate
+    return None
+
+
+def _order_satisfied(
+    available: Tuple[str, ...], wanted: Tuple[str, ...]
+) -> bool:
+    """True if ``available`` ordering covers ``wanted`` as a prefix."""
+    if not wanted:
+        return True
+    if len(wanted) > len(available):
+        return False
+    return tuple(available[: len(wanted)]) == tuple(wanted)
+
+
+def _distinct_estimate(table: Table, column: str) -> float:
+    stats = table.statistics.get(column)
+    if stats is not None and stats.distinct_count:
+        return float(stats.distinct_count)
+    return max(1.0, table.row_count / 10.0)

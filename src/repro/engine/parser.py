@@ -1,0 +1,355 @@
+"""Parser for the engine's T-SQL-ish subset.
+
+Query Store persists statement *text*; replay tooling (B-instances,
+Section 7.1) and DTA's workload acquisition conceptually work from text.
+This parser round-trips everything :mod:`repro.engine.sqlgen` renders:
+single-block SELECT (with TOP, one INNER JOIN, WHERE, GROUP BY, ORDER BY,
+an index-hint OPTION), INSERT / BULK INSERT, UPDATE, and DELETE.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.engine.query import (
+    AggFunc,
+    Aggregate,
+    DeleteQuery,
+    InsertQuery,
+    JoinSpec,
+    Op,
+    OrderItem,
+    Predicate,
+    SelectQuery,
+    UpdateQuery,
+)
+from repro.errors import ParseError
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        N'(?:[^']|'')*'          # unicode string literal
+      | '(?:[^']|'')*'           # string literal
+      | \[[^\]]+\]               # bracketed identifier
+      | -?\d+\.\d+(?:e-?\d+)?    # float literal
+      | -?\d+                    # int literal
+      | <>|<=|>=|=|<|>           # operators
+      | \(|\)|,|\.|\*           # punctuation
+      | [A-Za-z_][A-Za-z_0-9]*   # bare word / keyword
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "SELECT", "TOP", "FROM", "AS", "INNER", "JOIN", "ON", "WHERE", "AND",
+    "GROUP", "ORDER", "BY", "DESC", "BETWEEN", "INSERT", "BULK", "INTO",
+    "VALUES", "UPDATE", "SET", "DELETE", "NULL", "OPTION", "USE", "INDEX",
+    "COUNT", "SUM", "AVG", "MIN", "MAX",
+}
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    position = 0
+    # Strip comments like /* +N rows */ first.
+    text = re.sub(r"/\*.*?\*/", "", text)
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            if text[position:].strip() == "":
+                break
+            raise ParseError(f"unexpected input at {text[position:position + 20]!r}")
+        tokens.append(match.group(1))
+        position = match.end()
+    return tokens
+
+
+class _TokenStream:
+    def __init__(self, tokens: List[str]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    def peek(self, offset: int = 0) -> Optional[str]:
+        index = self._pos + offset
+        return self._tokens[index] if index < len(self._tokens) else None
+
+    def peek_upper(self, offset: int = 0) -> Optional[str]:
+        token = self.peek(offset)
+        return token.upper() if token is not None else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of statement")
+        self._pos += 1
+        return token
+
+    def expect(self, *words: str) -> None:
+        for word in words:
+            token = self.next()
+            if token.upper() != word:
+                raise ParseError(f"expected {word}, found {token!r}")
+
+    def accept(self, word: str) -> bool:
+        if self.peek_upper() == word:
+            self._pos += 1
+            return True
+        return False
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= len(self._tokens)
+
+
+def _identifier(stream: _TokenStream) -> str:
+    token = stream.next()
+    if token.startswith("[") and token.endswith("]"):
+        return token[1:-1]
+    if token.upper() in _KEYWORDS:
+        raise ParseError(f"expected identifier, found keyword {token!r}")
+    return token
+
+
+def _maybe_qualified_column(stream: _TokenStream) -> str:
+    """Parse ``[col]`` or ``alias.[col]``; the alias is discarded."""
+    token = stream.peek()
+    if token is not None and not token.startswith("[") and stream.peek(1) == ".":
+        stream.next()  # alias
+        stream.next()  # dot
+    return _identifier(stream)
+
+
+def _literal(stream: _TokenStream) -> object:
+    token = stream.next()
+    upper = token.upper()
+    if upper == "NULL":
+        return None
+    if token.startswith("N'"):
+        return token[2:-1].replace("''", "'")
+    if token.startswith("'"):
+        return token[1:-1].replace("''", "'")
+    try:
+        if re.fullmatch(r"-?\d+", token):
+            return int(token)
+        return float(token)
+    except ValueError:
+        raise ParseError(f"cannot parse literal {token!r}") from None
+
+
+_OPS = {"=": Op.EQ, "<>": Op.NEQ, "<": Op.LT, "<=": Op.LE, ">": Op.GT, ">=": Op.GE}
+
+
+def _predicate(stream: _TokenStream) -> Tuple[str, Predicate]:
+    """Parse one predicate; returns (alias, predicate).
+
+    The alias ('' when unqualified) lets the SELECT parser split WHERE
+    clauses between the outer table and the joined table.
+    """
+    alias = ""
+    token = stream.peek()
+    if token is not None and not token.startswith("[") and stream.peek(1) == ".":
+        alias = stream.next()
+        stream.next()
+    column = _identifier(stream)
+    op_token = stream.next().upper()
+    if op_token == "BETWEEN":
+        low = _literal(stream)
+        stream.expect("AND")
+        high = _literal(stream)
+        return alias, Predicate(column, Op.BETWEEN, low, high)
+    op = _OPS.get(op_token)
+    if op is None:
+        raise ParseError(f"unknown operator {op_token!r}")
+    return alias, Predicate(column, op, _literal(stream))
+
+
+def _where_clause(stream: _TokenStream) -> List[Tuple[str, Predicate]]:
+    predicates = [_predicate(stream)]
+    while stream.accept("AND"):
+        predicates.append(_predicate(stream))
+    return predicates
+
+
+def parse(text: str):
+    """Parse a statement; returns one of the query AST dataclasses."""
+    stream = _TokenStream(_tokenize(text))
+    head = stream.peek_upper()
+    if head == "SELECT":
+        return _parse_select(stream)
+    if head == "INSERT":
+        return _parse_insert(stream, bulk=False)
+    if head == "BULK":
+        return _parse_insert(stream, bulk=True)
+    if head == "UPDATE":
+        return _parse_update(stream)
+    if head == "DELETE":
+        return _parse_delete(stream)
+    raise ParseError(f"unsupported statement {text[:40]!r}")
+
+
+def _parse_select(stream: _TokenStream) -> SelectQuery:
+    stream.expect("SELECT")
+    limit: Optional[int] = None
+    if stream.accept("TOP"):
+        limit = int(stream.next())
+    select_items: List[Tuple[str, str]] = []  # (alias, column)
+    aggregates: List[Aggregate] = []
+    if stream.peek() == "*" and stream.peek_upper(1) == "FROM":
+        stream.next()
+    else:
+        while True:
+            upper = stream.peek_upper()
+            if upper in ("COUNT", "SUM", "AVG", "MIN", "MAX"):
+                func = AggFunc[stream.next().upper()]
+                stream.expect("(")
+                if stream.peek() == "*":
+                    stream.next()
+                    aggregates.append(Aggregate(func, None))
+                else:
+                    aggregates.append(Aggregate(func, _maybe_qualified_column(stream)))
+                stream.expect(")")
+            else:
+                alias = ""
+                token = stream.peek()
+                if token is not None and not token.startswith("[") and stream.peek(1) == ".":
+                    alias = stream.next()
+                    stream.next()
+                select_items.append((alias, _identifier(stream)))
+            if not stream.accept(","):
+                break
+    stream.expect("FROM")
+    table = _identifier(stream)
+    outer_alias = ""
+    if stream.accept("AS"):
+        outer_alias = stream.next()
+    join: Optional[JoinSpec] = None
+    join_alias = ""
+    if stream.accept("INNER"):
+        stream.expect("JOIN")
+        join_table = _identifier(stream)
+        stream.expect("AS")
+        join_alias = stream.next()
+        stream.expect("ON")
+        left_alias, left = _qualified(stream)
+        stream.expect("=")
+        right_alias, right = _qualified(stream)
+        if left_alias == join_alias:
+            left, right = right, left
+        join = JoinSpec(table=join_table, left_column=left, right_column=right)
+    where: List[Tuple[str, Predicate]] = []
+    if stream.accept("WHERE"):
+        where = _where_clause(stream)
+    group_by: List[str] = []
+    order_by: List[OrderItem] = []
+    if stream.accept("GROUP"):
+        stream.expect("BY")
+        group_by.append(_maybe_qualified_column(stream))
+        while stream.accept(","):
+            group_by.append(_maybe_qualified_column(stream))
+    if stream.accept("ORDER"):
+        stream.expect("BY")
+        while True:
+            column = _maybe_qualified_column(stream)
+            ascending = not stream.accept("DESC")
+            order_by.append(OrderItem(column, ascending))
+            if not stream.accept(","):
+                break
+    index_hint: Optional[str] = None
+    if stream.accept("OPTION"):
+        stream.expect("(", "USE", "INDEX", "(")
+        index_hint = _identifier(stream)
+        stream.expect(")", ")")
+    outer_preds = tuple(p for alias, p in where if alias != join_alias or not join_alias)
+    join_preds = tuple(p for alias, p in where if join_alias and alias == join_alias)
+    outer_select = tuple(
+        column
+        for alias, column in select_items
+        if alias != join_alias or not join_alias
+    )
+    join_select = tuple(
+        column for alias, column in select_items if join_alias and alias == join_alias
+    )
+    if join is not None:
+        join = JoinSpec(
+            table=join.table,
+            left_column=join.left_column,
+            right_column=join.right_column,
+            predicates=join_preds,
+            select_columns=join_select,
+        )
+    return SelectQuery(
+        table=table,
+        select_columns=outer_select,
+        predicates=outer_preds,
+        join=join,
+        group_by=tuple(group_by),
+        aggregates=tuple(aggregates),
+        order_by=tuple(order_by),
+        limit=limit,
+        index_hint=index_hint,
+    )
+
+
+def _qualified(stream: _TokenStream) -> Tuple[str, str]:
+    alias = ""
+    token = stream.peek()
+    if token is not None and not token.startswith("[") and stream.peek(1) == ".":
+        alias = stream.next()
+        stream.next()
+    return alias, _identifier(stream)
+
+
+def _parse_insert(stream: _TokenStream, bulk: bool) -> InsertQuery:
+    if bulk:
+        stream.expect("BULK", "INSERT")
+    else:
+        stream.expect("INSERT", "INTO")
+    table = _identifier(stream)
+    if stream.peek() == "(":
+        stream.next()
+        _identifier(stream)
+        while stream.accept(","):
+            _identifier(stream)
+        stream.expect(")")
+    stream.expect("VALUES")
+    rows = []
+    while True:
+        stream.expect("(")
+        row = [_literal(stream)]
+        while stream.accept(","):
+            row.append(_literal(stream))
+        stream.expect(")")
+        rows.append(tuple(row))
+        if not stream.accept(","):
+            break
+    return InsertQuery(table=table, rows=tuple(rows), bulk=bulk)
+
+
+def _parse_update(stream: _TokenStream) -> UpdateQuery:
+    stream.expect("UPDATE")
+    table = _identifier(stream)
+    stream.expect("SET")
+    assignments = []
+    while True:
+        column = _identifier(stream)
+        stream.expect("=")
+        assignments.append((column, _literal(stream)))
+        if not stream.accept(","):
+            break
+    predicates: Tuple[Predicate, ...] = ()
+    if stream.accept("WHERE"):
+        predicates = tuple(p for _alias, p in _where_clause(stream))
+    return UpdateQuery(
+        table=table, assignments=tuple(assignments), predicates=predicates
+    )
+
+
+def _parse_delete(stream: _TokenStream) -> DeleteQuery:
+    stream.expect("DELETE", "FROM")
+    table = _identifier(stream)
+    predicates: Tuple[Predicate, ...] = ()
+    if stream.accept("WHERE"):
+        predicates = tuple(p for _alias, p in _where_clause(stream))
+    return DeleteQuery(table=table, predicates=predicates)

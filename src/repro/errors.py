@@ -1,0 +1,90 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching unrelated bugs.
+The control plane additionally distinguishes *transient* errors (retried by
+the state machine) from *permanent* ones (terminal ``Error`` state), which
+mirrors the paper's Retry vs Error recommendation states (Section 4).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class TransientError(ReproError):
+    """An error that is expected to succeed if the operation is retried.
+
+    The control plane moves a recommendation into the ``RETRY`` state when
+    one of these is raised while acting on it.
+    """
+
+
+class PermanentError(ReproError):
+    """An irrecoverable error; the control plane records ``ERROR``."""
+
+
+class SchemaError(PermanentError):
+    """Schema objects are missing, duplicated, or inconsistent."""
+
+
+class UnknownTableError(SchemaError):
+    """Referenced table does not exist in the catalog."""
+
+
+class UnknownColumnError(SchemaError):
+    """Referenced column does not exist on the table."""
+
+
+class UnknownIndexError(SchemaError):
+    """Referenced index does not exist on the table."""
+
+
+class DuplicateObjectError(SchemaError):
+    """An object with the same name already exists."""
+
+
+class QueryError(ReproError):
+    """Query is malformed or references unknown objects."""
+
+
+class ParseError(QueryError):
+    """The SQL text could not be parsed by the mini T-SQL parser."""
+
+
+class OptimizeError(QueryError):
+    """The optimizer could not produce a plan for the statement.
+
+    Mirrors statements that SQL Server's what-if API cannot optimize in
+    isolation (Section 5.3.2), e.g. incomplete batch fragments.
+    """
+
+
+class ExecutionError(ReproError):
+    """A statement failed during execution."""
+
+
+class LockTimeoutError(TransientError):
+    """A lock request timed out; the caller should back off and retry."""
+
+
+class ResourceBudgetExceededError(TransientError):
+    """A resource-governed session exhausted its budget."""
+
+
+class SessionAbortedError(TransientError):
+    """A tuning session was aborted (e.g. it was slowing down user queries)."""
+
+
+class InvalidStateTransitionError(PermanentError):
+    """An illegal transition was attempted on a state machine."""
+
+
+class WorkflowError(ReproError):
+    """An experiment workflow step failed."""
+
+
+class BInstanceDivergedError(WorkflowError):
+    """The B-instance diverged from the primary beyond tolerance."""

@@ -1,0 +1,154 @@
+"""Library of common workflow steps (Section 7.2).
+
+Steps read and write well-known context keys:
+
+- ``profile`` — the :class:`repro.workload.app_profiles.ApplicationProfile`
+  of the candidate database (supplied by the caller);
+- ``binstance`` — the live :class:`BInstance`;
+- ``recording`` — the statement stream to replay;
+- ``phase_stats`` — per-phase collected statistics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.clock import HOURS
+from repro.errors import BInstanceDivergedError
+from repro.experiment.binstance import BInstance, BInstanceSettings
+from repro.experiment.workflow import WorkflowContext, WorkflowStep, require
+
+
+class CreateBInstanceStep(WorkflowStep):
+    """Snapshot the primary into a fresh B-instance."""
+
+    name = "create_b_instance"
+
+    def __init__(
+        self,
+        suffix: str = "b",
+        settings: Optional[BInstanceSettings] = None,
+        fork_seed: int = 0,
+    ) -> None:
+        self.suffix = suffix
+        self.settings = settings
+        self.fork_seed = fork_seed
+
+    def run(self, context: WorkflowContext) -> None:
+        profile = require(context, "profile")
+        context["binstance"] = BInstance(
+            profile.engine,
+            name=f"{profile.name}-{self.suffix}",
+            settings=self.settings,
+            fork_seed=self.fork_seed,
+        )
+
+    def cleanup(self, context: WorkflowContext) -> None:
+        context.values.pop("binstance", None)
+
+
+class DropIndexesStep(WorkflowStep):
+    """Drop a subset of indexes on the B-instance (custom experiment step)."""
+
+    name = "drop_indexes"
+
+    def __init__(self, context_key: str = "indexes_to_drop") -> None:
+        self.context_key = context_key
+
+    def run(self, context: WorkflowContext) -> None:
+        binstance: BInstance = require(context, "binstance")
+        to_drop = context.get(self.context_key, [])
+        context["dropped_count"] = binstance.drop_indexes(to_drop)
+
+
+class ImplementIndexesStep(WorkflowStep):
+    """Implement a list of index definitions on the B-instance."""
+
+    name = "implement_indexes"
+
+    def __init__(self, context_key: str = "indexes_to_create") -> None:
+        self.context_key = context_key
+
+    def run(self, context: WorkflowContext) -> None:
+        binstance: BInstance = require(context, "binstance")
+        definitions = context.get(self.context_key, [])
+        context["created_count"] = binstance.apply_indexes(definitions)
+
+    def cleanup(self, context: WorkflowContext) -> None:
+        binstance: Optional[BInstance] = context.get("binstance")
+        if binstance is None:
+            return
+        definitions = context.get(self.context_key, [])
+        binstance.drop_indexes([(d.table, d.name) for d in definitions])
+
+
+class ReplayStep(WorkflowStep):
+    """Replay the context's recording on the B-instance."""
+
+    name = "replay"
+
+    def __init__(self, recording_key: str = "recording") -> None:
+        self.recording_key = recording_key
+
+    def run(self, context: WorkflowContext) -> None:
+        binstance: BInstance = require(context, "binstance")
+        recording = require(context, self.recording_key)
+        context["replay_report"] = binstance.replay(recording)
+
+
+class DetectDivergenceStep(WorkflowStep):
+    """Abort the experiment when the clone has diverged too far."""
+
+    name = "detect_divergence"
+
+    def run(self, context: WorkflowContext) -> None:
+        binstance: BInstance = require(context, "binstance")
+        if binstance.diverged():
+            raise BInstanceDivergedError(
+                f"B-instance {binstance.name} diverged beyond tolerance"
+            )
+
+
+class CollectStatsStep(WorkflowStep):
+    """Summarize per-template execution statistics from the clone's QS."""
+
+    name = "collect_stats"
+
+    def __init__(self, window_hours: float, output_key: str = "phase_stats"):
+        self.window_hours = window_hours
+        self.output_key = output_key
+
+    def run(self, context: WorkflowContext) -> None:
+        binstance: BInstance = require(context, "binstance")
+        engine = binstance.engine
+        now = engine.now
+        window = engine.query_store.aggregate(
+            max(0.0, now - self.window_hours * HOURS), now
+        )
+        per_query = {}
+        for (query_id, _plan), stats in window.items():
+            cpu = stats.metrics["cpu_time_ms"]
+            entry = per_query.setdefault(
+                query_id, {"executions": 0, "total": 0.0, "m2_weighted": 0.0}
+            )
+            entry["executions"] += stats.executions
+            entry["total"] += cpu.total
+            entry["m2_weighted"] += cpu.m2
+        context[self.output_key] = per_query
+
+
+def standard_phase_steps(
+    phase_window_hours: float,
+    suffix: str,
+    drops_key: str = "indexes_to_drop",
+    creates_key: str = "indexes_to_create",
+) -> List[WorkflowStep]:
+    """The canonical phase pipeline: clone, reconfigure, replay, collect."""
+    return [
+        CreateBInstanceStep(suffix=suffix),
+        DropIndexesStep(context_key=drops_key),
+        ImplementIndexesStep(context_key=creates_key),
+        ReplayStep(),
+        DetectDivergenceStep(),
+        CollectStatsStep(window_hours=phase_window_hours),
+    ]

@@ -1,0 +1,156 @@
+"""Experiment design and control framework (Section 7.2).
+
+Experiments over hundreds of databases are expressed as workflows: named
+steps stitched into a sequence, executed per candidate database with state
+tracking, error detection, and cleanup.  The framework ships a library of
+common steps (:mod:`repro.experiment.steps`) and accepts custom ones —
+any object with ``name`` and ``run(context)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import WorkflowError
+
+
+class StepOutcome(enum.Enum):
+    """Outcome of one workflow step."""
+
+    COMPLETED = "completed"
+    FAILED = "failed"
+    SKIPPED = "skipped"
+
+
+@dataclasses.dataclass
+class WorkflowContext:
+    """Mutable state threaded through a workflow's steps."""
+
+    database: str
+    now: float
+    values: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.values[key]
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self.values[key] = value
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.values.get(key, default)
+
+
+class WorkflowStep:
+    """Base class for steps; subclasses override :meth:`run`."""
+
+    name = "step"
+
+    def run(self, context: WorkflowContext) -> None:
+        raise NotImplementedError
+
+    def cleanup(self, context: WorkflowContext) -> None:
+        """Called when a later step fails; default no-op."""
+
+
+class FunctionStep(WorkflowStep):
+    """Wrap a plain callable as a step."""
+
+    def __init__(
+        self,
+        name: str,
+        func: Callable[[WorkflowContext], None],
+        cleanup: Optional[Callable[[WorkflowContext], None]] = None,
+    ) -> None:
+        self.name = name
+        self._func = func
+        self._cleanup = cleanup
+
+    def run(self, context: WorkflowContext) -> None:
+        self._func(context)
+
+    def cleanup(self, context: WorkflowContext) -> None:
+        if self._cleanup is not None:
+            self._cleanup(context)
+
+
+@dataclasses.dataclass
+class StepRecord:
+    """Execution record of one step."""
+
+    name: str
+    outcome: StepOutcome
+    error: Optional[str] = None
+
+
+@dataclasses.dataclass
+class WorkflowRun:
+    """Outcome of a workflow on one database."""
+
+    database: str
+    records: List[StepRecord]
+    context: WorkflowContext
+    succeeded: bool
+
+    def failed_step(self) -> Optional[str]:
+        for record in self.records:
+            if record.outcome is StepOutcome.FAILED:
+                return record.name
+        return None
+
+
+class ExperimentWorkflow:
+    """A sequence of steps run per candidate database."""
+
+    def __init__(self, name: str, steps: List[WorkflowStep]) -> None:
+        self.name = name
+        self.steps = steps
+
+    def run(self, database: str, now: float = 0.0, **initial) -> WorkflowRun:
+        """Execute all steps; on failure, clean up completed steps in
+        reverse order and mark remaining steps skipped."""
+        context = WorkflowContext(database=database, now=now, values=dict(initial))
+        records: List[StepRecord] = []
+        completed: List[WorkflowStep] = []
+        failed = False
+        for step in self.steps:
+            if failed:
+                records.append(StepRecord(step.name, StepOutcome.SKIPPED))
+                continue
+            try:
+                step.run(context)
+                records.append(StepRecord(step.name, StepOutcome.COMPLETED))
+                completed.append(step)
+            except Exception as exc:
+                records.append(
+                    StepRecord(step.name, StepOutcome.FAILED, error=str(exc))
+                )
+                failed = True
+                for done in reversed(completed):
+                    try:
+                        done.cleanup(context)
+                    except Exception:  # cleanup is best-effort
+                        pass
+        return WorkflowRun(
+            database=database,
+            records=records,
+            context=context,
+            succeeded=not failed,
+        )
+
+    def run_many(
+        self, databases: List[str], now: float = 0.0, **initial
+    ) -> Dict[str, WorkflowRun]:
+        """Execute the workflow over each candidate database."""
+        return {
+            database: self.run(database, now=now, **initial)
+            for database in databases
+        }
+
+
+def require(context: WorkflowContext, key: str) -> Any:
+    """Fetch a context value a step depends on, with a clear error."""
+    if key not in context.values:
+        raise WorkflowError(f"workflow context is missing {key!r}")
+    return context.values[key]

@@ -1,0 +1,37 @@
+"""Index recommenders (Section 5 of the paper).
+
+Two recommendation sources with complementary cost/quality trade-offs:
+
+- :mod:`mi_recommender` — built on the engine's Missing Indexes DMV:
+  near-zero overhead, local (leaf-level) analysis, no maintenance costing;
+  used for low-resource databases.
+- :mod:`dta` — the Database Engine Tuning Advisor re-architected as a
+  service: acquires a workload from Query Store, runs cost-based candidate
+  selection and workload-level enumeration over the what-if API under a
+  strict resource budget; used for complex/premium databases.
+
+Plus :mod:`drop_recommender` (Section 5.4), the index-merging and impact
+statistics shared by both sources, the low-impact classifier trained on
+validation history, and the tier policy selecting a source per database.
+"""
+
+from repro.recommender.recommendation import (
+    Action,
+    IndexRecommendation,
+)
+from repro.recommender.mi_recommender import MiRecommender, MiRecommenderSettings
+from repro.recommender.drop_recommender import DropRecommender, DropRecommenderSettings
+from repro.recommender.policy import RecommenderPolicy
+from repro.recommender.dta import DtaSession, DtaSettings
+
+__all__ = [
+    "Action",
+    "DropRecommender",
+    "DropRecommenderSettings",
+    "DtaSession",
+    "DtaSettings",
+    "IndexRecommendation",
+    "MiRecommender",
+    "MiRecommenderSettings",
+    "RecommenderPolicy",
+]

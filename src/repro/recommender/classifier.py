@@ -1,0 +1,144 @@
+"""Low-impact index classifier (Section 5.2, final MI filtering step).
+
+The MI pipeline performs no extra optimizer calls, so it uses a classifier
+trained on *previous index validations* to filter out recommendations that
+look beneficial in estimates but historically had low actual impact.
+Features follow the paper: estimated impact, table size, index size, and
+observation volume.  A tiny from-scratch logistic regression keeps the
+dependency surface at numpy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclasses.dataclass
+class ValidationExample:
+    """One labeled outcome from a past validation (Section 6)."""
+
+    estimated_impact_pct: float
+    table_rows: int
+    index_size_bytes: int
+    observed_seeks: int
+    #: True if the index survived validation with improvement; False if it
+    #: was reverted or had no measurable impact.
+    beneficial: bool
+
+
+def _features(
+    estimated_impact_pct: float,
+    table_rows: int,
+    index_size_bytes: int,
+    observed_seeks: int,
+) -> np.ndarray:
+    return np.array(
+        [
+            1.0,  # bias
+            math.log1p(max(0.0, estimated_impact_pct)),
+            math.log1p(max(0, table_rows)),
+            math.log1p(max(0, index_size_bytes)) / 10.0,
+            math.log1p(max(0, observed_seeks)),
+        ]
+    )
+
+
+class LowImpactClassifier:
+    """Logistic regression over validation history.
+
+    Untrained (or trained on too few examples) it accepts everything —
+    the service must function before any validation history exists.
+    """
+
+    def __init__(self, min_training_examples: int = 30, threshold: float = 0.3):
+        self.min_training_examples = min_training_examples
+        self.threshold = threshold
+        self._weights: Optional[np.ndarray] = None
+        self.trained_on = 0
+
+    @property
+    def is_trained(self) -> bool:
+        return self._weights is not None
+
+    def fit(
+        self,
+        examples: Sequence[ValidationExample],
+        epochs: int = 300,
+        learning_rate: float = 0.1,
+        l2: float = 1e-3,
+    ) -> bool:
+        """Train; returns True if enough history existed to train."""
+        if len(examples) < self.min_training_examples:
+            return False
+        labels = np.array([1.0 if e.beneficial else 0.0 for e in examples])
+        if labels.min() == labels.max():
+            return False  # degenerate history: keep accepting everything
+        matrix = np.stack(
+            [
+                _features(
+                    e.estimated_impact_pct,
+                    e.table_rows,
+                    e.index_size_bytes,
+                    e.observed_seeks,
+                )
+                for e in examples
+            ]
+        )
+        weights = np.zeros(matrix.shape[1])
+        n = len(examples)
+        for _ in range(epochs):
+            logits = matrix @ weights
+            probs = 1.0 / (1.0 + np.exp(-np.clip(logits, -30, 30)))
+            gradient = matrix.T @ (probs - labels) / n + l2 * weights
+            weights -= learning_rate * gradient
+        self._weights = weights
+        self.trained_on = len(examples)
+        return True
+
+    def probability_beneficial(
+        self,
+        estimated_impact_pct: float,
+        table_rows: int,
+        index_size_bytes: int,
+        observed_seeks: int,
+    ) -> float:
+        if self._weights is None:
+            return 1.0
+        x = _features(
+            estimated_impact_pct, table_rows, index_size_bytes, observed_seeks
+        )
+        logit = float(x @ self._weights)
+        return 1.0 / (1.0 + math.exp(-max(-30.0, min(30.0, logit))))
+
+    def accepts(
+        self,
+        estimated_impact_pct: float,
+        table_rows: int,
+        index_size_bytes: int,
+        observed_seeks: int,
+    ) -> bool:
+        """False when the model predicts low actual impact."""
+        probability = self.probability_beneficial(
+            estimated_impact_pct, table_rows, index_size_bytes, observed_seeks
+        )
+        return probability >= self.threshold
+
+
+def examples_from_history(history: List[dict]) -> List[ValidationExample]:
+    """Adapt control-plane validation records into training examples."""
+    examples = []
+    for record in history:
+        examples.append(
+            ValidationExample(
+                estimated_impact_pct=record.get("estimated_impact_pct", 0.0),
+                table_rows=record.get("table_rows", 0),
+                index_size_bytes=record.get("index_size_bytes", 0),
+                observed_seeks=record.get("observed_seeks", 0),
+                beneficial=bool(record.get("beneficial", False)),
+            )
+        )
+    return examples

@@ -1,0 +1,15 @@
+"""DTA re-architected as an automated service (Section 5.3).
+
+- :mod:`whatif` — metered wrapper over the engine's what-if API with
+  sampled-statistics budgeting;
+- :mod:`candidate_selection` — per-query optimal configuration search;
+- :mod:`enumeration` — greedy workload-level enumeration under
+  max-indexes / storage constraints;
+- :mod:`reports` — the per-statement impact report and coverage;
+- :mod:`session` — the resumable session state machine with resource
+  budgets and abort-on-interference.
+"""
+
+from repro.recommender.dta.session import DtaSession, DtaSettings, DtaSessionState
+
+__all__ = ["DtaSession", "DtaSessionState", "DtaSettings"]

@@ -1,0 +1,66 @@
+"""Recommender-source policy (Section 5.1.1).
+
+MI and DTA have complementary benefits: MI's negligible overhead suits
+low-resource databases (Basic tier); DTA's comprehensive analysis suits
+complex applications in the Premium tier.  A pre-configured control-plane
+policy decides per database, from the service tier, activity level, and
+resource consumption, which source to invoke.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.clock import HOURS
+from repro.engine.engine import SqlEngine
+
+
+@dataclasses.dataclass
+class RecommenderPolicy:
+    """Decides MI vs DTA for a given database."""
+
+    #: Tiers that always use the lightweight MI source.
+    mi_tiers: tuple = ("basic",)
+    #: Tiers that always use DTA.
+    dta_tiers: tuple = ("premium",)
+    #: For in-between tiers: use DTA when the workload is complex enough —
+    #: measured as the share of CPU spent in joins/aggregations.
+    complexity_threshold: float = 0.35
+    #: ...and active enough to justify a session.
+    min_hourly_statements: float = 5.0
+    lookback_hours: float = 24.0
+
+    def choose(self, engine: SqlEngine, tier: str) -> str:
+        """Returns "MI" or "DTA"."""
+        if tier in self.mi_tiers:
+            return "MI"
+        if tier in self.dta_tiers:
+            return "DTA"
+        now = engine.now
+        since = max(0.0, now - self.lookback_hours * HOURS)
+        totals = engine.query_store.per_query_totals(since, now)
+        if not totals:
+            return "MI"
+        executions = sum(
+            stats.executions
+            for stats in engine.query_store.aggregate(since, now).values()
+        )
+        hours = max(1e-9, (now - since) / HOURS)
+        if executions / hours < self.min_hourly_statements:
+            return "MI"
+        complex_cpu = 0.0
+        total_cpu = 0.0
+        for query_id, cpu in totals.items():
+            total_cpu += cpu
+            query = engine.observed_statement(query_id)
+            if query is None:
+                continue
+            if getattr(query, "join", None) is not None or getattr(
+                query, "group_by", ()
+            ):
+                complex_cpu += cpu
+        if total_cpu <= 0:
+            return "MI"
+        if complex_cpu / total_cpu >= self.complexity_threshold:
+            return "DTA"
+        return "MI"

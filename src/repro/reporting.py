@@ -1,0 +1,162 @@
+"""Operational reporting: the Section 8.1 statistics.
+
+Summarizes a closed-loop service run the way the paper reports its
+operational snapshot: recommendation volumes by action, implemented /
+validated / reverted counts, revert rate, the split of revert causes,
+queries whose CPU or reads improved by more than 2x, and databases whose
+aggregate CPU consumption dropped by more than half.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from repro.clock import HOURS
+from repro.controlplane import ControlPlane, RecommendationState
+from repro.recommender.recommendation import Action
+
+
+@dataclasses.dataclass
+class OperationalReport:
+    """Aggregate statistics of a service run."""
+
+    create_recommendations: int
+    drop_recommendations: int
+    implemented: int
+    validated_success: int
+    reverted: int
+    errors: int
+    expired: int
+    revert_rate: float
+    #: Revert causes: recommendations whose validation saw write-statement
+    #: regressions vs read(SELECT)-statement regressions.
+    reverts_with_write_regression: int
+    reverts_with_select_regression: int
+    queries_improved_2x: int
+    databases_improved_50pct: int
+    databases_observed: int
+    incidents: int
+
+    def lines(self) -> List[str]:
+        """Render like the paper's Section 8.1 snapshot."""
+        return [
+            f"create recommendations generated: {self.create_recommendations}",
+            f"drop recommendations generated:   {self.drop_recommendations}",
+            f"actions implemented:              {self.implemented}",
+            f"validated successful:             {self.validated_success}",
+            f"reverted by validation:           {self.reverted} "
+            f"({self.revert_rate:.1%} of automated actions)",
+            f"  … with write regressions:      {self.reverts_with_write_regression}",
+            f"  … with SELECT regressions:     {self.reverts_with_select_regression}",
+            f"errors / expired:                 {self.errors} / {self.expired}",
+            f"queries improved >2x (CPU):       {self.queries_improved_2x}",
+            f"databases with >50% CPU reduction: "
+            f"{self.databases_improved_50pct} of {self.databases_observed}",
+            f"incidents:                        {self.incidents}",
+        ]
+
+
+def _query_improvements(
+    plane: ControlPlane, window_hours: float
+) -> Tuple[int, int, int]:
+    """(queries improved >2x, dbs improved >50%, dbs observed).
+
+    Compares per-query mean CPU between the first and last observation
+    windows of each database, restricted to queries present in both.
+    """
+    improved_queries = 0
+    improved_dbs = 0
+    observed_dbs = 0
+    for managed in plane.databases.values():
+        engine = managed.engine
+        now = engine.now
+        if now <= 2 * window_hours * HOURS:
+            continue
+        early = engine.query_store.aggregate(0.0, window_hours * HOURS)
+        late = engine.query_store.aggregate(now - window_hours * HOURS, now)
+
+        def per_query_mean(window):
+            means: Dict[int, Tuple[float, int]] = {}
+            for (query_id, _plan), stats in window.items():
+                cpu = stats.metrics["cpu_time_ms"]
+                total, count = means.get(query_id, (0.0, 0))
+                means[query_id] = (total + cpu.total, count + stats.executions)
+            return {
+                qid: total / count
+                for qid, (total, count) in means.items()
+                if count > 0
+            }
+
+        early_means = per_query_mean(early)
+        late_means = per_query_mean(late)
+        common = set(early_means) & set(late_means)
+        if not common:
+            continue
+        observed_dbs += 1
+        early_total = 0.0
+        late_total = 0.0
+        for query_id in common:
+            before, after = early_means[query_id], late_means[query_id]
+            early_total += before
+            late_total += after
+            if after > 0 and before / after >= 2.0:
+                improved_queries += 1
+        if early_total > 0 and late_total <= early_total * 0.5:
+            improved_dbs += 1
+    return improved_queries, improved_dbs, observed_dbs
+
+
+def operational_report(
+    plane: ControlPlane, window_hours: float = 24.0
+) -> OperationalReport:
+    """Build the Section 8.1-style operational report for a service run."""
+    records = plane.store.all_records()
+    creates = [r for r in records if r.recommendation.action is Action.CREATE]
+    drops = [r for r in records if r.recommendation.action is Action.DROP]
+    implemented = [
+        r
+        for r in records
+        if r.state
+        in (
+            RecommendationState.SUCCESS,
+            RecommendationState.REVERTED,
+            RecommendationState.VALIDATING,
+            RecommendationState.REVERTING,
+        )
+        and r.implemented_at is not None
+    ]
+    success = [r for r in records if r.state is RecommendationState.SUCCESS]
+    reverted = [r for r in records if r.state is RecommendationState.REVERTED]
+    errors = [r for r in records if r.state is RecommendationState.ERROR]
+    expired = [r for r in records if r.state is RecommendationState.EXPIRED]
+    decided = len(success) + len(reverted)
+    write_reverts = 0
+    select_reverts = 0
+    for entry in plane.validation_history:
+        if not entry.get("reverted"):
+            continue
+        kinds = set(entry.get("regressed_kinds", ()))
+        if kinds & {"INSERT", "UPDATE", "DELETE"}:
+            write_reverts += 1
+        if "SELECT" in kinds:
+            select_reverts += 1
+    improved_queries, improved_dbs, observed_dbs = _query_improvements(
+        plane, window_hours
+    )
+    return OperationalReport(
+        create_recommendations=len(creates),
+        drop_recommendations=len(drops),
+        implemented=len(implemented),
+        validated_success=len(success),
+        reverted=len(reverted),
+        errors=len(errors),
+        expired=len(expired),
+        revert_rate=len(reverted) / decided if decided else 0.0,
+        reverts_with_write_regression=write_reverts,
+        reverts_with_select_regression=select_reverts,
+        queries_improved_2x=improved_queries,
+        databases_improved_50pct=improved_dbs,
+        databases_observed=observed_dbs,
+        incidents=len(plane.incidents),
+    )

@@ -1,0 +1,20 @@
+"""Validation: detect and correct regressions from index changes (Section 6)."""
+
+from repro.validation.stats_tests import welch_t_test, WelchResult
+from repro.validation.validator import (
+    StatementVerdict,
+    ValidationMode,
+    ValidationOutcome,
+    ValidationSettings,
+    Validator,
+)
+
+__all__ = [
+    "StatementVerdict",
+    "ValidationMode",
+    "ValidationOutcome",
+    "ValidationSettings",
+    "Validator",
+    "WelchResult",
+    "welch_t_test",
+]

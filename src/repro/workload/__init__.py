@@ -1,0 +1,28 @@
+"""Synthetic workload generation.
+
+Azure SQL Database's fleet diversity — different schemas, query shapes,
+data distributions, read/write mixes, and resource tiers — is what the
+paper's recommenders must cope with.  This subpackage generates that
+diversity deterministically from seeds:
+
+- :mod:`schema_gen` — random star-ish schemas (fact + dimension tables);
+- :mod:`data_gen` — population with uniform/zipfian/correlated columns;
+- :mod:`templates` — parameterized query templates (the unit Query Store
+  aggregates by);
+- :mod:`generator` — statement streams with rates, diurnal shape, drift;
+- :mod:`app_profiles` — canned application archetypes per service tier;
+- :mod:`replay` — the recorded TDS-like stream and its B-instance replayer.
+"""
+
+from repro.workload.generator import Workload, WorkloadRecording
+from repro.workload.app_profiles import ApplicationProfile, make_profile
+from repro.workload.replay import TdsStream, StreamReplayer
+
+__all__ = [
+    "ApplicationProfile",
+    "StreamReplayer",
+    "TdsStream",
+    "Workload",
+    "WorkloadRecording",
+    "make_profile",
+]

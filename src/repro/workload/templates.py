@@ -1,0 +1,437 @@
+"""Parameterized query templates.
+
+A template fixes the statement *structure* (so Query Store sees one
+query_id) and draws fresh parameter values per execution from the same
+distributions the data was generated with, keeping selectivities realistic.
+The template mix is what differentiates application archetypes: OLTP-ish
+apps are point-lookup/update heavy, analytic apps join and aggregate, and
+reporting queries are expensive but rare (the paper's Section 5.4 problem
+case for index drops).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.query import (
+    AggFunc,
+    Aggregate,
+    DeleteQuery,
+    InsertQuery,
+    JoinSpec,
+    Op,
+    OrderItem,
+    Predicate,
+    SelectQuery,
+    UpdateQuery,
+)
+from repro.workload.data_gen import DATE_HORIZON
+from repro.workload.schema_gen import ColumnSpec, SchemaSpec, TableSpec
+
+
+@dataclasses.dataclass
+class QueryTemplate:
+    """One statement template with a sampler for parameter values."""
+
+    name: str
+    kind: str
+    weight: float
+    make: Callable[[np.random.Generator], object]
+
+    def sample(self, rng: np.random.Generator):
+        return self.make(rng)
+
+
+def _draw_value(spec: ColumnSpec, rng: np.random.Generator, dim_rows: dict):
+    """Draw a predicate parameter from the column's data distribution."""
+    if spec.role == "pk":
+        return int(rng.integers(0, 10_000))
+    if spec.role == "fk":
+        return int(rng.integers(0, max(1, dim_rows.get(spec.references, 100))))
+    if spec.role == "category":
+        return int(rng.integers(0, max(1, spec.cardinality)))
+    if spec.role == "skewed":
+        upper = max(2, spec.cardinality)
+        return int(min(rng.zipf(max(1.1, spec.zipf_a)) - 1, upper - 1))
+    if spec.role == "numeric":
+        return float(rng.uniform(0, 10_000))
+    if spec.role == "date":
+        return int(rng.integers(0, DATE_HORIZON))
+    if spec.role == "text":
+        return f"{spec.name}_v{int(rng.integers(0, max(1, spec.cardinality)))}"
+    raise ValueError(spec.role)
+
+
+def _pick(
+    columns: Sequence[ColumnSpec],
+    rng: np.random.Generator,
+    roles: Sequence[str],
+) -> Optional[ColumnSpec]:
+    eligible = [c for c in columns if c.role in roles]
+    if not eligible:
+        return None
+    return eligible[int(rng.integers(0, len(eligible)))]
+
+
+class TemplateFactory:
+    """Builds the template set for one database's schema."""
+
+    EQ_ROLES = ("category", "skewed", "fk", "text")
+    RANGE_ROLES = ("numeric", "date")
+    PROJECT_ROLES = ("numeric", "date", "category", "text", "skewed")
+
+    def __init__(self, schema_spec: SchemaSpec, rng: np.random.Generator):
+        self.spec = schema_spec
+        self.rng = rng
+        self.dim_rows = {t.name: t.row_count for t in schema_spec.dimension_tables()}
+        self._insert_counters = {
+            t.name: t.row_count + 1_000_000 for t in schema_spec.tables
+        }
+
+    # ------------------------------------------------------------------
+    # Individual template builders (each fixes structure at build time)
+
+    def point_select(self, fact: TableSpec, label: str, weight: float) -> Optional[QueryTemplate]:
+        pred_col = _pick(fact.columns, self.rng, self.EQ_ROLES)
+        if pred_col is None:
+            return None
+        projected = self._projection(fact, exclude=(pred_col.name,))
+        dim_rows = self.dim_rows
+
+        def make(rng: np.random.Generator):
+            return SelectQuery(
+                fact.name,
+                projected,
+                (Predicate(pred_col.name, Op.EQ, _draw_value(pred_col, rng, dim_rows)),),
+            )
+
+        return QueryTemplate(label, "point_select", weight, make)
+
+    def multi_pred_select(self, fact: TableSpec, label: str, weight: float) -> Optional[QueryTemplate]:
+        eq_col = _pick(fact.columns, self.rng, self.EQ_ROLES)
+        range_col = _pick(fact.columns, self.rng, self.RANGE_ROLES)
+        if eq_col is None or range_col is None:
+            return None
+        projected = self._projection(fact, exclude=(eq_col.name, range_col.name))
+        dim_rows = self.dim_rows
+        width = float(self.rng.uniform(0.02, 0.25))
+
+        def make(rng: np.random.Generator):
+            low = _draw_value(range_col, rng, dim_rows)
+            span = (
+                DATE_HORIZON if range_col.role == "date" else 10_000
+            ) * width
+            high = type(low)(low + span)
+            return SelectQuery(
+                fact.name,
+                projected,
+                (
+                    Predicate(eq_col.name, Op.EQ, _draw_value(eq_col, rng, dim_rows)),
+                    Predicate(range_col.name, Op.BETWEEN, low, high),
+                ),
+            )
+
+        return QueryTemplate(label, "multi_pred_select", weight, make)
+
+    def range_select(self, fact: TableSpec, label: str, weight: float) -> Optional[QueryTemplate]:
+        range_col = _pick(fact.columns, self.rng, self.RANGE_ROLES)
+        if range_col is None:
+            return None
+        projected = self._projection(fact, exclude=(range_col.name,))
+        dim_rows = self.dim_rows
+        width = float(self.rng.uniform(0.01, 0.1))
+
+        def make(rng: np.random.Generator):
+            low = _draw_value(range_col, rng, dim_rows)
+            span = (DATE_HORIZON if range_col.role == "date" else 10_000) * width
+            return SelectQuery(
+                fact.name,
+                projected,
+                (Predicate(range_col.name, Op.BETWEEN, low, type(low)(low + span)),),
+            )
+
+        return QueryTemplate(label, "range_select", weight, make)
+
+    def join_select(self, fact: TableSpec, label: str, weight: float) -> Optional[QueryTemplate]:
+        fk_col = _pick(fact.columns, self.rng, ("fk",))
+        eq_col = _pick(fact.columns, self.rng, self.EQ_ROLES[:2])
+        if fk_col is None or eq_col is None or eq_col.name == fk_col.name:
+            return None
+        dim = self.spec.table(fk_col.references)
+        dim_pk = dim.columns[0]
+        dim_cat = _pick(dim.columns, self.rng, ("category",))
+        dim_name = _pick(dim.columns, self.rng, ("text",))
+        dim_rows = self.dim_rows
+        # Fix the structure at build time so the template key is stable.
+        with_dim_pred = dim_cat is not None and self.rng.random() < 0.5
+
+        def make(rng: np.random.Generator):
+            join_preds = ()
+            if with_dim_pred:
+                join_preds = (
+                    Predicate(dim_cat.name, Op.EQ, _draw_value(dim_cat, rng, dim_rows)),
+                )
+            return SelectQuery(
+                fact.name,
+                (fact.columns[0].name,),
+                (Predicate(eq_col.name, Op.EQ, _draw_value(eq_col, rng, dim_rows)),),
+                join=JoinSpec(
+                    table=dim.name,
+                    left_column=fk_col.name,
+                    right_column=dim_pk.name,
+                    predicates=join_preds,
+                    select_columns=(dim_name.name,) if dim_name else (),
+                ),
+            )
+
+        return QueryTemplate(label, "join_select", weight, make)
+
+    def groupby_agg(self, fact: TableSpec, label: str, weight: float) -> Optional[QueryTemplate]:
+        group_col = _pick(fact.columns, self.rng, ("category", "fk"))
+        value_col = _pick(fact.columns, self.rng, ("numeric",))
+        range_col = _pick(fact.columns, self.rng, ("date",))
+        if group_col is None or value_col is None:
+            return None
+        dim_rows = self.dim_rows
+        width = float(self.rng.uniform(0.05, 0.4))
+        with_range = range_col is not None and self.rng.random() < 0.6
+
+        def make(rng: np.random.Generator):
+            predicates = ()
+            if with_range:
+                low = _draw_value(range_col, rng, dim_rows)
+                predicates = (
+                    Predicate(
+                        range_col.name,
+                        Op.BETWEEN,
+                        low,
+                        int(low + DATE_HORIZON * width),
+                    ),
+                )
+            return SelectQuery(
+                fact.name,
+                (),
+                predicates,
+                group_by=(group_col.name,),
+                aggregates=(
+                    Aggregate(AggFunc.SUM, value_col.name),
+                    Aggregate(AggFunc.COUNT),
+                ),
+            )
+
+        return QueryTemplate(label, "groupby_agg", weight, make)
+
+    def orderby_topk(self, fact: TableSpec, label: str, weight: float) -> Optional[QueryTemplate]:
+        eq_col = _pick(fact.columns, self.rng, self.EQ_ROLES)
+        sort_col = _pick(fact.columns, self.rng, ("numeric", "date"))
+        if eq_col is None or sort_col is None:
+            return None
+        projected = (fact.columns[0].name, sort_col.name)
+        dim_rows = self.dim_rows
+
+        def make(rng: np.random.Generator):
+            return SelectQuery(
+                fact.name,
+                projected,
+                (Predicate(eq_col.name, Op.EQ, _draw_value(eq_col, rng, dim_rows)),),
+                order_by=(OrderItem(sort_col.name, ascending=False),),
+                limit=10,
+            )
+
+        return QueryTemplate(label, "orderby_topk", weight, make)
+
+    def pk_lookup(self, fact: TableSpec, label: str, weight: float) -> QueryTemplate:
+        pk = fact.columns[0]
+        projected = self._projection(fact, exclude=(pk.name,))
+        rows = fact.row_count
+
+        def make(rng: np.random.Generator):
+            return SelectQuery(
+                fact.name,
+                projected,
+                (Predicate(pk.name, Op.EQ, int(rng.integers(0, rows))),),
+            )
+
+        return QueryTemplate(label, "pk_lookup", weight, make)
+
+    def report(self, fact: TableSpec, label: str, weight: float) -> Optional[QueryTemplate]:
+        """Expensive, infrequent reporting query (Section 5.4 hazard)."""
+        group_col = _pick(fact.columns, self.rng, ("category", "text"))
+        value_col = _pick(fact.columns, self.rng, ("numeric",))
+        if group_col is None or value_col is None:
+            return None
+
+        def make(rng: np.random.Generator):
+            return SelectQuery(
+                fact.name,
+                (),
+                (),
+                group_by=(group_col.name,),
+                aggregates=(
+                    Aggregate(AggFunc.SUM, value_col.name),
+                    Aggregate(AggFunc.AVG, value_col.name),
+                    Aggregate(AggFunc.COUNT),
+                ),
+            )
+
+        return QueryTemplate(label, "report", weight, make)
+
+    def update_by_pk(self, fact: TableSpec, label: str, weight: float) -> Optional[QueryTemplate]:
+        pk = fact.columns[0]
+        value_col = _pick(fact.columns, self.rng, ("numeric",))
+        if value_col is None:
+            return None
+        rows = fact.row_count
+
+        def make(rng: np.random.Generator):
+            return UpdateQuery(
+                fact.name,
+                ((value_col.name, float(rng.uniform(0, 10_000))),),
+                (Predicate(pk.name, Op.EQ, int(rng.integers(0, rows))),),
+            )
+
+        return QueryTemplate(label, "update_by_pk", weight, make)
+
+    def update_by_predicate(self, fact: TableSpec, label: str, weight: float) -> Optional[QueryTemplate]:
+        eq_col = _pick(fact.columns, self.rng, ("category", "fk"))
+        value_col = _pick(fact.columns, self.rng, ("numeric", "date"))
+        if eq_col is None or value_col is None or eq_col.name == value_col.name:
+            return None
+        dim_rows = self.dim_rows
+
+        def make(rng: np.random.Generator):
+            if value_col.role == "numeric":
+                new_value: object = float(rng.uniform(0, 10_000))
+            else:
+                new_value = int(rng.integers(0, DATE_HORIZON))
+            return UpdateQuery(
+                fact.name,
+                ((value_col.name, new_value),),
+                (Predicate(eq_col.name, Op.EQ, _draw_value(eq_col, rng, dim_rows)),),
+            )
+
+        return QueryTemplate(label, "update_by_predicate", weight, make)
+
+    def insert(self, fact: TableSpec, label: str, weight: float, bulk: bool = False) -> QueryTemplate:
+        counters = self._insert_counters
+        columns = fact.columns
+        dim_rows = self.dim_rows
+        batch = 20 if bulk else 1
+
+        def make(rng: np.random.Generator):
+            rows = []
+            for _ in range(batch):
+                pk_value = counters[fact.name]
+                counters[fact.name] += 1
+                row = [pk_value]
+                for spec in columns[1:]:
+                    row.append(_draw_value(spec, rng, dim_rows))
+                rows.append(tuple(row))
+            return InsertQuery(fact.name, tuple(rows), bulk=bulk)
+
+        return QueryTemplate(label, "bulk_insert" if bulk else "insert", weight, make)
+
+    def delete_old(self, fact: TableSpec, label: str, weight: float) -> Optional[QueryTemplate]:
+        date_col = _pick(fact.columns, self.rng, ("date",))
+        if date_col is None:
+            return None
+
+        def make(rng: np.random.Generator):
+            return DeleteQuery(
+                fact.name,
+                (Predicate(date_col.name, Op.LT, int(rng.integers(1, 20))),),
+            )
+
+        return QueryTemplate(label, "delete_old", weight, make)
+
+    # ------------------------------------------------------------------
+
+    def _projection(self, table: TableSpec, exclude: Sequence[str] = ()) -> tuple:
+        eligible = [
+            c.name
+            for c in table.columns
+            if c.role in self.PROJECT_ROLES and c.name not in exclude
+        ]
+        if not eligible:
+            return (table.columns[0].name,)
+        count = int(self.rng.integers(1, min(3, len(eligible)) + 1))
+        picked = self.rng.choice(len(eligible), size=count, replace=False)
+        return tuple(eligible[int(i)] for i in sorted(picked))
+
+
+#: (builder method name, base weight, read?) — the master template menu.
+TEMPLATE_MENU = [
+    ("point_select", 22.0),
+    ("multi_pred_select", 14.0),
+    ("range_select", 8.0),
+    ("join_select", 10.0),
+    ("groupby_agg", 8.0),
+    ("orderby_topk", 8.0),
+    ("pk_lookup", 12.0),
+    ("report", 0.6),
+    ("update_by_pk", 8.0),
+    ("update_by_predicate", 4.0),
+    ("insert", 6.0),
+    ("delete_old", 0.4),
+]
+
+
+def build_templates(
+    schema_spec: SchemaSpec,
+    rng: np.random.Generator,
+    read_write_ratio: float = 1.0,
+    complexity: float = 1.0,
+    n_variants: int = 2,
+) -> List[QueryTemplate]:
+    """Build a template set for a database.
+
+    ``read_write_ratio`` scales read weights against write weights;
+    ``complexity`` scales the weight of joins/aggregations (premium-tier
+    apps are more complex, Section 7.3); ``n_variants`` controls how many
+    structurally distinct templates of each kind are generated.
+    """
+    factory = TemplateFactory(schema_spec, rng)
+    complex_kinds = {"join_select", "groupby_agg", "orderby_topk", "report"}
+    write_kinds = {
+        "update_by_pk",
+        "update_by_predicate",
+        "insert",
+        "bulk_insert",
+        "delete_old",
+    }
+    templates: List[QueryTemplate] = []
+    for fact in schema_spec.fact_tables():
+        for kind, base_weight in TEMPLATE_MENU:
+            for variant in range(n_variants):
+                weight = base_weight * float(rng.uniform(0.4, 1.6))
+                if kind in complex_kinds:
+                    weight *= complexity
+                if kind in write_kinds:
+                    weight /= max(0.1, read_write_ratio)
+                label = f"{fact.name}:{kind}:{variant}"
+                builder = getattr(factory, kind)
+                template = builder(fact, label, weight)
+                if template is not None:
+                    templates.append(template)
+        if rng.random() < 0.5:
+            template = factory.insert(fact, f"{fact.name}:bulk", 0.8, bulk=True)
+            templates.append(template)
+    return _dedupe(templates, rng)
+
+
+def _dedupe(
+    templates: List[QueryTemplate], rng: np.random.Generator
+) -> List[QueryTemplate]:
+    """Merge structurally identical templates (variants that drew the same
+    columns), summing their weights — Query Store would see one query."""
+    by_key = {}
+    for template in templates:
+        key = template.sample(rng).template_key()
+        if key in by_key:
+            by_key[key].weight += template.weight
+        else:
+            by_key[key] = template
+    return list(by_key.values())

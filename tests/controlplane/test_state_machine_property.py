@@ -1,0 +1,71 @@
+"""Property tests on the recommendation state machine."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.controlplane.states import (
+    RecommendationState,
+    _TRANSITIONS,
+    check_transition,
+)
+from repro.controlplane.store import StateStore
+from repro.errors import InvalidStateTransitionError
+from repro.recommender.recommendation import Action, IndexRecommendation
+
+ALL_STATES = list(RecommendationState)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.sampled_from(ALL_STATES), min_size=1, max_size=12))
+def test_property_terminal_states_are_absorbing(path):
+    """Once a record reaches a terminal state, no transition is legal."""
+    state = RecommendationState.ACTIVE
+    for target in path:
+        try:
+            check_transition(state, target)
+        except InvalidStateTransitionError:
+            continue
+        assert not state.terminal, (
+            f"transition out of terminal {state} to {target} was allowed"
+        )
+        state = target
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.sampled_from(ALL_STATES), min_size=1, max_size=12))
+def test_property_store_matches_transition_table(path):
+    """The journaled store accepts exactly the legal transitions and the
+    journal replay reproduces the final state."""
+    store = StateStore()
+    record = store.insert(
+        "db",
+        IndexRecommendation(action=Action.CREATE, table="t", key_columns=("a",)),
+        at=0.0,
+    )
+    time = 1.0
+    for target in path:
+        legal = target in _TRANSITIONS[record.state]
+        try:
+            store.transition(record, target, time)
+            assert legal
+        except InvalidStateTransitionError:
+            assert not legal
+        time += 1.0
+    recovered = store.recover().get(record.rec_id)
+    assert recovered.state is record.state
+    assert len(recovered.state_history) == len(record.state_history)
+
+
+def test_every_state_reachable_from_active():
+    """Sanity: the transition graph reaches every state from ACTIVE."""
+    reachable = {RecommendationState.ACTIVE}
+    frontier = [RecommendationState.ACTIVE]
+    while frontier:
+        state = frontier.pop()
+        for target in _TRANSITIONS[state]:
+            if target not in reachable:
+                reachable.add(target)
+                frontier.append(target)
+    assert reachable == set(ALL_STATES)

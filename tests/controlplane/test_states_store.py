@@ -1,0 +1,206 @@
+"""State machine, store/journal, events, scheduler, faults tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.controlplane.events import EventBus
+from repro.controlplane.faults import FaultInjector
+from repro.controlplane.scheduler import JobScheduler
+from repro.controlplane.states import RecommendationState, check_transition
+from repro.controlplane.store import StateStore
+from repro.errors import InvalidStateTransitionError, PermanentError, TransientError
+from repro.recommender.recommendation import Action, IndexRecommendation
+
+
+def make_rec(table="t", keys=("a",)):
+    return IndexRecommendation(
+        action=Action.CREATE, table=table, key_columns=tuple(keys), source="MI"
+    )
+
+
+class TestTransitions:
+    def test_legal_happy_path(self):
+        path = [
+            RecommendationState.ACTIVE,
+            RecommendationState.IMPLEMENTING,
+            RecommendationState.VALIDATING,
+            RecommendationState.SUCCESS,
+        ]
+        for current, new in zip(path, path[1:]):
+            check_transition(current, new)
+
+    def test_legal_revert_path(self):
+        check_transition(
+            RecommendationState.VALIDATING, RecommendationState.REVERTING
+        )
+        check_transition(
+            RecommendationState.REVERTING, RecommendationState.REVERTED
+        )
+
+    def test_illegal_transitions_raise(self):
+        with pytest.raises(InvalidStateTransitionError):
+            check_transition(
+                RecommendationState.ACTIVE, RecommendationState.SUCCESS
+            )
+        with pytest.raises(InvalidStateTransitionError):
+            check_transition(
+                RecommendationState.SUCCESS, RecommendationState.ACTIVE
+            )
+
+    def test_terminal_states(self):
+        terminals = [
+            RecommendationState.EXPIRED,
+            RecommendationState.SUCCESS,
+            RecommendationState.REVERTED,
+            RecommendationState.ERROR,
+        ]
+        for state in terminals:
+            assert state.terminal
+        assert not RecommendationState.ACTIVE.terminal
+
+    def test_retry_resumes_any_action(self):
+        for target in (
+            RecommendationState.IMPLEMENTING,
+            RecommendationState.VALIDATING,
+            RecommendationState.REVERTING,
+        ):
+            check_transition(RecommendationState.RETRY, target)
+
+
+class TestStore:
+    def test_insert_assigns_ids(self):
+        store = StateStore()
+        r1 = store.insert("db1", make_rec(), at=0.0)
+        r2 = store.insert("db1", make_rec(keys=("b",)), at=1.0)
+        assert r2.rec_id == r1.rec_id + 1
+
+    def test_transition_records_history(self):
+        store = StateStore()
+        record = store.insert("db1", make_rec(), at=0.0)
+        store.transition(record, RecommendationState.IMPLEMENTING, 5.0, "go")
+        assert record.state is RecommendationState.IMPLEMENTING
+        assert record.state_history[-1] == (5.0, RecommendationState.IMPLEMENTING, "go")
+
+    def test_illegal_transition_rejected(self):
+        store = StateStore()
+        record = store.insert("db1", make_rec(), at=0.0)
+        with pytest.raises(InvalidStateTransitionError):
+            store.transition(record, RecommendationState.SUCCESS, 1.0)
+
+    def test_filtering(self):
+        store = StateStore()
+        store.insert("db1", make_rec(), at=0.0)
+        r2 = store.insert("db2", make_rec(), at=0.0)
+        store.transition(r2, RecommendationState.EXPIRED, 1.0)
+        assert len(store.records_for(database="db1")) == 1
+        assert len(store.records_for(state=RecommendationState.ACTIVE)) == 1
+        counts = store.count_by_state()
+        assert counts[RecommendationState.EXPIRED] == 1
+
+    def test_update_unknown_field_rejected(self):
+        store = StateStore()
+        record = store.insert("db1", make_rec(), at=0.0)
+        with pytest.raises(AttributeError):
+            store.update(record, 1.0, nonsense_field=1)
+
+    def test_recovery_replays_journal(self):
+        store = StateStore()
+        r1 = store.insert("db1", make_rec(), at=0.0)
+        store.transition(r1, RecommendationState.IMPLEMENTING, 1.0, "x")
+        store.update(r1, 2.0, index_name="ix_1", implemented_at=2.0)
+        store.transition(r1, RecommendationState.VALIDATING, 3.0)
+        recovered = store.recover()
+        rec = recovered.get(r1.rec_id)
+        assert rec.state is RecommendationState.VALIDATING
+        assert rec.index_name == "ix_1"
+        assert rec.implemented_at == 2.0
+        # New ids continue after the recovered ones.
+        r2 = recovered.insert("db1", make_rec(keys=("z",)), at=4.0)
+        assert r2.rec_id > r1.rec_id
+
+    def test_recovery_of_empty_store(self):
+        recovered = StateStore().recover()
+        assert recovered.all_records() == []
+
+
+class TestEventBus:
+    def test_emit_and_history(self):
+        bus = EventBus()
+        bus.emit(1.0, "a", "db1", value=1)
+        bus.emit(2.0, "b", "db1", value=2)
+        assert len(bus.history()) == 2
+        assert len(bus.history("a")) == 1
+        assert bus.counts["a"] == 1
+
+    def test_subscribers_called(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("a", lambda e: seen.append(e.kind))
+        bus.subscribe("*", lambda e: seen.append("star"))
+        bus.emit(1.0, "a", "db1")
+        bus.emit(1.0, "b", "db1")
+        assert seen == ["a", "star", "star"]
+
+    def test_customer_data_rejected(self):
+        bus = EventBus()
+        with pytest.raises(ValueError):
+            bus.emit(1.0, "a", "db1", query_text="SELECT secret")
+
+    def test_history_bounded(self):
+        bus = EventBus(history_limit=100)
+        for i in range(150):
+            bus.emit(float(i), "a", "db1")
+        assert len(bus.history()) <= 140
+
+
+class TestScheduler:
+    def test_one_shot_job(self):
+        scheduler = JobScheduler()
+        runs = []
+        scheduler.schedule("j", lambda at: runs.append(at), first_run=5.0)
+        assert scheduler.run_due(4.0) == 0
+        assert scheduler.run_due(5.0) == 1
+        assert scheduler.run_due(10.0) == 0
+        assert runs == [5.0]
+
+    def test_periodic_job(self):
+        scheduler = JobScheduler()
+        runs = []
+        scheduler.schedule("j", lambda at: runs.append(at), first_run=1.0, period=10.0)
+        scheduler.run_due(1.0)
+        scheduler.run_due(11.0)
+        scheduler.run_due(25.0)
+        assert len(runs) == 3
+
+    def test_disabled_job_skipped(self):
+        scheduler = JobScheduler()
+        runs = []
+        job = scheduler.schedule("j", lambda at: runs.append(at), first_run=1.0)
+        job.enabled = False
+        scheduler.run_due(5.0)
+        assert runs == []
+
+
+class TestFaults:
+    def test_no_config_no_faults(self):
+        injector = FaultInjector(seed=1)
+        for _ in range(100):
+            injector.check("op")
+
+    def test_transient_rate(self):
+        injector = FaultInjector(seed=2)
+        injector.configure("op", transient=0.5)
+        failures = 0
+        for _ in range(200):
+            try:
+                injector.check("op")
+            except TransientError:
+                failures += 1
+        assert 60 < failures < 140
+
+    def test_permanent_faults(self):
+        injector = FaultInjector(seed=3)
+        injector.configure("op", permanent=1.0)
+        with pytest.raises(PermanentError):
+            injector.check("op")

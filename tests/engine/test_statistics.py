@@ -1,0 +1,127 @@
+"""Histogram / column statistics tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.statistics import (
+    TableStatistics,
+    build_column_statistics,
+)
+
+
+class TestBuild:
+    def test_empty_values(self):
+        stats = build_column_statistics("c", [])
+        assert stats.row_count == 0
+        assert stats.selectivity_eq(5) == 0.0
+        assert stats.selectivity_range(0, 10) == 0.0
+
+    def test_counts(self):
+        stats = build_column_statistics("c", [1, 2, 2, 3, None])
+        assert stats.row_count == 5
+        assert stats.null_count == 1
+        assert stats.distinct_count == 3
+
+    def test_density(self):
+        stats = build_column_statistics("c", list(range(100)))
+        assert stats.density == pytest.approx(0.01)
+
+    def test_buckets_cover_all_rows(self):
+        values = list(np.random.default_rng(0).integers(0, 50, size=1000))
+        stats = build_column_statistics("c", values, bucket_count=8)
+        assert sum(b.rows for b in stats.buckets) == pytest.approx(1000)
+
+
+class TestSelectivityEq:
+    def test_uniform_values(self):
+        values = [i % 10 for i in range(1000)]
+        stats = build_column_statistics("c", values)
+        assert stats.selectivity_eq(3) == pytest.approx(0.1, rel=0.3)
+
+    def test_null_selectivity(self):
+        stats = build_column_statistics("c", [None] * 30 + list(range(70)))
+        assert stats.selectivity_eq(None) == pytest.approx(0.3)
+
+    def test_out_of_range_value(self):
+        stats = build_column_statistics("c", list(range(100)))
+        assert 0 < stats.selectivity_eq(10_000) <= 0.05
+
+    def test_skewed_values(self):
+        values = [0] * 900 + list(range(1, 101))
+        stats = build_column_statistics("c", values, bucket_count=16)
+        assert stats.selectivity_eq(0) > 0.5
+
+
+class TestSelectivityRange:
+    def test_full_range(self):
+        stats = build_column_statistics("c", list(range(100)))
+        assert stats.selectivity_range(0, 99) == pytest.approx(1.0, rel=0.05)
+
+    def test_half_range(self):
+        stats = build_column_statistics("c", list(range(1000)))
+        sel = stats.selectivity_range(0, 499)
+        assert sel == pytest.approx(0.5, rel=0.15)
+
+    def test_empty_range(self):
+        stats = build_column_statistics("c", list(range(100)))
+        assert stats.selectivity_range(2000, 3000) <= 0.05
+
+    def test_unbounded_low(self):
+        stats = build_column_statistics("c", list(range(1000)))
+        assert stats.selectivity_range(None, 99) == pytest.approx(0.1, rel=0.3)
+
+    def test_unbounded_high(self):
+        stats = build_column_statistics("c", list(range(1000)))
+        assert stats.selectivity_range(900, None) == pytest.approx(0.1, rel=0.3)
+
+    @given(
+        st.lists(st.integers(0, 100), min_size=20, max_size=300),
+        st.integers(0, 100),
+        st.integers(0, 100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_range_close_to_truth(self, values, lo, hi):
+        """Histogram range estimates stay within a loose factor of truth."""
+        lo, hi = min(lo, hi), max(lo, hi)
+        stats = build_column_statistics("c", values, bucket_count=16)
+        true_sel = sum(1 for v in values if lo <= v <= hi) / len(values)
+        est = stats.selectivity_range(lo, hi)
+        assert 0.0 <= est <= 1.0
+        # Equi-depth histograms bound the error by roughly one bucket.
+        assert abs(est - true_sel) <= 2.5 / 16 + 0.15
+
+
+class TestSampledStats:
+    def test_sampled_counts_scale(self):
+        rng = np.random.default_rng(7)
+        values = list(range(10_000))
+        stats = build_column_statistics(
+            "c", values, sample_fraction=0.1, rng=rng
+        )
+        assert stats.row_count == 10_000
+        assert stats.sampled_fraction == 0.1
+        assert stats.selectivity_range(0, 4999) == pytest.approx(0.5, rel=0.2)
+
+
+class TestTableStatistics:
+    def test_set_get(self):
+        table_stats = TableStatistics("t")
+        table_stats.set(build_column_statistics("a", [1, 2, 3]))
+        assert table_stats.get("a") is not None
+        assert table_stats.get("zz") is None
+        assert table_stats.columns() == ["a"]
+
+    def test_staleness(self):
+        table_stats = TableStatistics("t")
+        table_stats.rows_at_build = 100
+        assert table_stats.staleness(150) == pytest.approx(0.5)
+        assert table_stats.staleness(100) == 0.0
+
+    def test_staleness_never_built(self):
+        table_stats = TableStatistics("t")
+        assert table_stats.staleness(0) == 0.0
+        assert table_stats.staleness(10) == 1.0

@@ -1,0 +1,177 @@
+"""Tests for the type system and schema objects."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine.schema import (
+    Column,
+    IndexDefinition,
+    TableSchema,
+    auto_index_name,
+)
+from repro.engine.types import (
+    SqlType,
+    compare,
+    row_sort_key,
+    rows_per_page,
+    sort_key,
+)
+from repro.errors import QueryError, SchemaError, UnknownColumnError
+
+
+class TestSqlType:
+    def test_coerce_int(self):
+        assert SqlType.INT.coerce("42") == 42
+
+    def test_coerce_float(self):
+        assert SqlType.FLOAT.coerce(3) == 3.0
+
+    def test_coerce_text(self):
+        assert SqlType.TEXT.coerce(42) == "42"
+
+    def test_coerce_null_passthrough(self):
+        assert SqlType.INT.coerce(None) is None
+
+    def test_coerce_invalid_raises(self):
+        with pytest.raises(QueryError):
+            SqlType.INT.coerce("not-a-number")
+
+    def test_render_text_escapes_quotes(self):
+        assert SqlType.TEXT.render("a'b") == "N'a''b'"
+
+    def test_render_null(self):
+        assert SqlType.INT.render(None) == "NULL"
+
+    def test_widths_positive(self):
+        for sql_type in SqlType:
+            assert sql_type.width > 0
+
+
+class TestOrdering:
+    def test_nulls_sort_first(self):
+        assert sort_key(None) < sort_key(-(10 ** 12))
+
+    def test_numbers_before_strings(self):
+        assert sort_key(10 ** 9) < sort_key("a")
+
+    def test_compare_three_way(self):
+        assert compare(1, 2) == -1
+        assert compare(2, 1) == 1
+        assert compare(None, None) == 0
+
+    @given(st.lists(st.one_of(st.none(), st.integers(), st.text()), max_size=6))
+    def test_row_sort_key_total_order(self, values):
+        key = row_sort_key(tuple(values))
+        assert len(key) == len(values)
+
+    def test_rows_per_page_minimum_one(self):
+        assert rows_per_page(10 ** 6) == 1
+
+
+class TestColumn:
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("bad name!", SqlType.INT)
+
+    def test_valid_underscore_name(self):
+        assert Column("o_id", SqlType.INT).name == "o_id"
+
+
+class TestIndexDefinition:
+    def test_requires_key_columns(self):
+        with pytest.raises(SchemaError):
+            IndexDefinition("ix", "t", ())
+
+    def test_rejects_duplicate_keys(self):
+        with pytest.raises(SchemaError):
+            IndexDefinition("ix", "t", ("a", "a"))
+
+    def test_rejects_key_in_include(self):
+        with pytest.raises(SchemaError):
+            IndexDefinition("ix", "t", ("a",), ("a",))
+
+    def test_covers(self):
+        ix = IndexDefinition("ix", "t", ("a", "b"), ("c",))
+        assert ix.covers(["a", "c"])
+        assert not ix.covers(["a", "d"])
+
+    def test_duplicate_detection_same_keys(self):
+        a = IndexDefinition("ix1", "t", ("a", "b"), ("c",))
+        b = IndexDefinition("ix2", "t", ("a", "b"), ("d",))
+        assert a.is_duplicate_of(b)
+
+    def test_duplicate_detection_order_matters(self):
+        a = IndexDefinition("ix1", "t", ("a", "b"))
+        b = IndexDefinition("ix2", "t", ("b", "a"))
+        assert not a.is_duplicate_of(b)
+
+    def test_prefix_detection(self):
+        a = IndexDefinition("ix1", "t", ("a",))
+        b = IndexDefinition("ix2", "t", ("a", "b"))
+        assert a.key_is_prefix_of(b)
+        assert not b.key_is_prefix_of(a)
+
+    def test_describe_mentions_includes(self):
+        ix = IndexDefinition("ix", "t", ("a",), ("b",))
+        assert "INCLUDE" in ix.describe()
+
+    def test_auto_index_name_unique(self):
+        n1 = auto_index_name("orders", ["a", "b"])
+        n2 = auto_index_name("orders", ["a", "b"])
+        assert n1 != n2
+        assert n1.startswith("nci_auto_orders_")
+
+
+class TestTableSchema:
+    def make(self):
+        return TableSchema(
+            "t",
+            [Column("a", SqlType.INT, nullable=False), Column("b", SqlType.TEXT)],
+            primary_key=["a"],
+        )
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", SqlType.INT), Column("a", SqlType.INT)])
+
+    def test_default_pk_is_first_column(self):
+        schema = TableSchema("t", [Column("x", SqlType.INT)])
+        assert schema.primary_key == ("x",)
+
+    def test_unknown_pk_rejected(self):
+        with pytest.raises(UnknownColumnError):
+            TableSchema("t", [Column("a", SqlType.INT)], primary_key=["zz"])
+
+    def test_position_and_column(self):
+        schema = self.make()
+        assert schema.position("b") == 1
+        assert schema.column("b").sql_type is SqlType.TEXT
+
+    def test_position_unknown_raises(self):
+        with pytest.raises(UnknownColumnError):
+            self.make().position("zz")
+
+    def test_validate_row_coerces(self):
+        schema = self.make()
+        assert schema.validate_row(("5", 7)) == (5, "7")
+
+    def test_validate_row_null_in_non_nullable(self):
+        with pytest.raises(SchemaError):
+            self.make().validate_row((None, "x"))
+
+    def test_validate_row_wrong_width(self):
+        with pytest.raises(SchemaError):
+            self.make().validate_row((1,))
+
+    def test_project_and_pk(self):
+        schema = self.make()
+        row = (3, "hello")
+        assert schema.project(row, ["b"]) == ("hello",)
+        assert schema.pk_values(row) == (3,)
+
+    def test_row_width_subset(self):
+        schema = self.make()
+        assert schema.row_width(["a"]) == SqlType.INT.width

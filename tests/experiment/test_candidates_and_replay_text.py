@@ -1,0 +1,76 @@
+"""Candidate selection for experiments + text-level replay round trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.parser import parse
+from repro.engine.sqlgen import render
+from repro.experiment.compare import select_experiment_candidates
+from repro.fleet import Fleet, FleetSpec
+from repro.rng import derive
+from repro.workload import make_profile
+
+
+class TestCandidateSelection:
+    def test_selects_requested_count(self):
+        fleet = Fleet(FleetSpec(n_databases=5, tier="standard", seed=91))
+        fleet.run_workloads(hours=2, max_statements_per_db=40)
+        picks = select_experiment_candidates(fleet, derive(1, "c"), n=3)
+        assert len(picks) == 3
+        assert len({p.name for p in picks}) == 3
+
+    def test_inactive_databases_excluded(self):
+        fleet = Fleet(FleetSpec(n_databases=4, tier="standard", seed=92))
+        # Run workload on only half of the fleet.
+        active_names = fleet.names()[:2]
+        for name in active_names:
+            profile = fleet.get(name)
+            profile.workload.run(profile.engine, hours=4, max_statements=80)
+        for profile in fleet:
+            if profile.engine.clock.now < 4 * 60.0:
+                profile.engine.clock.advance_to(4 * 60.0)
+        picks = select_experiment_candidates(
+            fleet, derive(2, "c"), n=4, min_statements_per_hour=2.0
+        )
+        assert {p.name for p in picks} <= set(active_names)
+
+    def test_deterministic_given_rng(self):
+        fleet = Fleet(FleetSpec(n_databases=5, tier="standard", seed=93))
+        fleet.run_workloads(hours=1, max_statements_per_db=30)
+        a = [p.name for p in select_experiment_candidates(fleet, derive(3, "c"), n=2)]
+        b = [p.name for p in select_experiment_candidates(fleet, derive(3, "c"), n=2)]
+        assert a == b
+
+
+class TestTextLevelReplay:
+    """Recorded streams survive a render -> parse round trip.
+
+    Production replay crosses a wire as text; the mini parser must carry
+    every generated statement shape losslessly.
+    """
+
+    def test_recorded_statements_round_trip(self):
+        profile = make_profile(
+            "text-replay", seed=94, tier="premium", archetype="analytics"
+        )
+        recording = profile.workload.generate_recording(
+            start=0.0, hours=6, max_statements=300
+        )
+        assert recording.statements
+        for statement in recording.statements:
+            text = render(statement.query)
+            assert parse(text) == statement.query, text
+
+    def test_parsed_statements_execute_identically(self):
+        profile = make_profile(
+            "text-exec", seed=95, tier="standard", archetype="webshop"
+        )
+        recording = profile.workload.generate_recording(
+            start=0.0, hours=2, max_statements=60
+        )
+        engine = profile.engine
+        for statement in recording.statements:
+            reparsed = parse(render(statement.query))
+            result = engine.execute(reparsed)
+            assert result.metrics.cpu_time_ms >= 0

@@ -1,0 +1,250 @@
+"""B-instance, workflow engine, user emulation, and comparison tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import IndexDefinition
+from repro.errors import WorkflowError
+from repro.experiment.binstance import BInstance, BInstanceSettings
+from repro.experiment.compare import (
+    ComparisonSettings,
+    _phase_summaries,
+    _pick_winner,
+    PhaseSummary,
+    compare_database,
+)
+from repro.experiment.emulate_user import pick_indexes_to_drop, seed_user_indexes
+from repro.experiment.steps import (
+    CollectStatsStep,
+    CreateBInstanceStep,
+    DetectDivergenceStep,
+    ImplementIndexesStep,
+    ReplayStep,
+    standard_phase_steps,
+)
+from repro.experiment.workflow import (
+    ExperimentWorkflow,
+    FunctionStep,
+    StepOutcome,
+    WorkflowContext,
+)
+from repro.rng import derive
+from repro.workload import make_profile
+
+
+@pytest.fixture(scope="module")
+def profile():
+    p = make_profile("exp-test", seed=8, tier="standard", archetype="saas_invoicing")
+    p.workload.run(p.engine, hours=2, max_statements=150)
+    return p
+
+
+class TestBInstance:
+    def test_snapshot_independent_of_primary(self, profile):
+        b = BInstance(profile.engine, "b1")
+        fact = profile.schema_spec.fact_tables()[0].name
+        assert (
+            b.engine.database.table(fact).row_count
+            == profile.database.table(fact).row_count
+        )
+        b.engine.create_index(
+            IndexDefinition("ix_b_only", fact, (profile.schema_spec.fact_tables()[0].columns[1].name,))
+        )
+        assert not profile.engine.index_exists(fact, "ix_b_only")
+
+    def test_replay_collects_stats(self, profile):
+        b = BInstance(profile.engine, "b2")
+        recording = profile.workload.generate_recording(
+            start=b.engine.now, hours=1, max_statements=50
+        )
+        report = b.replay(recording)
+        assert report.executed > 30
+        assert b.engine.query_store.queries()
+
+    def test_apply_and_drop_indexes(self, profile):
+        b = BInstance(profile.engine, "b3")
+        fact_spec = profile.schema_spec.fact_tables()[0]
+        definition = IndexDefinition(
+            "ix_test", fact_spec.name, (fact_spec.columns[1].name,)
+        )
+        assert b.apply_indexes([definition]) == 1
+        assert b.apply_indexes([definition]) == 0  # idempotent
+        assert b.drop_indexes([(fact_spec.name, "ix_test")]) == 1
+
+    def test_divergence_detection(self, profile):
+        settings = BInstanceSettings(drop_rate=0.5, divergence_tolerance=0.1)
+        b = BInstance(profile.engine, "b4", settings=settings)
+        recording = profile.workload.generate_recording(
+            start=b.engine.now, hours=1, max_statements=80
+        )
+        b.replay(recording)
+        assert b.diverged()
+
+
+class TestWorkflow:
+    def test_success_path(self):
+        order = []
+        workflow = ExperimentWorkflow(
+            "wf",
+            [
+                FunctionStep("one", lambda c: order.append(1)),
+                FunctionStep("two", lambda c: order.append(2)),
+            ],
+        )
+        run = workflow.run("db")
+        assert run.succeeded
+        assert order == [1, 2]
+        assert all(r.outcome is StepOutcome.COMPLETED for r in run.records)
+
+    def test_failure_skips_and_cleans_up(self):
+        cleaned = []
+
+        def boom(c):
+            raise WorkflowError("nope")
+
+        workflow = ExperimentWorkflow(
+            "wf",
+            [
+                FunctionStep("one", lambda c: None, cleanup=lambda c: cleaned.append("one")),
+                FunctionStep("two", boom),
+                FunctionStep("three", lambda c: None),
+            ],
+        )
+        run = workflow.run("db")
+        assert not run.succeeded
+        assert run.failed_step() == "two"
+        assert run.records[2].outcome is StepOutcome.SKIPPED
+        assert cleaned == ["one"]
+
+    def test_context_flows_between_steps(self):
+        workflow = ExperimentWorkflow(
+            "wf",
+            [
+                FunctionStep("set", lambda c: c.values.update(x=41)),
+                FunctionStep("inc", lambda c: c.values.update(x=c["x"] + 1)),
+            ],
+        )
+        run = workflow.run("db")
+        assert run.context["x"] == 42
+
+    def test_run_many(self):
+        workflow = ExperimentWorkflow("wf", [FunctionStep("noop", lambda c: None)])
+        runs = workflow.run_many(["a", "b", "c"])
+        assert set(runs) == {"a", "b", "c"}
+        assert all(r.succeeded for r in runs.values())
+
+    def test_missing_context_key_fails_step(self, profile):
+        workflow = ExperimentWorkflow("wf", [ReplayStep()])
+        run = workflow.run("db", profile=profile)
+        assert not run.succeeded  # no binstance in context
+
+
+class TestPhaseSteps:
+    def test_standard_phase_pipeline(self, profile):
+        recording = profile.workload.generate_recording(
+            start=profile.engine.now, hours=1, max_statements=60
+        )
+        workflow = ExperimentWorkflow(
+            "phase", standard_phase_steps(phase_window_hours=2, suffix="t")
+        )
+        run = workflow.run(
+            profile.name,
+            profile=profile,
+            recording=recording,
+            indexes_to_drop=[],
+            indexes_to_create=[],
+        )
+        assert run.succeeded, run.records
+        stats = run.context["phase_stats"]
+        assert stats
+        assert all(entry["executions"] >= 1 for entry in stats.values())
+
+
+class TestUserEmulation:
+    def test_seed_user_indexes_creates_indexes(self):
+        p = make_profile("user-test", seed=55, tier="premium", archetype="analytics")
+        p.workload.run(p.engine, hours=1, max_statements=120)
+        created = seed_user_indexes(
+            p, derive(55, "u"), learn_hours=6, max_statements=250
+        )
+        assert created
+        for definition in created:
+            assert not definition.auto_created
+            assert p.engine.index_exists(definition.table, definition.name)
+
+    def test_pick_indexes_to_drop_subset(self, profile):
+        fact_spec = profile.schema_spec.fact_tables()[0]
+        for i, spec in enumerate(fact_spec.columns[1:5]):
+            name = f"ix_pick_{i}"
+            if not profile.engine.index_exists(fact_spec.name, name):
+                profile.engine.create_index(
+                    IndexDefinition(name, fact_spec.name, (spec.name,))
+                )
+        picks = pick_indexes_to_drop(profile, derive(1, "p"), n_top=20, k=2)
+        assert len(picks) == 2
+        for table, name in picks:
+            assert profile.engine.index_exists(table, name)
+
+    def test_pick_with_no_indexes(self):
+        p = make_profile("bare", seed=66, tier="standard", archetype="webshop")
+        assert pick_indexes_to_drop(p, derive(2, "p")) == []
+
+
+class TestWinnerSelection:
+    def summary(self, score, variance=1.0):
+        return PhaseSummary(name="x", score=score, variance=variance, templates=5)
+
+    def test_clear_winner(self):
+        summaries = {
+            "DTA": self.summary(100.0),
+            "MI": self.summary(200.0),
+            "User": self.summary(300.0),
+        }
+        assert _pick_winner(summaries, ComparisonSettings()) == "DTA"
+
+    def test_insignificant_difference_is_comparable(self):
+        summaries = {
+            "DTA": self.summary(100.0, variance=900.0),
+            "MI": self.summary(101.0, variance=900.0),
+            "User": self.summary(102.0, variance=900.0),
+        }
+        assert _pick_winner(summaries, ComparisonSettings()) == "Comparable"
+
+    def test_small_effect_is_comparable(self):
+        summaries = {
+            "DTA": self.summary(100.0, variance=0.0001),
+            "MI": self.summary(100.5, variance=0.0001),
+            "User": self.summary(101.0, variance=0.0001),
+        }
+        assert _pick_winner(summaries, ComparisonSettings(min_effect=0.03)) == "Comparable"
+
+    def test_phase_summaries_fixed_counts(self):
+        stats = {
+            "a": {1: {"executions": 10, "total": 100.0, "m2_weighted": 9.0}},
+            "b": {1: {"executions": 5, "total": 40.0, "m2_weighted": 4.0}},
+        }
+        summaries = _phase_summaries(stats)
+        # Fixed count = 5 for both arms; scores use per-execution means.
+        assert summaries["a"].score == pytest.approx(5 * 10.0)
+        assert summaries["b"].score == pytest.approx(5 * 8.0)
+
+
+@pytest.mark.slow
+def test_compare_database_end_to_end():
+    p = make_profile("fig6-one", seed=99, tier="standard", archetype="webshop")
+    settings = ComparisonSettings(
+        user_learn_statements=200,
+        warmup_statements=150,
+        learn_statements=250,
+        phase_statements=250,
+        phase_hours=8,
+        warmup_hours=4,
+        learn_hours=8,
+        user_learn_hours=8,
+    )
+    result = compare_database(p, settings)
+    assert result.usable
+    assert result.winner in ("DTA", "MI", "User", "Comparable")
+    assert set(result.improvements) == {"DTA", "MI", "User"}
+    assert result.phases["baseline"].score > 0

@@ -1,0 +1,297 @@
+"""DTA pipeline tests: workload acquisition, candidates, enumeration, session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import HOURS
+from repro.engine import (
+    IndexDefinition,
+    InsertQuery,
+    JoinSpec,
+    Op,
+    OrderItem,
+    Predicate,
+    SelectQuery,
+    UpdateQuery,
+)
+from repro.engine.engine import EngineSettings
+from repro.engine.cost_model import CostModelSettings
+from repro.engine.query import Aggregate, AggFunc
+from repro.errors import ResourceBudgetExceededError, SessionAbortedError
+from repro.recommender.dta import DtaSession, DtaSessionState, DtaSettings
+from repro.recommender.dta.candidate_selection import (
+    candidates_for_query,
+    select_candidates,
+)
+from repro.recommender.dta.enumeration import (
+    EnumerationConstraints,
+    greedy_enumerate,
+)
+from repro.recommender.dta.whatif import WhatIfSession
+from repro.recommender.workload_selection import (
+    acquire_workload,
+    coverage_for_k,
+    window_for_tier,
+)
+from tests.conftest import (
+    make_customers_schema,
+    make_orders_schema,
+    populate_customers,
+    populate_orders,
+)
+from tests.engine.test_optimizer import perfect_engine
+from repro.engine.engine import Database, SqlEngine
+
+
+@pytest.fixture
+def eng():
+    return perfect_engine(seed=77)
+
+
+HOT = SelectQuery("orders", ("o_amount",), (Predicate("o_cust", Op.EQ, 3),))
+GROUPBY = SelectQuery(
+    "orders",
+    group_by=("o_status",),
+    aggregates=(Aggregate(AggFunc.SUM, "o_amount"),),
+)
+JOINQ = SelectQuery(
+    "orders",
+    ("o_id",),
+    (Predicate("o_id", Op.BETWEEN, 0, 60),),
+    join=JoinSpec("customers", "o_cust", "c_region", select_columns=("c_name",)),
+)
+ORDERED = SelectQuery(
+    "orders",
+    ("o_id", "o_amount"),
+    (Predicate("o_cust", Op.EQ, 5),),
+    order_by=(OrderItem("o_amount"),),
+    limit=5,
+)
+
+
+def warm_workload(eng, queries, repetitions=8):
+    for _ in range(repetitions):
+        for query in queries:
+            eng.execute(query)
+    eng.clock.advance(30.0)
+
+
+class TestWorkloadAcquisition:
+    def test_top_k_selected_by_cpu(self, eng):
+        warm_workload(eng, [HOT, GROUPBY])
+        workload = acquire_workload(eng, now=eng.now, hours=24, k=1)
+        assert len(workload.statements) <= 1
+        assert workload.statements[0].query_id == GROUPBY.template_key()
+
+    def test_coverage_grows_with_k(self, eng):
+        warm_workload(eng, [HOT, GROUPBY, JOINQ, ORDERED])
+        curve = coverage_for_k(eng, now=eng.now, hours=24, ks=[1, 2, 4])
+        coverages = [c for _k, c in curve]
+        assert coverages == sorted(coverages)
+        assert coverages[-1] > 0.9
+
+    def test_incomplete_text_counts_unsupported(self):
+        db = Database("frag", seed=123)
+        populate_orders(db.create_table(make_orders_schema()), n_rows=500)
+        settings = EngineSettings(
+            cost_model=CostModelSettings(error_sigma=0.0, severe_error_rate=0.0),
+            incomplete_text_rate=1.0,
+            plan_cache_hit_rate=0.0,
+        )
+        engine = SqlEngine(db, settings=settings)
+        engine.build_all_statistics()
+        warm_workload(engine, [HOT])
+        workload = acquire_workload(engine, now=engine.now, hours=24, k=5)
+        assert workload.unsupported
+        assert workload.coverage < 1.0
+
+    def test_plan_cache_recovers_fragments(self):
+        db = Database("frag2", seed=124)
+        populate_orders(db.create_table(make_orders_schema()), n_rows=500)
+        settings = EngineSettings(
+            cost_model=CostModelSettings(error_sigma=0.0, severe_error_rate=0.0),
+            incomplete_text_rate=1.0,
+            plan_cache_hit_rate=1.0,
+        )
+        engine = SqlEngine(db, settings=settings)
+        engine.build_all_statistics()
+        warm_workload(engine, [HOT])
+        workload = acquire_workload(engine, now=engine.now, hours=24, k=5)
+        assert not workload.unsupported
+        assert len(workload.statements) >= 1
+
+    def test_bulk_insert_rewritten(self, eng):
+        for batch in range(8):
+            base = 800_000 + batch * 100
+            bulk = InsertQuery(
+                "orders",
+                tuple((base + i, 1, 1, 1.0, 1, "x") for i in range(5)),
+                bulk=True,
+            )
+            eng.execute(bulk)
+        eng.clock.advance(30.0)
+        workload = acquire_workload(eng, now=eng.now, hours=24, k=5)
+        inserted = [s for s in workload.statements if s.kind == "INSERT"]
+        assert inserted
+        assert not inserted[0].query.bulk  # rewritten to optimizable INSERT
+
+    def test_window_for_tier_scales(self):
+        basic = window_for_tier("basic")
+        premium = window_for_tier("premium")
+        assert premium[0] > basic[0]
+        assert premium[1] > basic[1]
+
+
+class TestCandidateSelection:
+    def test_sargable_candidates(self):
+        candidates = candidates_for_query(HOT)
+        assert any(c.key_columns == ("o_cust",) for c in candidates)
+
+    def test_groupby_candidate(self):
+        candidates = candidates_for_query(GROUPBY)
+        assert any(
+            c.key_columns == ("o_status",) and "o_amount" in c.included_columns
+            for c in candidates
+        )
+
+    def test_join_candidate_targets_inner_table(self):
+        candidates = candidates_for_query(JOINQ)
+        join_candidates = [c for c in candidates if c.table == "customers"]
+        assert any(c.key_columns[0] == "c_region" for c in join_candidates)
+
+    def test_orderby_candidate_has_order_keys(self):
+        candidates = candidates_for_query(ORDERED)
+        assert any(
+            c.key_columns == ("o_cust", "o_amount") for c in candidates
+        )
+
+    def test_update_candidate_from_predicates(self):
+        update = UpdateQuery(
+            "orders", (("o_amount", 1.0),), (Predicate("o_status", Op.EQ, 2),)
+        )
+        candidates = candidates_for_query(update)
+        assert len(candidates) == 1
+        assert candidates[0].key_columns == ("o_status",)
+
+    def test_select_candidates_keeps_beneficial_only(self, eng):
+        warm_workload(eng, [HOT, GROUPBY])
+        workload = acquire_workload(eng, now=eng.now, hours=24, k=5)
+        whatif = WhatIfSession(eng)
+        chosen = select_candidates(whatif, workload.statements)
+        assert chosen
+        assert all(c.total_benefit > 0 for c in chosen)
+        assert whatif.stats.calls > 0
+
+
+class TestEnumeration:
+    def run_enum(self, eng, max_indexes=3, storage=None):
+        warm_workload(eng, [HOT, GROUPBY, ORDERED])
+        workload = acquire_workload(eng, now=eng.now, hours=24, k=6)
+        whatif = WhatIfSession(eng)
+        candidates = select_candidates(whatif, workload.statements)
+        return greedy_enumerate(
+            eng,
+            whatif,
+            workload.statements,
+            candidates,
+            constraints=EnumerationConstraints(
+                max_indexes=max_indexes, storage_budget_bytes=storage
+            ),
+        )
+
+    def test_enumeration_improves_workload(self, eng):
+        result = self.run_enum(eng)
+        assert result.final_cost < result.base_cost
+        assert result.improvement_pct > 20
+
+    def test_max_indexes_respected(self, eng):
+        result = self.run_enum(eng, max_indexes=1)
+        assert len(result.chosen) <= 1
+
+    def test_storage_budget_respected(self, eng):
+        generous = self.run_enum(eng)
+        tight = self.run_enum(perfect_engine(seed=77), storage=8192 * 4)
+        total = sum(
+            perfect_engine(seed=77)
+            .database.table(c.table)
+            .hypothetical_stats_view(c.definition)
+            .size_bytes
+            for c in tight.chosen
+        )
+        assert total <= 8192 * 4
+        assert len(tight.chosen) <= len(generous.chosen)
+
+
+class TestSession:
+    def test_session_completes_with_recommendations(self, eng):
+        warm_workload(eng, [HOT, GROUPBY, ORDERED, JOINQ])
+        session = DtaSession(eng, DtaSettings(tier="premium"))
+        recommendations = session.run()
+        assert session.state is DtaSessionState.COMPLETED
+        assert recommendations
+        assert all(r.source == "DTA" for r in recommendations)
+        assert session.report is not None
+        assert session.report.coverage > 0.5
+
+    def test_session_abort_on_interference(self, eng):
+        warm_workload(eng, [HOT])
+        session = DtaSession(
+            eng,
+            DtaSettings(tier="premium"),
+            interference_check=lambda: True,
+        )
+        with pytest.raises(SessionAbortedError):
+            session.run()
+        assert session.state is DtaSessionState.ABORTED
+
+    def test_session_budget_exhaustion_is_transient(self):
+        db = Database("tight", seed=55)
+        populate_orders(db.create_table(make_orders_schema()), n_rows=2000)
+        settings = EngineSettings(
+            cost_model=CostModelSettings(error_sigma=0.0, severe_error_rate=0.0)
+        )
+        engine = SqlEngine(db, settings=settings, tuning_budget_cpu_ms=30.0)
+        engine.build_all_statistics()
+        warm_workload(engine, [HOT, GROUPBY, ORDERED])
+        session = DtaSession(engine, DtaSettings(tier="standard"))
+        with pytest.raises(ResourceBudgetExceededError):
+            session.run()
+        assert session.state is DtaSessionState.FAILED
+
+    def test_session_resumes_after_budget_window(self):
+        db = Database("resume", seed=56)
+        populate_orders(db.create_table(make_orders_schema()), n_rows=2000)
+        settings = EngineSettings(
+            cost_model=CostModelSettings(error_sigma=0.0, severe_error_rate=0.0)
+        )
+        engine = SqlEngine(db, settings=settings, tuning_budget_cpu_ms=800.0)
+        engine.build_all_statistics()
+        warm_workload(engine, [HOT, GROUPBY, ORDERED])
+        session = DtaSession(engine, DtaSettings(tier="standard"))
+        recommendations = None
+        for _attempt in range(20):
+            try:
+                recommendations = session.run()
+                break
+            except ResourceBudgetExceededError:
+                engine.clock.advance(61.0)  # next governance window
+        assert recommendations is not None
+        assert session.state is DtaSessionState.COMPLETED
+
+    def test_dta_skips_already_indexed(self, eng):
+        eng.create_index(
+            IndexDefinition("ix_cust", "orders", ("o_cust",), ("o_amount",))
+        )
+        warm_workload(eng, [HOT])
+        session = DtaSession(eng, DtaSettings(tier="premium"))
+        recommendations = session.run()
+        assert all(r.key_columns != ("o_cust",) for r in recommendations)
+
+    def test_report_lists_impacted_statements(self, eng):
+        warm_workload(eng, [HOT, GROUPBY])
+        session = DtaSession(eng, DtaSettings(tier="premium"))
+        recommendations = session.run()
+        assert recommendations
+        impacted = [s for s in session.report.statements if s.impacted_by]
+        assert impacted

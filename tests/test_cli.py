@@ -1,0 +1,41 @@
+"""CLI tests (direct invocation of the argparse entry points)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig6_args(self):
+        args = build_parser().parse_args(
+            ["fig6", "--tier", "premium", "--dbs", "2", "--seed", "7"]
+        )
+        assert args.tier == "premium"
+        assert args.dbs == 2
+        assert args.seed == 7
+
+    def test_ops_defaults(self):
+        args = build_parser().parse_args(["ops"])
+        assert args.days == 4
+        assert args.tier == "standard"
+
+
+class TestCommands:
+    def test_ops_runs(self, capsys):
+        assert main(["ops", "--dbs", "1", "--days", "1", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "running the closed loop" in out
+        assert "create recommendations" in out
+
+    @pytest.mark.slow
+    def test_fig6_runs(self, capsys):
+        assert main(["fig6", "--dbs", "1", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+        assert "winner=" in out

@@ -1,0 +1,89 @@
+"""Tests for the simulated clock and deterministic RNG helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import DAYS, HOURS, MINUTES, SimClock
+from repro.rng import derive, stable_hash, stable_uniform
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance(90.0)
+        assert clock.now == 90.0
+
+    def test_advance_backwards_rejected(self):
+        clock = SimClock(start=10.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(5.0)
+
+    def test_units(self):
+        assert HOURS == 60 * MINUTES
+        assert DAYS == 24 * HOURS
+
+    def test_timers_fire_in_order(self):
+        clock = SimClock()
+        fired = []
+        clock.call_at(10.0, lambda: fired.append("a"))
+        clock.call_at(5.0, lambda: fired.append("b"))
+        clock.call_after(7.0, lambda: fired.append("c"))
+        clock.advance(20.0)
+        assert fired == ["b", "c", "a"]
+        assert clock.now == 20.0
+
+    def test_timer_not_due_does_not_fire(self):
+        clock = SimClock()
+        fired = []
+        clock.call_at(100.0, lambda: fired.append(1))
+        clock.advance(50.0)
+        assert fired == []
+
+    def test_timer_can_schedule_timer(self):
+        clock = SimClock()
+        fired = []
+
+        def first():
+            fired.append("first")
+            clock.call_after(5.0, lambda: fired.append("second"))
+
+        clock.call_at(10.0, first)
+        clock.advance(20.0)
+        assert fired == ["first", "second"]
+
+    def test_past_timer_rejected(self):
+        clock = SimClock(start=10.0)
+        with pytest.raises(ValueError):
+            clock.call_at(5.0, lambda: None)
+
+
+class TestRng:
+    def test_derive_deterministic(self):
+        a = derive(1, "x", "y").integers(1 << 40)
+        b = derive(1, "x", "y").integers(1 << 40)
+        assert a == b
+
+    def test_derive_sensitive_to_labels(self):
+        a = derive(1, "x").integers(1 << 40)
+        b = derive(1, "y").integers(1 << 40)
+        c = derive(2, "x").integers(1 << 40)
+        assert len({int(a), int(b), int(c)}) == 3
+
+    def test_stable_hash_deterministic(self):
+        assert stable_hash("a", 1, None) == stable_hash("a", 1, None)
+        assert stable_hash("a") != stable_hash("b")
+
+    def test_stable_hash_nonnegative(self):
+        for value in ("x", 123, ("a", "b")):
+            assert stable_hash(value) >= 0
+
+    def test_stable_uniform_range(self):
+        draws = [stable_uniform("u", i) for i in range(200)]
+        assert all(0.0 <= d < 1.0 for d in draws)
+        assert 0.3 < sum(draws) / len(draws) < 0.7

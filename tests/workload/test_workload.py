@@ -1,0 +1,229 @@
+"""Workload generation tests: schemas, data, templates, streams, replay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clock import HOURS, SimClock
+from repro.engine.engine import Database, SqlEngine
+from repro.engine.query import InsertQuery, SelectQuery, UpdateQuery
+from repro.rng import derive
+from repro.workload.app_profiles import ARCHETYPES, TIER_ARCHETYPES, make_profile
+from repro.workload.data_gen import populate_database
+from repro.workload.generator import Workload
+from repro.workload.replay import StreamReplayer, TdsStream
+from repro.workload.schema_gen import generate_schema
+from repro.workload.templates import build_templates
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return make_profile("wl-test", seed=5, tier="standard", archetype="saas_invoicing")
+
+
+class TestSchemaGen:
+    def test_deterministic(self):
+        s1 = generate_schema(derive(1, "s"))
+        s2 = generate_schema(derive(1, "s"))
+        assert [t.name for t in s1.tables] == [t.name for t in s2.tables]
+        assert [
+            [c.name for c in t.columns] for t in s1.tables
+        ] == [[c.name for c in t.columns] for t in s2.tables]
+
+    def test_structure(self):
+        spec = generate_schema(derive(2, "s"), n_fact_tables=2, n_dimension_tables=3)
+        assert len(spec.fact_tables()) == 2
+        assert len(spec.dimension_tables()) == 3
+        fact = spec.fact_tables()[0]
+        fks = [c for c in fact.columns if c.role == "fk"]
+        assert {fk.references for fk in fks} == {t.name for t in spec.dimension_tables()}
+
+    def test_globally_unique_column_names(self):
+        spec = generate_schema(derive(3, "s"), n_fact_tables=2, n_dimension_tables=2)
+        names = [c.name for t in spec.tables for c in t.columns]
+        assert len(names) == len(set(names))
+
+
+class TestDataGen:
+    def test_population_matches_spec(self):
+        spec = generate_schema(derive(4, "s"))
+        db = Database("d", seed=4)
+        populate_database(db, spec, derive(4, "data"))
+        for table_spec in spec.tables:
+            assert db.table(table_spec.name).row_count == table_spec.row_count
+
+    def test_fk_values_in_range(self):
+        spec = generate_schema(derive(5, "s"))
+        db = Database("d", seed=5)
+        populate_database(db, spec, derive(5, "data"))
+        fact = spec.fact_tables()[0]
+        fk = next(c for c in fact.columns if c.role == "fk")
+        dim_rows = spec.table(fk.references).row_count
+        position = fact.schema.position(fk.name)
+        values = [row[position] for row in db.table(fact.name).rows()]
+        assert all(0 <= v < dim_rows for v in values)
+
+    def test_skewed_column_is_skewed(self):
+        spec = generate_schema(derive(6, "s"))
+        db = Database("d", seed=6)
+        populate_database(db, spec, derive(6, "data"))
+        fact = spec.fact_tables()[0]
+        skew = next((c for c in fact.columns if c.role == "skewed"), None)
+        if skew is None:
+            pytest.skip("no skewed column generated under this seed")
+        position = fact.schema.position(skew.name)
+        values = [row[position] for row in db.table(fact.name).rows()]
+        top_share = values.count(0) / len(values)
+        assert top_share > 0.2  # zipf head dominates
+
+
+class TestTemplates:
+    def test_build_produces_variety(self, profile):
+        kinds = {t.kind for t in profile.workload.templates}
+        assert {"point_select", "pk_lookup", "insert", "update_by_pk"} <= kinds
+
+    def test_template_key_stable_across_samples(self, profile):
+        rng = derive(9, "t")
+        for template in profile.workload.templates:
+            q1 = template.sample(rng)
+            q2 = template.sample(rng)
+            assert q1.template_key() == q2.template_key(), template.name
+
+    def test_distinct_templates_have_distinct_keys(self, profile):
+        rng = derive(10, "t")
+        keys = [t.sample(rng).template_key() for t in profile.workload.templates]
+        assert len(set(keys)) == len(keys)
+
+    def test_all_templates_executable(self, profile):
+        rng = derive(11, "t")
+        for template in profile.workload.templates:
+            result = profile.engine.execute(template.sample(rng))
+            assert result.metrics.cpu_time_ms >= 0
+
+    def test_complexity_scales_join_weight(self):
+        spec = generate_schema(derive(12, "s"))
+        simple = build_templates(spec, derive(12, "t"), complexity=0.2)
+        complex_ = build_templates(spec, derive(12, "t"), complexity=3.0)
+
+        def join_share(templates):
+            total = sum(t.weight for t in templates)
+            joins = sum(t.weight for t in templates if t.kind in ("join_select", "groupby_agg"))
+            return joins / total
+
+        assert join_share(complex_) > join_share(simple)
+
+    def test_read_write_ratio_scales_writes(self):
+        spec = generate_schema(derive(13, "s"))
+        writey = build_templates(spec, derive(13, "t"), read_write_ratio=0.3)
+        ready = build_templates(spec, derive(13, "t"), read_write_ratio=5.0)
+
+        def write_share(templates):
+            total = sum(t.weight for t in templates)
+            writes = sum(
+                t.weight
+                for t in templates
+                if t.kind in ("insert", "bulk_insert", "update_by_pk",
+                              "update_by_predicate", "delete_old")
+            )
+            return writes / total
+
+        assert write_share(writey) > write_share(ready)
+
+
+class TestWorkloadRun:
+    def test_run_advances_clock_and_records(self, profile):
+        engine = profile.engine
+        start = engine.clock.now
+        recording = profile.workload.run(engine, hours=1, record=True)
+        assert engine.clock.now >= start + 1 * HOURS
+        assert len(recording) > 10
+        times = [s.at for s in recording.statements]
+        assert times == sorted(times)
+
+    def test_max_statements_cap(self, profile):
+        recording = profile.workload.run(
+            profile.engine, hours=10, record=True, max_statements=5
+        )
+        assert len(recording) == 5
+
+    def test_generate_recording_without_execution(self, profile):
+        recording = profile.workload.generate_recording(start=0.0, hours=2)
+        assert len(recording) > 0
+        assert recording.statements[0].at >= 0.0
+
+    def test_diurnal_rate_varies(self, profile):
+        day_rate = profile.workload._rate(12 * HOURS)
+        night_rate = profile.workload._rate(0 * HOURS)
+        assert day_rate != night_rate
+
+    def test_drift_changes_weights(self):
+        workload = Workload(
+            templates=make_profile("drift", seed=7, archetype="webshop").workload.templates,
+            rng=derive(7, "w"),
+            drift_rate=0.8,
+        )
+        w0 = workload._current_weights(0.0)
+        w1 = workload._current_weights(12 * HOURS)
+        assert not np.allclose(w0, w1)
+
+
+class TestProfiles:
+    def test_deterministic_rebuild(self):
+        p1 = make_profile("same", seed=3, tier="standard")
+        p2 = make_profile("same", seed=3, tier="standard")
+        assert p1.archetype == p2.archetype
+        assert {t.name: t.row_count for t in p1.schema_spec.tables} == {
+            t.name: t.row_count for t in p2.schema_spec.tables
+        }
+
+    def test_all_archetypes_buildable(self):
+        for archetype in ARCHETYPES:
+            profile = make_profile(f"a-{archetype}", seed=1, archetype=archetype)
+            assert profile.database.total_data_pages() > 0
+
+    def test_tier_mixes_valid(self):
+        for tier, mix in TIER_ARCHETYPES.items():
+            assert all(a in ARCHETYPES for a, _w in mix)
+            profile = make_profile(f"t-{tier}", seed=2, tier=tier)
+            assert profile.tier == tier
+
+
+class TestReplay:
+    def test_fork_drops_and_replays(self, profile):
+        recording = profile.workload.generate_recording(start=0.0, hours=3)
+        stream = TdsStream(recording)
+        fork = stream.fork(derive(8, "f"), drop_rate=0.2)
+        assert fork.dropped > 0
+        assert len(fork.statements) < len(recording)
+
+    def test_fork_timestamps_monotonic(self, profile):
+        recording = profile.workload.generate_recording(start=0.0, hours=3)
+        fork = TdsStream(recording).fork(derive(9, "f"), reorder_rate=0.5)
+        times = [s.at for s in fork.statements]
+        assert times == sorted(times)
+
+    def test_replay_on_snapshot(self, profile):
+        recording = profile.workload.generate_recording(start=0.0, hours=1)
+        snapshot = profile.database.snapshot("b-copy")
+        b_engine = SqlEngine(snapshot, clock=SimClock())
+        b_engine.build_all_statistics()
+        fork = TdsStream(recording).fork(derive(10, "f"), drop_rate=0.0)
+        report = StreamReplayer(b_engine).replay(fork)
+        assert report.executed > 0
+        assert report.divergence < 0.2
+
+    def test_snapshot_is_independent(self, profile):
+        snapshot = profile.database.snapshot("b2")
+        fact = profile.schema_spec.fact_tables()[0].name
+        before = snapshot.table(fact).row_count
+        b_engine = SqlEngine(snapshot, clock=SimClock())
+        pk = 50_000_000
+        row = [pk] + [None] * (len(snapshot.table(fact).schema.columns) - 1)
+        # Fill non-nullable columns crudely with zeros.
+        for i, col in enumerate(snapshot.table(fact).schema.columns):
+            if not col.nullable and row[i] is None:
+                row[i] = 0
+        b_engine.execute(InsertQuery(fact, (tuple(row),)))
+        assert snapshot.table(fact).row_count == before + 1
+        assert profile.database.table(fact).row_count != snapshot.table(fact).row_count
