@@ -8,10 +8,13 @@ DTA can afford hundreds of calls per session, Section 5.3).
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
 from benchmarks.conftest import emit
+from repro.observability import MetricsRegistry, json_text
 from repro.engine import (
     Column,
     Database,
@@ -24,6 +27,21 @@ from repro.engine import (
     TableSchema,
 )
 from repro.engine.btree import BPlusTree, PageMeter
+
+#: Results flow through the shared telemetry schema (json_export), so the
+#: same tooling that reads ``repro telemetry --format json`` can plot the
+#: micro-benchmarks.  The final test in this module dumps the registry.
+REGISTRY = MetricsRegistry()
+
+
+def record_duration(benchmark, name: str) -> None:
+    """Store a pytest-benchmark mean as a bench_duration_ms gauge."""
+    stats = getattr(benchmark, "stats", None)
+    if stats is None:  # --benchmark-disable runs
+        return
+    REGISTRY.gauge("bench_duration_ms", benchmark=name).set(
+        stats.stats.mean * 1000.0
+    )
 
 
 @pytest.fixture(scope="module")
@@ -40,10 +58,14 @@ def test_btree_seek(benchmark, big_tree):
         return list(big_tree.seek_prefix((key,)))
 
     benchmark(seek)
+    record_duration(benchmark, "btree_seek")
     meter = PageMeter()
     list(big_tree.seek_prefix((100_000,), meter=meter))
     emit([f"== B+ tree: seek touches {meter.pages} pages of "
           f"{big_tree.page_count} (height {big_tree.height}) =="])
+    REGISTRY.gauge("bench_pages_touched", benchmark="btree_seek").set(meter.pages)
+    REGISTRY.gauge("bench_tree_height").set(big_tree.height)
+    REGISTRY.gauge("bench_tree_pages").set(big_tree.page_count)
     assert meter.pages <= big_tree.height + 1
 
 
@@ -55,6 +77,7 @@ def test_btree_full_scan(benchmark, big_tree):
         return count
 
     result = benchmark(scan)
+    record_duration(benchmark, "btree_full_scan")
     assert result == 200_000
 
 
@@ -85,12 +108,17 @@ QUERY = SelectQuery("t", ("val",), (Predicate("grp", Op.EQ, 77),))
 
 def test_execute_indexed_query(benchmark, bench_engine):
     result = benchmark(lambda: bench_engine.execute(QUERY))
+    record_duration(benchmark, "execute_indexed_query")
+    REGISTRY.gauge(
+        "bench_pages_touched", benchmark="execute_indexed_query"
+    ).set(result.metrics.logical_reads)
     assert result.metrics.logical_reads < 20
 
 
 def test_whatif_call(benchmark, bench_engine):
     hyp = IndexDefinition("hyp", "t", ("val",), hypothetical=True)
     plan = benchmark(lambda: bench_engine.whatif_optimize(QUERY, (hyp,)))
+    record_duration(benchmark, "whatif_call")
     assert plan.est_cost > 0
 
 
@@ -111,4 +139,17 @@ def test_whatif_cheaper_than_execution(bench_engine):
         f"  what-if optimize: {whatif_time * 1000:.1f} ms",
         f"  scan execution:   {execute_time * 1000:.1f} ms",
     ])
+    REGISTRY.gauge("bench_duration_ms", benchmark="whatif_200_ops").set(
+        whatif_time * 1000.0
+    )
+    REGISTRY.gauge("bench_duration_ms", benchmark="scan_200_ops").set(
+        execute_time * 1000.0
+    )
     assert whatif_time < execute_time
+
+
+def test_zz_emit_telemetry_json():
+    """Last in the module: dump everything recorded above as JSON."""
+    text = json_text(REGISTRY)
+    emit(["== engine micro-benchmark telemetry (repro-telemetry-v1) ==", text])
+    assert json.loads(text)["schema"] == "repro-telemetry-v1"

@@ -1,12 +1,16 @@
 """Command-line interface.
 
-Three subcommands mirror the repo's main entry points:
+Four subcommands mirror the repo's main entry points:
 
 - ``repro demo`` — the quickstart flow on one generated database;
 - ``repro ops --days N --dbs K`` — a closed-loop service run with the
   Section 8.1-style operational report;
 - ``repro fig6 --tier premium --dbs K`` — the Figure 6 experiment for one
-  tier.
+  tier;
+- ``repro telemetry --days N --dbs K`` — a closed-loop run rendered as
+  the live-style fleet dashboard (state-machine counts, revert rate,
+  slowest tuning sessions, engine hot paths), with ``--format json`` /
+  ``--format prom`` machine-readable exports.
 
 Invoke as ``python -m repro <command>``.
 """
@@ -25,6 +29,13 @@ from repro.controlplane import (
 )
 from repro.experiment.compare import ComparisonSettings, compare_fleet
 from repro.fleet import Fleet, FleetSpec
+from repro.observability import (
+    Profiler,
+    json_text,
+    prometheus_text,
+    render_dashboard,
+    use_profiler,
+)
 from repro.reporting import operational_report
 from repro.service import ServiceSettings, build_service
 
@@ -87,6 +98,41 @@ def cmd_ops(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_telemetry(args: argparse.Namespace) -> int:
+    """Closed-loop run rendered through the observability layer."""
+    profiler = Profiler()
+    with use_profiler(profiler):
+        service = build_service(
+            n_databases=args.dbs,
+            tier=args.tier,
+            seed=args.seed,
+            control_settings=ControlPlaneSettings(
+                snapshot_period=2 * HOURS,
+                analysis_period=8 * HOURS,
+                validation_window=6 * HOURS,
+            ),
+            service_settings=ServiceSettings(max_statements_per_step=80),
+            default_config=AutoIndexingConfig(create_mode=AutoMode.AUTO),
+        )
+        print(
+            f"collecting fleet telemetry: {args.dbs} {args.tier} databases, "
+            f"{args.days} simulated days"
+        )
+        service.run(hours=args.days * 24)
+    telemetry = service.telemetry
+    if args.format == "json":
+        print(json_text(telemetry.registry, telemetry.recorder, profiler))
+    elif args.format == "prom":
+        print(prometheus_text(telemetry.registry), end="")
+    else:
+        print()
+        for line in render_dashboard(
+            telemetry.registry, telemetry.recorder, profiler, top_n=args.top
+        ):
+            print(line)
+    return 0
+
+
 def cmd_fig6(args: argparse.Namespace) -> int:
     """Run the Figure 6 recommender comparison for one tier."""
     fleet = Fleet(FleetSpec(n_databases=args.dbs, tier=args.tier, seed=args.seed))
@@ -119,6 +165,20 @@ def build_parser() -> argparse.ArgumentParser:
     fig6 = sub.add_parser("fig6", help="the Figure 6 recommender comparison")
     _add_common(fig6)
     fig6.set_defaults(func=cmd_fig6)
+    telemetry = sub.add_parser(
+        "telemetry", help="closed-loop run + fleet telemetry dashboard"
+    )
+    _add_common(telemetry)
+    telemetry.add_argument("--days", type=int, default=4)
+    telemetry.add_argument(
+        "--top", type=int, default=5, help="slowest tuning sessions to list"
+    )
+    telemetry.add_argument(
+        "--format",
+        choices=("dashboard", "json", "prom"),
+        default="dashboard",
+    )
+    telemetry.set_defaults(func=cmd_telemetry)
     return parser
 
 

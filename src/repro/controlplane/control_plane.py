@@ -22,6 +22,8 @@ from repro.controlplane.states import DatabaseState, RecommendationState
 from repro.controlplane.store import RecommendationRecord, StateStore
 from repro.engine.engine import SqlEngine
 from repro.errors import PermanentError, TransientError
+from repro.observability import Telemetry
+from repro.observability.spans import Span
 from repro.recommender import (
     DropRecommender,
     MiRecommender,
@@ -132,8 +134,15 @@ class ControlPlane:
         self.validation_settings = validation_settings or ValidationSettings()
         self.classifier = classifier or LowImpactClassifier()
         self.mi_settings = mi_settings
+        self.telemetry = Telemetry()
         self.store = StateStore()
-        self.events = EventBus()
+        self.store.on_insert = self._telemetry_on_insert
+        self.store.on_transition = self._telemetry_on_transition
+        #: Open root span per live recommendation, keyed by rec_id.
+        self._record_spans: Dict[int, Span] = {}
+        #: Open state-occupancy span per live recommendation.
+        self._phase_spans: Dict[int, Span] = {}
+        self.events = EventBus(metrics=self.telemetry.registry)
         self.scheduler = JobScheduler()
         self.faults = FaultInjector(fault_seed)
         self.databases: Dict[str, ManagedDatabase] = {}
@@ -158,6 +167,83 @@ class ControlPlane:
         self.validate_service = ValidationService(self)
         self.dta_service = DtaSessionManager(self)
         self.health_service = HealthService(self)
+
+    # ------------------------------------------------------------------
+    # Telemetry (state-machine spans + metrics, Section 3's observability)
+
+    #: Span kind for each non-terminal state a record can occupy.
+    _PHASE_KINDS = {
+        RecommendationState.ACTIVE: "recommend",
+        RecommendationState.IMPLEMENTING: "implement",
+        RecommendationState.VALIDATING: "validate",
+        RecommendationState.REVERTING: "revert",
+        RecommendationState.RETRY: "retry",
+    }
+
+    def _telemetry_on_insert(self, record: RecommendationRecord, at: float) -> None:
+        registry = self.telemetry.registry
+        recommendation = record.recommendation
+        registry.counter(
+            "recommendations_created_total",
+            database=record.database,
+            action=recommendation.action.value,
+            source=recommendation.source or "unknown",
+        ).inc()
+        registry.gauge("records_in_state", state=record.state.value).inc()
+        root = self.telemetry.tracer.start(
+            "recommendation",
+            record.database,
+            at,
+            rec_id=record.rec_id,
+            action=recommendation.action.value,
+            source=recommendation.source or "unknown",
+        )
+        self._record_spans[record.rec_id] = root
+        self._phase_spans[record.rec_id] = self.telemetry.tracer.start(
+            self._PHASE_KINDS[record.state],
+            record.database,
+            at,
+            parent=root,
+            rec_id=record.rec_id,
+        )
+
+    def _telemetry_on_transition(
+        self,
+        record: RecommendationRecord,
+        old_state: RecommendationState,
+        new_state: RecommendationState,
+        at: float,
+        note: str,
+    ) -> None:
+        registry = self.telemetry.registry
+        registry.counter(
+            "state_transitions_total",
+            database=record.database,
+            from_state=old_state.value,
+            to_state=new_state.value,
+        ).inc()
+        registry.gauge("records_in_state", state=old_state.value).dec()
+        registry.gauge("records_in_state", state=new_state.value).inc()
+        tracer = self.telemetry.tracer
+        phase = self._phase_spans.pop(record.rec_id, None)
+        if phase is not None:
+            tracer.end(phase, at, outcome=new_state.value)
+            registry.histogram(
+                "state_duration_minutes", state=old_state.value
+            ).observe(at - phase.start)
+        root = self._record_spans.get(record.rec_id)
+        if new_state.terminal:
+            if root is not None and root.open:
+                tracer.end(root, at, outcome=new_state.value)
+            self._record_spans.pop(record.rec_id, None)
+        else:
+            self._phase_spans[record.rec_id] = tracer.start(
+                self._PHASE_KINDS[new_state],
+                record.database,
+                at,
+                parent=root,
+                rec_id=record.rec_id,
+            )
 
     # ------------------------------------------------------------------
     # Registration
@@ -359,6 +445,9 @@ class ControlPlane:
         self.incidents.append(
             Incident(at=now, database=managed.name, rec_id=record.rec_id, description=reason)
         )
+        self.telemetry.registry.counter(
+            "incidents_total", database=managed.name
+        ).inc()
 
     # ------------------------------------------------------------------
     # User actions (Section 2)

@@ -4,7 +4,13 @@ The control plane's components are decentralized and communicate through
 asynchronous events (Section 3).  For compliance, events never carry
 customer data (query text, literals) — only anonymized identifiers and
 aggregates, which is also how the paper's engineers debug the service
-(Section 1.2).
+(Section 1.2).  The compliance check recurses into nested payload
+values, so customer data cannot hide inside a list or sub-dict.
+
+When constructed with a :class:`~repro.observability.MetricsRegistry`,
+every ``emit`` also increments the ``events_total`` counter (labeled by
+kind and database), which is how the fleet dashboard counts event
+traffic without a subscriber.
 """
 
 from __future__ import annotations
@@ -12,6 +18,12 @@ from __future__ import annotations
 import dataclasses
 from collections import Counter
 from typing import Callable, Dict, List, Optional
+
+from repro.observability.compliance import FORBIDDEN_KEYS, ensure_compliant
+
+#: Backwards-compatible alias; the authoritative set lives in
+#: :mod:`repro.observability.compliance`.
+_FORBIDDEN_PAYLOAD_KEYS = FORBIDDEN_KEYS
 
 
 @dataclasses.dataclass(frozen=True)
@@ -24,16 +36,14 @@ class Event:
     payload: dict
 
 
-_FORBIDDEN_PAYLOAD_KEYS = {"query_text", "text", "literal", "parameters"}
-
-
 class EventBus:
     """Publish/subscribe bus with bounded history."""
 
-    def __init__(self, history_limit: int = 50_000) -> None:
+    def __init__(self, history_limit: int = 50_000, metrics=None) -> None:
         self._subscribers: Dict[str, List[Callable[[Event], None]]] = {}
         self._history: List[Event] = []
         self._history_limit = history_limit
+        self._metrics = metrics
         self.counts: Counter = Counter()
 
     def subscribe(self, kind: str, callback: Callable[[Event], None]) -> None:
@@ -41,16 +51,17 @@ class EventBus:
         self._subscribers.setdefault(kind, []).append(callback)
 
     def emit(self, at: float, kind: str, database: str, **payload) -> Event:
-        leaked = _FORBIDDEN_PAYLOAD_KEYS.intersection(payload)
-        if leaked:
-            raise ValueError(
-                f"event payload contains customer data keys: {sorted(leaked)}"
-            )
+        ensure_compliant(payload, "event payload")
         event = Event(at=at, kind=kind, database=database, payload=payload)
         self._history.append(event)
         if len(self._history) > self._history_limit:
-            del self._history[: self._history_limit // 10]
+            # Trim to exactly the cap: drop the oldest overflow entries.
+            del self._history[: len(self._history) - self._history_limit]
         self.counts[kind] += 1
+        if self._metrics is not None:
+            self._metrics.counter(
+                "events_total", kind=kind, database=database
+            ).inc()
         for callback in self._subscribers.get(kind, ()):
             callback(event)
         for callback in self._subscribers.get("*", ()):

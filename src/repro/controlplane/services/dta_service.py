@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, List
 
 from repro.errors import ResourceBudgetExceededError, SessionAbortedError
+from repro.observability.spans import Span
 from repro.recommender.dta import DtaSession, DtaSettings
 from repro.recommender.recommendation import IndexRecommendation
 
@@ -27,12 +28,17 @@ class DtaSessionManager:
         self.plane = plane
         self._sessions: Dict[str, DtaSession] = {}
         self._deferrals: Dict[str, int] = {}
+        #: Open telemetry span per resumable session; a budget-deferred
+        #: session keeps its span open across analysis periods, so the
+        #: recorded duration is the true wall-to-wall simulated time.
+        self._session_spans: Dict[str, Span] = {}
 
     def settings_for(self, managed: "ManagedDatabase") -> DtaSettings:
         return DtaSettings(tier=managed.tier)
 
     def run(self, managed: "ManagedDatabase", now: float) -> List[IndexRecommendation]:
         """Run (or resume) a session; raises TransientError on budget."""
+        telemetry = self.plane.telemetry
         session = self._sessions.get(managed.name)
         if session is None:
             session = DtaSession(
@@ -42,6 +48,10 @@ class DtaSessionManager:
             )
             self._sessions[managed.name] = session
             self._deferrals[managed.name] = 0
+            self._session_spans[managed.name] = telemetry.tracer.start(
+                "dta_session", managed.name, now, source="DTA",
+                tier=managed.tier,
+            )
         try:
             recommendations = session.run()
         except ResourceBudgetExceededError:
@@ -53,23 +63,43 @@ class DtaSessionManager:
             if self._deferrals[managed.name] >= self.MAX_BUDGET_DEFERRALS:
                 # Give up: clean up and surface an analysis failure.
                 del self._sessions[managed.name]
+                self._close_session_span(managed, now, "abandoned")
                 self.plane.events.emit(now, "dta_abandoned", managed.name)
                 return []
             raise  # transient: the next analysis period resumes the session
         except SessionAbortedError:
             del self._sessions[managed.name]
+            self._close_session_span(managed, now, "aborted")
             self.plane.events.emit(now, "dta_aborted", managed.name)
             return []
         managed.dta_sessions += 1
         del self._sessions[managed.name]
+        whatif_calls = session.whatif.stats.calls
+        self._close_session_span(
+            managed, now, "completed", whatif_calls=whatif_calls
+        )
+        telemetry.registry.counter(
+            "dta_whatif_calls_total", database=managed.name
+        ).inc(whatif_calls)
         self.plane.events.emit(
             now,
             "dta_completed",
             managed.name,
-            whatif_calls=session.whatif.stats.calls,
+            whatif_calls=whatif_calls,
             coverage=session.report.coverage if session.report else 0.0,
         )
         return recommendations
+
+    def _close_session_span(
+        self, managed: "ManagedDatabase", now: float, outcome: str, **attributes
+    ) -> None:
+        span = self._session_spans.pop(managed.name, None)
+        if span is None:
+            return
+        self.plane.telemetry.tracer.end(span, now, outcome=outcome, **attributes)
+        self.plane.telemetry.registry.histogram(
+            "tuning_session_duration_minutes", source="DTA",
+        ).observe(span.duration or 0.0)
 
     def _interfering(self, managed: "ManagedDatabase") -> bool:
         """Detect that tuning is slowing user queries (Section 5.3.1).

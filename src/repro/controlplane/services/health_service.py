@@ -65,6 +65,9 @@ class HealthService:
                     ),
                 )
                 self.plane.incidents.append(incident)
+                self.plane.telemetry.registry.counter(
+                    "incidents_total", database=managed.name
+                ).inc()
                 self.plane.events.emit(
                     now,
                     "incident",

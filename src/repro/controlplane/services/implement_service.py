@@ -160,12 +160,19 @@ class ImplementationService:
         now: float,
     ) -> None:
         settings = self.plane.settings
+        first_time = record.implemented_at is None
         self.plane.store.update(
             record,
             now,
             implemented_at=now,
             validate_after=now + settings.validation_settle,
         )
+        if first_time:
+            self.plane.telemetry.registry.counter(
+                "implementations_completed_total",
+                database=managed.name,
+                action=record.recommendation.action.value,
+            ).inc()
         self.plane.store.transition(
             record, RecommendationState.VALIDATING, now, "implemented"
         )

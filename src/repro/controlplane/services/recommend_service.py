@@ -28,6 +28,10 @@ class RecommendationService:
         self.plane.faults.check("analyze")
         managed.analysis_runs += 1
         source = self.plane.policy.choose(managed.engine, managed.tier)
+        telemetry = self.plane.telemetry
+        span = telemetry.tracer.start(
+            "analysis", managed.name, now, source=source
+        )
         try:
             if source == "DTA":
                 recommendations = self.plane.dta_service.run(managed, now)
@@ -36,16 +40,42 @@ class RecommendationService:
         except TransientError:
             # Budget exhaustion and friends: the scheduler will try again
             # on the next analysis period; DTA's own cache keeps progress.
+            telemetry.tracer.end(span, self.plane.clock.now, outcome="deferred")
+            telemetry.registry.counter(
+                "analysis_runs_total", database=managed.name, source=source,
+                outcome="deferred",
+            ).inc()
             self.plane.events.emit(
                 now, "analysis_deferred", managed.name, source=source
             )
             return
         except ReproError as exc:
+            telemetry.tracer.end(span, self.plane.clock.now, outcome="failed")
+            telemetry.registry.counter(
+                "analysis_runs_total", database=managed.name, source=source,
+                outcome="failed",
+            ).inc()
             self.plane.events.emit(
                 now, "analysis_failed", managed.name, source=source,
                 reason=type(exc).__name__,
             )
             return
+        telemetry.tracer.end(
+            span,
+            self.plane.clock.now,
+            outcome="completed",
+            recommendations=len(recommendations),
+        )
+        telemetry.registry.counter(
+            "analysis_runs_total", database=managed.name, source=source,
+            outcome="completed",
+        ).inc()
+        if source != "DTA":
+            # DTA sessions observe their own (resumable) span duration;
+            # MI analyses are instantaneous passes over the DMV snapshots.
+            telemetry.registry.histogram(
+                "tuning_session_duration_minutes", source=source,
+            ).observe(span.duration or 0.0)
         self.plane.events.emit(
             now,
             "analysis_completed",

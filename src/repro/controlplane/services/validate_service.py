@@ -94,6 +94,21 @@ class ValidationService:
             if statement.verdict is Verdict.REGRESSED:
                 info = managed.engine.query_store.query_info(statement.query_id)
                 regressed_kinds.append(info.kind if info else "?")
+        if outcome.should_revert:
+            registry = self.plane.telemetry.registry
+            kinds = set(regressed_kinds)
+            if kinds & {"INSERT", "UPDATE", "DELETE"}:
+                registry.counter(
+                    "validation_reverts_total",
+                    database=managed.name,
+                    regression="write",
+                ).inc()
+            if "SELECT" in kinds:
+                registry.counter(
+                    "validation_reverts_total",
+                    database=managed.name,
+                    regression="select",
+                ).inc()
         self.plane.validation_history.append(
             {
                 "database": managed.name,

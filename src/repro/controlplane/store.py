@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.controlplane.states import RecommendationState, check_transition
 from repro.recommender.recommendation import IndexRecommendation
@@ -58,13 +58,22 @@ class JournalEntry:
 
 
 class StateStore:
-    """Journaled store of recommendation records."""
+    """Journaled store of recommendation records.
+
+    ``on_insert(record, at)`` and ``on_transition(record, old_state,
+    new_state, at, note)`` are optional observer hooks; the control plane
+    uses them to open/close telemetry spans and keep state-machine
+    metrics in lockstep with the store — the store itself stays the
+    single source of truth for transitions.
+    """
 
     def __init__(self) -> None:
         self._records: Dict[int, RecommendationRecord] = {}
         self._journal: List[JournalEntry] = []
         self._id_counter = itertools.count(1)
         self._seq_counter = itertools.count(1)
+        self.on_insert: Optional[Callable] = None
+        self.on_transition: Optional[Callable] = None
 
     # ------------------------------------------------------------------
     # Mutations (journaled)
@@ -93,6 +102,8 @@ class StateStore:
             record.rec_id,
             {"database": database, "recommendation": recommendation},
         )
+        if self.on_insert is not None:
+            self.on_insert(record, at)
         return record
 
     def transition(
@@ -103,10 +114,13 @@ class StateStore:
         note: str = "",
     ) -> None:
         check_transition(record.state, new_state)
+        old_state = record.state
         record.state = new_state
         record.note = note
         record.state_history.append((at, new_state, note))
         self._append(at, "transition", record.rec_id, {"state": new_state, "note": note})
+        if self.on_transition is not None:
+            self.on_transition(record, old_state, new_state, at, note)
 
     def update(self, record: RecommendationRecord, at: float, **fields) -> None:
         """Journaled update of auxiliary fields."""

@@ -23,6 +23,7 @@ import bisect
 from typing import Iterable, Iterator, List, Optional, Tuple
 
 from repro.engine.types import row_sort_key
+from repro.observability.profiling import count
 
 Key = Tuple[object, ...]
 NKey = Tuple[tuple, ...]
@@ -158,6 +159,7 @@ class BPlusTree:
     # Mutation
 
     def insert(self, key: Key, payload: Payload) -> None:
+        count("btree_insert")
         """Insert an entry; duplicates are stored adjacent to equals."""
         nkey = row_sort_key(key)
         split = self._insert(self._root, nkey, key, payload)
@@ -219,6 +221,7 @@ class BPlusTree:
         return sep, right
 
     def delete(self, key: Key, payload: Optional[Payload] = None) -> int:
+        count("btree_delete")
         """Delete entries equal to ``key``.
 
         If ``payload`` is given only entries with that exact payload are
@@ -275,6 +278,7 @@ class BPlusTree:
         self, prefix: Key, meter: Optional[PageMeter] = None
     ) -> Iterator[Tuple[Key, Payload]]:
         """Yield all entries whose key begins with ``prefix``."""
+        count("btree_seek")
         nprefix = row_sort_key(prefix)
         width = len(nprefix)
         meter = meter if meter is not None else _NULL_METER
@@ -311,6 +315,7 @@ class BPlusTree:
         the first column only at the boundary).
         """
         meter = meter if meter is not None else _NULL_METER
+        count("btree_scan" if low is None and high is None else "btree_range_scan")
         if low is None and high is None:
             # Fast path for full scans: stream whole leaves.
             leaf = self._leftmost_leaf(meter)

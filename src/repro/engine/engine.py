@@ -43,6 +43,7 @@ from repro.engine.sqlgen import render, template_text
 from repro.engine.table import Table
 from repro.engine.usage_stats import IndexUsageStats
 from repro.errors import DuplicateObjectError, UnknownTableError
+from repro.observability.profiling import profile
 from repro.rng import derive, stable_uniform
 
 
@@ -165,7 +166,9 @@ class SqlEngine:
         query_id = query.template_key()
         effective = self._apply_plan_forcing(query, query_id)
         plan = self.optimizer.optimize(effective, mi_sink=self._mi_sink(now))
-        rows, metrics = self.executor.execute(plan, effective)
+        with profile("engine_execute") as prof:
+            rows, metrics = self.executor.execute(plan, effective)
+            prof.sim_ms = metrics.cpu_time_ms
         self._register(query, plan, query_id)
         # Schema lock integration: statements hold Sch-S for their duration;
         # a queued normal-priority Sch-M delays them (convoy, Section 8.3).
@@ -278,9 +281,11 @@ class SqlEngine:
     ) -> PlanNode:
         """Optimize under a hypothetical configuration; metered."""
         self.governor.tuning.charge_cpu(self.settings.whatif_call_cpu_ms, self.now)
-        return self.optimizer.optimize(
-            query, extra_indexes=tuple(extra_indexes), excluded=frozenset(excluded)
-        )
+        with profile("engine_whatif_cost") as prof:
+            prof.sim_ms = self.settings.whatif_call_cpu_ms
+            return self.optimizer.optimize(
+                query, extra_indexes=tuple(extra_indexes), excluded=frozenset(excluded)
+            )
 
     def whatif_cost(
         self,

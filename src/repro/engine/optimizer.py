@@ -55,6 +55,7 @@ from repro.engine.query import (
 from repro.engine.schema import IndexDefinition
 from repro.engine.table import IndexStatsView, Table
 from repro.errors import ExecutionError, OptimizeError, UnknownTableError
+from repro.observability.profiling import profile
 
 #: Minimum relative improvement for the optimizer to report an MI candidate.
 MI_REPORT_THRESHOLD = 0.05
@@ -105,6 +106,17 @@ class Optimizer:
         whatif = bool(extra_indexes) or bool(excluded)
         if whatif:
             self.whatif_calls += 1
+        with profile("optimizer_plan_search"):
+            return self._optimize(query, extra_indexes, excluded, mi_sink, whatif)
+
+    def _optimize(
+        self,
+        query,
+        extra_indexes: Sequence[IndexDefinition],
+        excluded: frozenset,
+        mi_sink: Optional[MiSink],
+        whatif: bool,
+    ) -> PlanNode:
         if isinstance(query, SelectQuery):
             plan = self._plan_select(query, extra_indexes, excluded)
             if mi_sink is not None and not whatif:

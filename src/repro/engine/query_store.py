@@ -17,6 +17,8 @@ import dataclasses
 import math
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.observability.profiling import profile
+
 
 @dataclasses.dataclass
 class MetricAggregate:
@@ -222,6 +224,15 @@ class QueryStore:
         query_id: Optional[int] = None,
     ) -> Dict[Tuple[int, int], RuntimeStats]:
         """Merge stats per (query, plan) over a time window."""
+        with profile("query_store_aggregate"):
+            return self._aggregate(since, until, query_id)
+
+    def _aggregate(
+        self,
+        since: float,
+        until: float,
+        query_id: Optional[int] = None,
+    ) -> Dict[Tuple[int, int], RuntimeStats]:
         merged: Dict[Tuple[int, int], RuntimeStats] = {}
         for stats in self._stats_in_window(since, until):
             if query_id is not None and stats.query_id != query_id:

@@ -82,6 +82,12 @@ class InvalidStateTransitionError(PermanentError):
     """An illegal transition was attempted on a state machine."""
 
 
+class TelemetryError(ReproError):
+    """Misuse of the observability layer (bad metric name, double-closed
+    span, kind conflict) — distinct from compliance violations, which
+    raise ``ValueError`` at the emission boundary."""
+
+
 class WorkflowError(ReproError):
     """An experiment workflow step failed."""
 

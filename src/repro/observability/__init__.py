@@ -1,0 +1,73 @@
+"""Fleet observability: metrics, spans, profiling, and exporters.
+
+The measurement substrate for the whole reproduction (the operational
+prerequisite the paper leans on in Sections 1.2, 3, and 8): a
+:class:`MetricsRegistry` of counters/gauges/histograms, a span-based
+:class:`Tracer` over the recommendation state machine and tuning
+sessions, :mod:`profiling` hooks on engine hot paths, and exporters
+(Prometheus text, JSON, and the ``repro telemetry`` dashboard).
+
+A :class:`Telemetry` object bundles one registry + tracer + recorder;
+the control plane owns one and threads it through every micro-service.
+"""
+
+from repro.observability.compliance import (
+    FORBIDDEN_KEYS,
+    ensure_compliant,
+    find_forbidden_keys,
+)
+from repro.observability.dashboard import render_dashboard
+from repro.observability.exporters import json_export, json_text, prometheus_text
+from repro.observability.metrics import (
+    CATALOG,
+    DEFAULT_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricSpec,
+    MetricsRegistry,
+)
+from repro.observability.profiling import (
+    Profiler,
+    active,
+    count,
+    profile,
+    use_profiler,
+)
+from repro.observability.spans import Span, SpanRecorder, Tracer
+
+
+class Telemetry:
+    """One bundle of telemetry state (registry + tracer + span recorder)."""
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        self.recorder = SpanRecorder()
+        self.tracer = Tracer(self.recorder)
+
+
+__all__ = [
+    "CATALOG",
+    "DEFAULT_BOUNDS",
+    "FORBIDDEN_KEYS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricSpec",
+    "MetricsRegistry",
+    "Profiler",
+    "Span",
+    "SpanRecorder",
+    "Telemetry",
+    "Tracer",
+    "active",
+    "count",
+    "ensure_compliant",
+    "find_forbidden_keys",
+    "json_export",
+    "json_text",
+    "profile",
+    "prometheus_text",
+    "render_dashboard",
+    "use_profiler",
+]

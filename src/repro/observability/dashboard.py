@@ -1,0 +1,105 @@
+"""The live-style fleet dashboard behind ``repro telemetry``.
+
+Renders what an on-call engineer for the paper's service would want on
+one screen (Section 8): where every state machine currently is, how
+often validation is reverting, which tuning sessions are slowest, and
+where the engine itself is spending its time.  Everything is read from
+the telemetry substrate (registry + span recorder + profiler), never
+from the control plane's records directly, so the dashboard can only
+show what the telemetry actually captured.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.profiling import Profiler, active
+from repro.observability.spans import SpanRecorder
+
+#: State-machine states rendered in lifecycle order.
+_STATE_ORDER = (
+    "active", "implementing", "validating", "reverting", "retry",
+    "success", "reverted", "expired", "error",
+)
+
+#: Span kinds that represent tuning work (Section 5.3's sessions).
+TUNING_KINDS = ("dta_session", "analysis")
+
+
+def _fmt_minutes(minutes: float) -> str:
+    if minutes >= 60.0:
+        return f"{minutes / 60.0:7.1f} h"
+    return f"{minutes:7.1f} m"
+
+
+def render_dashboard(
+    registry: MetricsRegistry,
+    recorder: SpanRecorder,
+    profiler: Optional[Profiler] = None,
+    top_n: int = 5,
+) -> List[str]:
+    """The fleet dashboard as a list of printable lines."""
+    profiler = profiler if profiler is not None else active()
+    lines: List[str] = ["== fleet telemetry =="]
+
+    # --- state machine counts ----------------------------------------
+    lines.append("state machine records:")
+    any_state = False
+    for state in _STATE_ORDER:
+        value = registry.total("records_in_state", state=state)
+        if value:
+            lines.append(f"  {state:<13} {int(value)}")
+            any_state = True
+    if not any_state:
+        lines.append("  (no recommendation records yet)")
+
+    # --- lifecycle counters and revert rate --------------------------
+    created = registry.total("recommendations_created_total")
+    creates = registry.total("recommendations_created_total", action="create")
+    drops = registry.total("recommendations_created_total", action="drop")
+    implemented = registry.total("implementations_completed_total")
+    success = registry.total("state_transitions_total", to_state="success")
+    reverted = registry.total("state_transitions_total", to_state="reverted")
+    decided = success + reverted
+    revert_rate = reverted / decided if decided else 0.0
+    incidents = registry.total("incidents_total")
+    lines.append("lifecycle:")
+    lines.append(
+        f"  recommendations: {int(created)} "
+        f"(create={int(creates)}, drop={int(drops)})"
+    )
+    lines.append(f"  implemented:     {int(implemented)}")
+    lines.append(
+        f"  revert rate:     {revert_rate:.1%} "
+        f"({int(reverted)} of {int(decided)} decided)"
+    )
+    lines.append(f"  incidents:       {int(incidents)}")
+
+    # --- slowest tuning sessions -------------------------------------
+    lines.append(f"slowest tuning sessions (top {top_n}):")
+    slowest = recorder.slowest(TUNING_KINDS, n=top_n)
+    if not slowest:
+        lines.append("  (no tuning sessions recorded)")
+    for rank, span in enumerate(slowest, start=1):
+        source = span.attributes.get("source", span.kind)
+        lines.append(
+            f"  {rank}. {span.database:<12} {str(source):<4} "
+            f"{_fmt_minutes(span.duration or 0.0)}  {span.outcome or 'open'}"
+        )
+
+    # --- engine hot paths --------------------------------------------
+    lines.append("engine hot paths:")
+    rows = profiler.rows()
+    if not rows:
+        lines.append("  (no profiling samples)")
+    else:
+        lines.append(
+            f"  {'path':<26} {'calls':>9} {'real ms':>10} {'sim ms':>12}"
+        )
+        for row in rows:
+            lines.append(
+                f"  {row.name:<26} {row.calls:>9} "
+                f"{row.real_ms:>10.1f} {row.sim_ms:>12.1f}"
+            )
+    return lines

@@ -1,0 +1,121 @@
+"""Lightweight profiling hooks for engine hot paths.
+
+The simulator's own speed determines how large a fleet a run can cover,
+so hot-path regressions (optimizer plan search, what-if costing, B+ tree
+operations, Query Store aggregation) must be visible without attaching
+an external profiler.  Call sites wrap work in :func:`profile` (a
+context manager timing real ``perf_counter`` seconds) or tick
+:func:`count` (a bare invocation counter for paths too hot to time,
+like per-row B+ tree maintenance).  Both also accumulate *simulated*
+cost where the caller knows it (e.g. charged what-if CPU ms), so one
+table shows both the model's cost and the host's.
+
+Profilers form a stack: the default global profiler aggregates across
+every engine in the process (exactly what the fleet dashboard wants),
+and tests swap in a fresh one with :func:`use_profiler`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import time
+from typing import Dict, Iterator, List
+
+
+@dataclasses.dataclass
+class HotPathStat:
+    """Accumulated cost of one named hot path."""
+
+    name: str
+    calls: int = 0
+    real_seconds: float = 0.0
+    sim_ms: float = 0.0
+
+    @property
+    def real_ms(self) -> float:
+        return self.real_seconds * 1000.0
+
+
+class _ProfileHandle:
+    """Yielded by :func:`profile`; lets the body attach simulated cost."""
+
+    __slots__ = ("sim_ms",)
+
+    def __init__(self) -> None:
+        self.sim_ms = 0.0
+
+
+class Profiler:
+    """Accumulates :class:`HotPathStat` rows keyed by hot-path name."""
+
+    def __init__(self) -> None:
+        self._stats: Dict[str, HotPathStat] = {}
+
+    def _stat(self, name: str) -> HotPathStat:
+        stat = self._stats.get(name)
+        if stat is None:
+            stat = self._stats[name] = HotPathStat(name)
+        return stat
+
+    def record(self, name: str, real_seconds: float, sim_ms: float = 0.0) -> None:
+        stat = self._stat(name)
+        stat.calls += 1
+        stat.real_seconds += real_seconds
+        stat.sim_ms += sim_ms
+
+    def count(self, name: str, sim_ms: float = 0.0) -> None:
+        """Tick an invocation without timing it (cheapest possible hook)."""
+        stat = self._stat(name)
+        stat.calls += 1
+        stat.sim_ms += sim_ms
+
+    def stats(self) -> Dict[str, HotPathStat]:
+        return dict(self._stats)
+
+    def rows(self) -> List[HotPathStat]:
+        """Stats ordered by real time spent (descending), then name."""
+        return sorted(
+            self._stats.values(), key=lambda s: (-s.real_seconds, s.name)
+        )
+
+    def reset(self) -> None:
+        self._stats.clear()
+
+
+_stack: List[Profiler] = [Profiler()]
+
+
+def active() -> Profiler:
+    """The profiler hot-path hooks currently record into."""
+    return _stack[-1]
+
+
+@contextlib.contextmanager
+def use_profiler(profiler: Profiler) -> Iterator[Profiler]:
+    """Temporarily make ``profiler`` the active one (tests, CLI runs)."""
+    _stack.append(profiler)
+    try:
+        yield profiler
+    finally:
+        _stack.pop()
+
+
+@contextlib.contextmanager
+def profile(name: str) -> Iterator[_ProfileHandle]:
+    """Time a block into the active profiler.
+
+    The yielded handle's ``sim_ms`` may be set by the body to attach the
+    simulated cost discovered while the block ran.
+    """
+    handle = _ProfileHandle()
+    start = time.perf_counter()
+    try:
+        yield handle
+    finally:
+        _stack[-1].record(name, time.perf_counter() - start, handle.sim_ms)
+
+
+def count(name: str, sim_ms: float = 0.0) -> None:
+    """Tick ``name`` on the active profiler without timing."""
+    _stack[-1].count(name, sim_ms)

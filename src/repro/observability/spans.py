@@ -1,0 +1,165 @@
+"""Span-based tracing of the control plane's state machines.
+
+The paper's engineers debug stuck state machines by following one
+recommendation's journey through the micro-services (Sections 3, 4, 8).
+A :class:`Tracer` reproduces that view: every recommendation gets a root
+span, every state it occupies (Recommend -> Implement -> Validate ->
+Revert/Complete) gets a child span, and every DTA/MI tuning session gets
+its own span — all timestamped in *simulated* minutes so traces are
+deterministic.
+
+Spans are recorded into a :class:`SpanRecorder`, queryable by database
+or kind, which the ``repro telemetry`` dashboard uses to render span
+trees and the top-N slowest tuning sessions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import TelemetryError
+from repro.observability.compliance import ensure_compliant
+
+
+@dataclasses.dataclass
+class Span:
+    """One timed unit of state-machine or tuning work."""
+
+    span_id: int
+    kind: str
+    database: str
+    start: float  # simulated minutes
+    parent_id: Optional[int] = None
+    end: Optional[float] = None
+    outcome: str = ""
+    attributes: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    @property
+    def open(self) -> bool:
+        return self.end is None
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Simulated minutes from start to end; None while still open."""
+        return None if self.end is None else self.end - self.start
+
+
+class SpanRecorder:
+    """Store of finished and in-flight spans with query helpers."""
+
+    def __init__(self) -> None:
+        self._spans: List[Span] = []
+        self._by_id: Dict[int, Span] = {}
+        self._children: Dict[int, List[int]] = {}
+
+    def record(self, span: Span) -> None:
+        self._spans.append(span)
+        self._by_id[span.span_id] = span
+        if span.parent_id is not None:
+            self._children.setdefault(span.parent_id, []).append(span.span_id)
+
+    # ------------------------------------------------------------------
+    # Queries
+
+    def get(self, span_id: int) -> Optional[Span]:
+        return self._by_id.get(span_id)
+
+    def spans(
+        self,
+        kind: Optional[str] = None,
+        database: Optional[str] = None,
+        open_only: bool = False,
+    ) -> List[Span]:
+        out = []
+        for span in self._spans:
+            if kind is not None and span.kind != kind:
+                continue
+            if database is not None and span.database != database:
+                continue
+            if open_only and not span.open:
+                continue
+            out.append(span)
+        return out
+
+    def roots(self, database: Optional[str] = None) -> List[Span]:
+        return [
+            s
+            for s in self._spans
+            if s.parent_id is None
+            and (database is None or s.database == database)
+        ]
+
+    def children(self, span_id: int) -> List[Span]:
+        return [self._by_id[i] for i in self._children.get(span_id, ())]
+
+    def tree(self, span_id: int) -> Tuple[Span, List]:
+        """(span, [subtrees]) rooted at ``span_id``."""
+        span = self._by_id[span_id]
+        return span, [self.tree(child) for child in self._children.get(span_id, ())]
+
+    def slowest(
+        self, kinds: Tuple[str, ...], n: int = 5, database: Optional[str] = None
+    ) -> List[Span]:
+        """Top-``n`` closed spans of the given kinds by simulated duration."""
+        closed = [
+            s
+            for s in self._spans
+            if s.kind in kinds
+            and s.end is not None
+            and (database is None or s.database == database)
+        ]
+        closed.sort(key=lambda s: (-(s.duration or 0.0), s.span_id))
+        return closed[:n]
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+
+class Tracer:
+    """Creates and closes spans against a :class:`SpanRecorder`.
+
+    Simulated timestamps are passed explicitly by the caller (the control
+    plane already has ``now`` in hand everywhere), keeping the tracer free
+    of clock dependencies.
+    """
+
+    def __init__(self, recorder: Optional[SpanRecorder] = None) -> None:
+        self.recorder = recorder if recorder is not None else SpanRecorder()
+        self._ids = itertools.count(1)
+
+    def start(
+        self,
+        kind: str,
+        database: str,
+        at: float,
+        parent: Optional[Span] = None,
+        **attributes,
+    ) -> Span:
+        ensure_compliant(attributes, f"attributes of span {kind!r}")
+        span = Span(
+            span_id=next(self._ids),
+            kind=kind,
+            database=database,
+            start=at,
+            parent_id=parent.span_id if parent is not None else None,
+            attributes=dict(attributes),
+        )
+        self.recorder.record(span)
+        return span
+
+    def end(self, span: Span, at: float, outcome: str = "ok", **attributes) -> Span:
+        if span.end is not None:
+            raise TelemetryError(
+                f"span {span.span_id} ({span.kind}) closed twice"
+            )
+        if at < span.start:
+            raise TelemetryError(
+                f"span {span.span_id} would end before it started"
+            )
+        ensure_compliant(attributes, f"attributes of span {span.kind!r}")
+        span.end = at
+        span.outcome = outcome
+        span.attributes.update(attributes)
+        return span

@@ -5,6 +5,14 @@ operational snapshot: recommendation volumes by action, implemented /
 validated / reverted counts, revert rate, the split of revert causes,
 queries whose CPU or reads improved by more than 2x, and databases whose
 aggregate CPU consumption dropped by more than half.
+
+The counts are read from the control plane's
+:class:`~repro.observability.MetricsRegistry` — the same counters the
+``repro telemetry`` dashboard renders — so the end-of-run snapshot and
+the live telemetry can never disagree.  (Terminal-state transition
+counters equal record counts because terminal states have no exits.)
+Only the query-improvement statistics still aggregate Query Store data
+directly, since they compare per-query windows no counter carries.
 """
 
 from __future__ import annotations
@@ -13,8 +21,7 @@ import dataclasses
 from typing import Dict, List, Tuple
 
 from repro.clock import HOURS
-from repro.controlplane import ControlPlane, RecommendationState
-from repro.recommender.recommendation import Action
+from repro.controlplane import ControlPlane
 
 
 @dataclasses.dataclass
@@ -111,52 +118,37 @@ def operational_report(
     plane: ControlPlane, window_hours: float = 24.0
 ) -> OperationalReport:
     """Build the Section 8.1-style operational report for a service run."""
-    records = plane.store.all_records()
-    creates = [r for r in records if r.recommendation.action is Action.CREATE]
-    drops = [r for r in records if r.recommendation.action is Action.DROP]
-    implemented = [
-        r
-        for r in records
-        if r.state
-        in (
-            RecommendationState.SUCCESS,
-            RecommendationState.REVERTED,
-            RecommendationState.VALIDATING,
-            RecommendationState.REVERTING,
-        )
-        and r.implemented_at is not None
-    ]
-    success = [r for r in records if r.state is RecommendationState.SUCCESS]
-    reverted = [r for r in records if r.state is RecommendationState.REVERTED]
-    errors = [r for r in records if r.state is RecommendationState.ERROR]
-    expired = [r for r in records if r.state is RecommendationState.EXPIRED]
-    decided = len(success) + len(reverted)
-    write_reverts = 0
-    select_reverts = 0
-    for entry in plane.validation_history:
-        if not entry.get("reverted"):
-            continue
-        kinds = set(entry.get("regressed_kinds", ()))
-        if kinds & {"INSERT", "UPDATE", "DELETE"}:
-            write_reverts += 1
-        if "SELECT" in kinds:
-            select_reverts += 1
+    registry = plane.telemetry.registry
+    creates = int(registry.total("recommendations_created_total", action="create"))
+    drops = int(registry.total("recommendations_created_total", action="drop"))
+    implemented = int(registry.total("implementations_completed_total"))
+    success = int(registry.total("state_transitions_total", to_state="success"))
+    reverted = int(registry.total("state_transitions_total", to_state="reverted"))
+    errors = int(registry.total("state_transitions_total", to_state="error"))
+    expired = int(registry.total("state_transitions_total", to_state="expired"))
+    decided = success + reverted
+    write_reverts = int(
+        registry.total("validation_reverts_total", regression="write")
+    )
+    select_reverts = int(
+        registry.total("validation_reverts_total", regression="select")
+    )
     improved_queries, improved_dbs, observed_dbs = _query_improvements(
         plane, window_hours
     )
     return OperationalReport(
-        create_recommendations=len(creates),
-        drop_recommendations=len(drops),
-        implemented=len(implemented),
-        validated_success=len(success),
-        reverted=len(reverted),
-        errors=len(errors),
-        expired=len(expired),
-        revert_rate=len(reverted) / decided if decided else 0.0,
+        create_recommendations=creates,
+        drop_recommendations=drops,
+        implemented=implemented,
+        validated_success=success,
+        reverted=reverted,
+        errors=errors,
+        expired=expired,
+        revert_rate=reverted / decided if decided else 0.0,
         reverts_with_write_regression=write_reverts,
         reverts_with_select_regression=select_reverts,
         queries_improved_2x=improved_queries,
         databases_improved_50pct=improved_dbs,
         databases_observed=observed_dbs,
-        incidents=len(plane.incidents),
+        incidents=int(registry.total("incidents_total")),
     )

@@ -103,6 +103,11 @@ class AutoIndexingService:
 
     # ------------------------------------------------------------------
 
+    @property
+    def telemetry(self):
+        """The control plane's telemetry bundle (registry/tracer/spans)."""
+        return self.plane.telemetry
+
     def set_config(self, database: str, config: AutoIndexingConfig) -> None:
         """Update a database's automation settings (the Section 2 portal)."""
         managed = self.plane.databases[database]

@@ -1,0 +1,47 @@
+"""EventBus: history cap regression and the metrics feed."""
+
+from __future__ import annotations
+
+from repro.controlplane.events import EventBus
+from repro.observability import MetricsRegistry
+
+
+class TestHistoryCap:
+    def test_history_limit_is_an_exact_cap(self):
+        """Regression: emitting 2x the limit must keep memory bounded at
+        the limit, not at limit + slack."""
+        limit = 100
+        bus = EventBus(history_limit=limit)
+        for i in range(2 * limit):
+            bus.emit(float(i), "a", "db1", seq=i)
+        history = bus.history()
+        assert len(history) == limit
+        # The newest events survive, the oldest are dropped.
+        assert history[0].payload["seq"] == limit
+        assert history[-1].payload["seq"] == 2 * limit - 1
+        # Counters are not affected by trimming.
+        assert bus.counts["a"] == 2 * limit
+
+    def test_no_trimming_below_limit(self):
+        bus = EventBus(history_limit=10)
+        for i in range(10):
+            bus.emit(float(i), "a", "db1", seq=i)
+        assert [e.payload["seq"] for e in bus.history()] == list(range(10))
+
+
+class TestMetricsFeed:
+    def test_emit_increments_events_total(self):
+        registry = MetricsRegistry()
+        bus = EventBus(metrics=registry)
+        bus.emit(0.0, "recommendation_created", "db1")
+        bus.emit(1.0, "recommendation_created", "db1")
+        bus.emit(2.0, "validation_started", "db2")
+        assert registry.total(
+            "events_total", kind="recommendation_created", database="db1"
+        ) == 2.0
+        assert registry.total("events_total") == 3.0
+
+    def test_no_registry_is_fine(self):
+        bus = EventBus()
+        bus.emit(0.0, "a", "db1")
+        assert bus.counts["a"] == 1

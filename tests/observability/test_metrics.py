@@ -1,0 +1,139 @@
+"""MetricsRegistry: counters, gauges, histogram bucket/quantile math."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.observability import Histogram, MetricsRegistry
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("events_total", kind="a", database="db1")
+        counter.inc()
+        counter.inc(2.0)
+        assert counter.value == 3.0
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(TelemetryError):
+            registry.counter("events_total", kind="a").inc(-1.0)
+
+    def test_gauge_up_down_set(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("records_in_state", state="active")
+        gauge.inc()
+        gauge.inc()
+        gauge.dec()
+        assert gauge.value == 1.0
+        gauge.set(7)
+        assert gauge.value == 7.0
+
+    def test_same_labels_same_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("events_total", kind="x", database="db")
+        b = registry.counter("events_total", database="db", kind="x")
+        assert a is b
+        c = registry.counter("events_total", kind="y", database="db")
+        assert c is not a
+
+    def test_total_sums_matching_series(self):
+        registry = MetricsRegistry()
+        registry.counter("events_total", kind="a", database="db1").inc(2)
+        registry.counter("events_total", kind="a", database="db2").inc(3)
+        registry.counter("events_total", kind="b", database="db1").inc(10)
+        assert registry.total("events_total") == 15.0
+        assert registry.total("events_total", kind="a") == 5.0
+        assert registry.total("events_total", kind="a", database="db2") == 3.0
+        assert registry.total("events_total", kind="zzz") == 0.0
+
+    def test_total_of_missing_metric_is_zero(self):
+        assert MetricsRegistry().total("events_total") == 0.0
+
+
+class TestRegistryValidation:
+    def test_non_snake_case_name_rejected(self):
+        registry = MetricsRegistry()
+        for bad in ("Events", "events-total", "0events", "events.total"):
+            with pytest.raises(TelemetryError):
+                registry.counter(bad)
+
+    def test_non_snake_case_label_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(TelemetryError):
+            registry.counter("events_total", **{"Kind": "x"})
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("events_total", kind="a")
+        with pytest.raises(TelemetryError):
+            registry.gauge("events_total", kind="a")
+
+
+class TestHistogram:
+    def test_bucket_assignment(self):
+        hist = Histogram(bounds=(1.0, 10.0, 100.0))
+        for value in (0.5, 1.0, 5.0, 10.0, 50.0, 99.0, 1000.0):
+            hist.observe(value)
+        # <=1: {0.5, 1.0}; <=10: {5, 10}; <=100: {50, 99}; overflow: {1000}
+        assert hist.bucket_counts == [2, 2, 2]
+        assert hist.overflow == 1
+        assert hist.count == 7
+        assert hist.sum == pytest.approx(1165.5)
+        assert hist.min == 0.5 and hist.max == 1000.0
+
+    def test_mean(self):
+        hist = Histogram(bounds=(10.0,))
+        hist.observe(2.0)
+        hist.observe(4.0)
+        assert hist.mean == pytest.approx(3.0)
+        assert Histogram(bounds=(1.0,)).mean == 0.0
+
+    def test_quantiles_interpolate_within_bucket(self):
+        hist = Histogram(bounds=(10.0, 20.0, 30.0, 40.0))
+        # 100 uniform values in (0, 40]: 25 per bucket.
+        for i in range(1, 101):
+            hist.observe(i * 0.4)
+        assert hist.p50 == pytest.approx(20.0, abs=1.0)
+        assert hist.p95 == pytest.approx(38.0, abs=1.0)
+        assert hist.p99 == pytest.approx(39.6, abs=1.0)
+
+    def test_quantile_clamped_to_observed_range(self):
+        hist = Histogram(bounds=(100.0,))
+        hist.observe(7.0)
+        hist.observe(7.0)
+        assert hist.p50 == pytest.approx(7.0)
+        assert hist.p99 == pytest.approx(7.0)
+
+    def test_quantile_in_overflow_returns_max(self):
+        hist = Histogram(bounds=(1.0,))
+        for value in (0.5, 10.0, 20.0, 30.0):
+            hist.observe(value)
+        assert hist.p99 == 30.0
+
+    def test_empty_histogram_quantile_zero(self):
+        assert Histogram().p50 == 0.0
+
+    def test_quantile_out_of_range_rejected(self):
+        with pytest.raises(TelemetryError):
+            Histogram().quantile(1.5)
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(TelemetryError):
+            Histogram(bounds=())
+        with pytest.raises(TelemetryError):
+            Histogram(bounds=(5.0, 1.0))
+        with pytest.raises(TelemetryError):
+            Histogram(bounds=(1.0, 1.0))
+
+    def test_registry_histogram_custom_bounds(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "state_duration_minutes", bounds=(1.0, 2.0), state="active"
+        )
+        hist.observe(1.5)
+        again = registry.histogram("state_duration_minutes", state="active")
+        assert again is hist
+        assert again.count == 1

@@ -1,0 +1,86 @@
+"""Tracer/SpanRecorder: nesting, double-close, and queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.observability import SpanRecorder, Tracer
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(SpanRecorder())
+
+
+class TestSpanLifecycle:
+    def test_start_and_end(self, tracer):
+        span = tracer.start("implement", "db1", at=10.0, rec_id=1)
+        assert span.open and span.duration is None
+        tracer.end(span, at=40.0, outcome="validating")
+        assert not span.open
+        assert span.duration == 30.0
+        assert span.outcome == "validating"
+        assert span.attributes["rec_id"] == 1
+
+    def test_double_close_raises(self, tracer):
+        span = tracer.start("implement", "db1", at=0.0)
+        tracer.end(span, at=1.0)
+        with pytest.raises(TelemetryError):
+            tracer.end(span, at=2.0)
+
+    def test_end_before_start_raises(self, tracer):
+        span = tracer.start("implement", "db1", at=10.0)
+        with pytest.raises(TelemetryError):
+            tracer.end(span, at=5.0)
+
+    def test_end_merges_attributes(self, tracer):
+        span = tracer.start("dta_session", "db1", at=0.0, tier="standard")
+        tracer.end(span, at=5.0, outcome="completed", whatif_calls=42)
+        assert span.attributes == {"tier": "standard", "whatif_calls": 42}
+
+
+class TestNesting:
+    def test_parent_child_links(self, tracer):
+        root = tracer.start("recommendation", "db1", at=0.0)
+        child_a = tracer.start("recommend", "db1", at=0.0, parent=root)
+        child_b = tracer.start("implement", "db1", at=5.0, parent=root)
+        grandchild = tracer.start("build", "db1", at=6.0, parent=child_b)
+        recorder = tracer.recorder
+        assert [s.span_id for s in recorder.children(root.span_id)] == [
+            child_a.span_id, child_b.span_id,
+        ]
+        span, subtrees = recorder.tree(root.span_id)
+        assert span is root
+        assert subtrees[1][0] is child_b
+        assert subtrees[1][1][0][0] is grandchild
+        assert recorder.roots() == [root]
+
+    def test_query_by_kind_database_open(self, tracer):
+        a = tracer.start("analysis", "db1", at=0.0)
+        b = tracer.start("analysis", "db2", at=0.0)
+        tracer.start("dta_session", "db1", at=0.0)
+        tracer.end(a, at=1.0)
+        assert len(tracer.recorder.spans(kind="analysis")) == 2
+        assert tracer.recorder.spans(database="db1", kind="analysis") == [a]
+        assert tracer.recorder.spans(kind="analysis", open_only=True) == [b]
+
+
+class TestSlowest:
+    def test_top_n_by_duration(self, tracer):
+        durations = [5.0, 50.0, 20.0, 1.0]
+        for i, duration in enumerate(durations):
+            span = tracer.start("dta_session", f"db{i}", at=0.0)
+            tracer.end(span, at=duration)
+        open_span = tracer.start("dta_session", "db-open", at=0.0)
+        top = tracer.recorder.slowest(("dta_session",), n=2)
+        assert [s.duration for s in top] == [50.0, 20.0]
+        assert open_span not in top
+
+    def test_kinds_filter(self, tracer):
+        a = tracer.start("analysis", "db1", at=0.0)
+        tracer.end(a, at=2.0)
+        b = tracer.start("other", "db1", at=0.0)
+        tracer.end(b, at=99.0)
+        top = tracer.recorder.slowest(("dta_session", "analysis"), n=5)
+        assert top == [a]

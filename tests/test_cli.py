@@ -25,6 +25,17 @@ class TestParser:
         assert args.days == 4
         assert args.tier == "standard"
 
+    def test_telemetry_args(self):
+        args = build_parser().parse_args(
+            ["telemetry", "--days", "2", "--top", "3", "--format", "prom"]
+        )
+        assert args.days == 2
+        assert args.top == 3
+        assert args.format == "prom"
+        assert build_parser().parse_args(["telemetry"]).format == "dashboard"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["telemetry", "--format", "xml"])
+
 
 class TestCommands:
     def test_ops_runs(self, capsys):
@@ -32,6 +43,27 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "running the closed loop" in out
         assert "create recommendations" in out
+
+    def test_telemetry_dashboard_runs(self, capsys):
+        assert main(
+            ["telemetry", "--dbs", "1", "--days", "1", "--seed", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fleet telemetry" in out
+        assert "engine hot paths" in out
+
+    def test_telemetry_json_runs(self, capsys):
+        import json
+
+        assert main(
+            ["telemetry", "--dbs", "1", "--days", "1", "--seed", "3",
+             "--format", "json"]
+        ) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["schema"] == "repro-telemetry-v1"
+        assert payload["metrics"]
+        assert "spans" in payload and "hot_paths" in payload
 
     @pytest.mark.slow
     def test_fig6_runs(self, capsys):
