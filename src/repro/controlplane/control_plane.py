@@ -313,6 +313,23 @@ class ControlPlane:
             self._drive(record, managed, now)
         for managed in self.databases.values():
             managed.last_driven = now
+        self._publish_plan_cache_metrics()
+
+    def _publish_plan_cache_metrics(self) -> None:
+        """Surface each engine's plan-cache counters as fleet gauges.
+
+        The engine-side counters are monotone; publishing them as gauges
+        (current value, per database) keeps the dashboard a pure read of
+        the telemetry substrate.
+        """
+        registry = self.telemetry.registry
+        for name, managed in self.databases.items():
+            cache = managed.engine.plan_cache
+            registry.gauge("plan_cache_hits", database=name).set(cache.hits)
+            registry.gauge("plan_cache_misses", database=name).set(cache.misses)
+            registry.gauge(
+                "plan_cache_evictions", database=name
+            ).set(cache.evictions)
 
     # ------------------------------------------------------------------
     # Record driving

@@ -159,6 +159,12 @@ class SqlEngine:
     def now(self) -> float:
         return self.clock.now
 
+    @property
+    def plan_cache(self):
+        """The optimizer's memoized plan cache (distinct from the
+        statement-text ``_plan_cache`` DTA reads fragments from)."""
+        return self.optimizer.plan_cache
+
     def execute(self, query, at_time: Optional[float] = None) -> ExecutionResult:
         """Optimize and execute a statement, recording all telemetry."""
         now = self.now if at_time is None else at_time
@@ -327,14 +333,17 @@ class SqlEngine:
     def create_index(self, definition: IndexDefinition) -> None:
         table = self.database.table(definition.table)
         table.create_index(definition, created_at=self.now)
-        # Index creation is a schema change: the MI DMV resets (Section 5.2).
+        # Index creation is a schema change: the MI DMV resets (Section 5.2)
+        # and every cached plan against the table is stale.
         self.missing_indexes.reset()
+        self.plan_cache.invalidate(definition.table)
 
     def drop_index(self, table_name: str, index_name: str) -> IndexDefinition:
         table = self.database.table(table_name)
         definition = table.drop_index(index_name)
         self.usage_stats.drop_index(index_name)
         self.missing_indexes.reset()
+        self.plan_cache.invalidate(table_name)
         return definition
 
     def index_exists(self, table_name: str, index_name: str) -> bool:
@@ -345,9 +354,10 @@ class SqlEngine:
     # Failures
 
     def restart(self) -> None:
-        """Server restart: volatile DMVs (MI, plan cache) are lost."""
+        """Server restart: volatile DMVs (MI, plan caches) are lost."""
         self.missing_indexes.reset()
         self._plan_cache.clear()
+        self.plan_cache.invalidate()
         self.restarts += 1
 
     def failover(self) -> None:
@@ -364,6 +374,8 @@ class SqlEngine:
                 rng=derive(self.database.seed, "stats", table.name),
                 at_time=self.now,
             )
+        # Fresh statistics change every cost estimate; drop cached plans.
+        self.plan_cache.invalidate()
 
     def workload_coverage(
         self,

@@ -601,6 +601,20 @@ def _seek_entries(
     )
 
 
+def stable_sum(values):
+    """Order-independent sum: exact ``math.fsum`` whenever floats appear.
+
+    Different access paths feed aggregation in different row orders
+    (index order vs heap order), and naive float addition is not
+    associative — plans would return different SUM/AVG bits for the same
+    data.  ``fsum`` is exactly rounded, so every ordering agrees.
+    All-integer inputs keep ``sum()`` to preserve the ``int`` result type.
+    """
+    if any(isinstance(v, float) for v in values):
+        return math.fsum(values)
+    return sum(values)
+
+
 def _compute_aggregate(aggregate, rows: List[RowDict]):
     if aggregate.func is AggFunc.COUNT:
         if aggregate.column is None:
@@ -614,9 +628,9 @@ def _compute_aggregate(aggregate, rows: List[RowDict]):
     if not values:
         return None
     if aggregate.func is AggFunc.SUM:
-        return sum(values)
+        return stable_sum(values)
     if aggregate.func is AggFunc.AVG:
-        return sum(values) / len(values)
+        return stable_sum(values) / len(values)
     if aggregate.func is AggFunc.MIN:
         return min(values, key=sort_key)
     if aggregate.func is AggFunc.MAX:

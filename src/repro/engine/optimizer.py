@@ -1,10 +1,25 @@
-"""Cost-based query optimizer with a what-if API and MI emission.
+"""Cost-based query optimizer with a what-if API, MI emission, and a plan cache.
 
 The optimizer enumerates access paths (clustered scan/seek, secondary index
 seek with optional key lookup, covering index scan), join strategies
 (nested-loop with parameterized inner seek, hash join), and aggregation /
 ordering operators, picking the plan with the lowest *estimated* cost under
 the :class:`repro.engine.cost_model.CostModel`.
+
+SELECT planning costs the **complete** plan — access + join + aggregate +
+sort + top — independently for every access candidate and returns the true
+argmin.  That makes plan choice monotone by construction: hiding indexes
+only removes candidates (the minimum can only rise), and hypothetical
+indexes only add candidates (the minimum can only fall).  An earlier
+"effective cost" heuristic credited order-providing access paths with an
+avoided-sort bonus derived from an arbitrary candidate's cardinality,
+which both violated monotonicity and mispriced ordered plans under
+aggregation (where the real saving is only the stream-vs-hash delta on
+far fewer rows).
+
+Results are memoized in a :class:`repro.engine.plan_cache.PlanCache` keyed
+by (query, per-table version fingerprint, what-if configuration); see that
+module for the staleness rules.
 
 Two features mirror the SQL Server surfaces the paper's service depends on:
 
@@ -23,9 +38,11 @@ Two features mirror the SQL Server surfaces the paper's service depends on:
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+import math
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.engine.cost_model import CostModel
+from repro.engine.plan_cache import PlanCache, PlanCacheEntry
 from repro.engine.plans import (
     PARAM,
     ClusteredScanNode,
@@ -55,7 +72,7 @@ from repro.engine.query import (
 from repro.engine.schema import IndexDefinition
 from repro.engine.table import IndexStatsView, Table
 from repro.errors import ExecutionError, OptimizeError, UnknownTableError
-from repro.observability.profiling import profile
+from repro.observability.profiling import count, profile
 
 #: Minimum relative improvement for the optimizer to report an MI candidate.
 MI_REPORT_THRESHOLD = 0.05
@@ -77,6 +94,19 @@ class _AccessCandidate:
     index_name: Optional[str] = None
 
 
+@dataclasses.dataclass
+class _JoinContext:
+    """Outer-candidate-independent join planning state (computed once)."""
+
+    join: object
+    right_rows: float
+    distinct: float
+    #: Best per-probe parameterized seek, or None if the inner side only scans.
+    nl_inner: Optional[_AccessCandidate]
+    #: Best build-side access for a hash join.
+    hash_inner: _AccessCandidate
+
+
 class Optimizer:
     """Plans queries against a database's tables."""
 
@@ -86,6 +116,8 @@ class Optimizer:
         #: Number of optimizations performed in what-if mode (metered for
         #: DTA resource accounting).
         self.whatif_calls = 0
+        #: Memoized plans (normal mode and what-if mode alike).
+        self.plan_cache = PlanCache()
 
     # ------------------------------------------------------------------
     # Entry point
@@ -102,25 +134,91 @@ class Optimizer:
         ``extra_indexes``/``excluded`` put the optimizer in what-if mode
         (hypothetical configuration); MI candidates are only emitted in
         normal mode (``mi_sink`` provided and no hypothetical config).
+        Results are memoized in :attr:`plan_cache`; on a hit the MI
+        emissions recorded at compute time are replayed into ``mi_sink``
+        so the DMV accounting is cache-transparent.
         """
+        extra_indexes = tuple(extra_indexes)
+        excluded = frozenset(excluded)
         whatif = bool(extra_indexes) or bool(excluded)
         if whatif:
             self.whatif_calls += 1
+        key = self._cache_key(query, extra_indexes, excluded)
+        if key is not None:
+            entry = self.plan_cache.lookup(key)
+            if entry is not None:
+                count("plan_cache_hit")
+                if mi_sink is not None and not whatif:
+                    for emission in entry.mi_emissions:
+                        mi_sink(*emission)
+                return entry.plan
+            count("plan_cache_miss")
+        emissions: List[tuple] = []
         with profile("optimizer_plan_search"):
-            return self._optimize(query, extra_indexes, excluded, mi_sink, whatif)
+            plan = self._optimize(
+                query, extra_indexes, excluded, emissions.append, whatif
+            )
+        if mi_sink is not None and not whatif:
+            for emission in emissions:
+                mi_sink(*emission)
+        if key is not None:
+            self.plan_cache.store(
+                key,
+                PlanCacheEntry(
+                    plan=plan,
+                    mi_emissions=tuple(emissions),
+                    tables=self._referenced_tables(query),
+                ),
+            )
+        return plan
+
+    def _cache_key(
+        self,
+        query,
+        extra_indexes: Tuple[IndexDefinition, ...],
+        excluded: frozenset,
+    ) -> Optional[Hashable]:
+        """The memoization key, or None when the query is not cacheable.
+
+        Queries and index definitions are frozen dataclasses, so the key
+        hashes structurally; anything unhashable (e.g. exotic predicate
+        values) simply bypasses the cache rather than erroring.
+        """
+        fingerprint = []
+        for name in self._referenced_tables(query):
+            table = self._tables.get(name)
+            if table is None:
+                return None  # planning will raise UnknownTableError
+            fingerprint.append(
+                (name, table.schema_version, table.stats_version,
+                 table.data_version)
+            )
+        key = (query, tuple(fingerprint), tuple(sorted(excluded)), extra_indexes)
+        try:
+            hash(key)
+        except TypeError:
+            return None
+        return key
+
+    @staticmethod
+    def _referenced_tables(query) -> Tuple[str, ...]:
+        join = getattr(query, "join", None)
+        if join is not None:
+            return (query.table, join.table)
+        return (query.table,)
 
     def _optimize(
         self,
         query,
         extra_indexes: Sequence[IndexDefinition],
         excluded: frozenset,
-        mi_sink: Optional[MiSink],
+        record_emission: Callable[[tuple], None],
         whatif: bool,
     ) -> PlanNode:
         if isinstance(query, SelectQuery):
             plan = self._plan_select(query, extra_indexes, excluded)
-            if mi_sink is not None and not whatif:
-                self._emit_missing_indexes(query, plan, mi_sink)
+            if not whatif:
+                self._emit_missing_indexes(query, plan, record_emission)
             return plan
         if isinstance(query, InsertQuery):
             if query.bulk and whatif:
@@ -130,13 +228,13 @@ class Optimizer:
             return self._plan_insert(query, extra_indexes, excluded)
         if isinstance(query, UpdateQuery):
             plan = self._plan_update(query, extra_indexes, excluded)
-            if mi_sink is not None and not whatif and query.predicates:
-                self._emit_dml_missing_indexes(query, plan, mi_sink)
+            if not whatif and query.predicates:
+                self._emit_dml_missing_indexes(query, plan, record_emission)
             return plan
         if isinstance(query, DeleteQuery):
             plan = self._plan_delete(query, extra_indexes, excluded)
-            if mi_sink is not None and not whatif and query.predicates:
-                self._emit_dml_missing_indexes(query, plan, mi_sink)
+            if not whatif and query.predicates:
+                self._emit_dml_missing_indexes(query, plan, record_emission)
             return plan
         raise OptimizeError(f"cannot optimize {type(query).__name__}")
 
@@ -376,32 +474,16 @@ class Optimizer:
         needed_columns: Tuple[str, ...],
         extra_indexes: Sequence[IndexDefinition],
         excluded: frozenset,
-        index_hint: Optional[str] = None,
-        preferred_order: Tuple[str, ...] = (),
     ) -> _AccessCandidate:
+        """Cheapest access path by its own cost (no downstream context).
+
+        Used where the access path *is* the whole read — DML source,
+        hash-join build side, MI baseline.  SELECT planning instead costs
+        the complete plan per candidate in :meth:`_plan_select`.
+        """
         candidates = self._access_candidates(
             table, predicates, needed_columns, extra_indexes, excluded
         )
-        if index_hint is not None:
-            hinted = [c for c in candidates if c.index_name == index_hint]
-            if not hinted:
-                raise ExecutionError(
-                    f"query hints index {index_hint!r} which does not exist "
-                    f"on table {table.name!r}"
-                )
-            candidates = hinted
-        if preferred_order:
-            # Credit order-providing candidates with the avoided sort cost.
-            sort_bonus = self._cost_model.sort_cost(
-                max(1.0, candidates[0].out_rows)
-            )
-
-            def effective(c: _AccessCandidate) -> float:
-                if _order_satisfied(c.output_order, preferred_order):
-                    return c.cost
-                return c.cost + sort_bonus
-
-            return min(candidates, key=effective)
         return min(candidates, key=lambda c: c.cost)
 
     # ------------------------------------------------------------------
@@ -413,31 +495,58 @@ class Optimizer:
         extra_indexes: Sequence[IndexDefinition],
         excluded: frozenset,
     ) -> PlanNode:
+        """True min-cost search: finish the full plan per access candidate.
+
+        Every candidate is carried through join, aggregation, sort, and
+        top costing independently, and the cheapest *complete* plan wins.
+        Each candidate's final cost is independent of which other
+        candidates were enumerated, so hiding indexes (fewer candidates)
+        can never lower the minimum and hypothetical indexes (more
+        candidates) can never raise it — the monotonicity the what-if API
+        relies on holds by construction.
+        """
         table = self._table(query.table)
         needed = query.referenced_columns()
-        order_columns = tuple(
-            item.column for item in query.order_by if item.ascending
+        candidates = self._access_candidates(
+            table, query.predicates, needed, extra_indexes, excluded
         )
-        if len(order_columns) != len(query.order_by):
-            order_columns = ()  # descending sorts always need a Sort node
-        preferred = query.group_by or order_columns
-        candidate = self._best_access(
-            table,
-            query.predicates,
-            needed,
-            extra_indexes,
-            excluded,
-            index_hint=query.index_hint,
-            preferred_order=preferred,
-        )
+        if query.index_hint is not None:
+            candidates = [
+                c for c in candidates if c.index_name == query.index_hint
+            ]
+            if not candidates:
+                raise ExecutionError(
+                    f"query hints index {query.index_hint!r} which does not "
+                    f"exist on table {table.name!r}"
+                )
+        join_ctx = None
+        if query.join is not None:
+            join_ctx = self._join_context(query, extra_indexes, excluded)
+        best_plan: Optional[PlanNode] = None
+        best_cost = math.inf
+        for candidate in candidates:
+            plan, cost = self._finish_select(query, table, candidate, join_ctx)
+            if plan is not None and cost < best_cost:
+                best_plan, best_cost = plan, cost
+        assert best_plan is not None  # clustered scan always completes
+        return best_plan
+
+    def _finish_select(
+        self,
+        query: SelectQuery,
+        table: Table,
+        candidate: _AccessCandidate,
+        join_ctx: Optional["_JoinContext"],
+    ) -> Tuple[Optional[PlanNode], float]:
+        """Complete one access candidate into a full plan and its cost."""
         plan = candidate.node
         rows = candidate.out_rows
         order = candidate.output_order
         cost = candidate.cost
 
-        if query.join is not None:
-            plan, rows, order, cost = self._plan_join(
-                query, plan, rows, order, cost, extra_indexes, excluded
+        if join_ctx is not None:
+            plan, rows, order, cost = self._apply_join(
+                join_ctx, plan, rows, order, cost
             )
 
         if query.group_by or query.aggregates:
@@ -445,32 +554,42 @@ class Optimizer:
                 query, table, plan, rows, order, cost
             )
 
-        if query.order_by and not _order_satisfied(
-            order, tuple(i.column for i in query.order_by)
-        ):
-            cost += self._cost_model.sort_cost(rows)
-            plan = SortNode(
-                est_rows=rows, est_cost=cost, child=plan, order_by=query.order_by
-            )
-            order = tuple(i.column for i in query.order_by)
+        if query.order_by:
+            wanted = tuple(i.column for i in query.order_by)
+            # Access paths deliver ascending order only, so any descending
+            # item forces a Sort regardless of column match.
+            satisfied = all(
+                i.ascending for i in query.order_by
+            ) and _order_satisfied(order, wanted)
+            if not satisfied:
+                cost += self._cost_model.sort_cost(rows)
+                plan = SortNode(
+                    est_rows=rows,
+                    est_cost=cost,
+                    child=plan,
+                    order_by=query.order_by,
+                )
+                order = wanted
 
         if query.limit is not None:
             rows = min(rows, float(query.limit))
             plan = TopNode(
                 est_rows=rows, est_cost=cost, child=plan, limit=query.limit
             )
-        return plan
+        return plan, cost
 
-    def _plan_join(
+    def _join_context(
         self,
         query: SelectQuery,
-        outer_plan: PlanNode,
-        outer_rows: float,
-        outer_order: Tuple[str, ...],
-        outer_cost: float,
         extra_indexes: Sequence[IndexDefinition],
         excluded: frozenset,
-    ):
+    ) -> "_JoinContext":
+        """Inner-side planning shared by every outer access candidate.
+
+        The inner side's best per-probe seek and best build-side access do
+        not depend on the outer candidate, so they are computed once per
+        SELECT rather than once per candidate.
+        """
         join = query.join
         right = self._table(join.table)
         model = self._cost_model
@@ -481,46 +600,63 @@ class Optimizer:
                 + tuple(join.select_columns)
             )
         )
-        # Join output cardinality via the containment assumption.
         right_sel = model.combined_selectivity(right, join.predicates)
         right_rows = right_sel * right.row_count
         distinct = _distinct_estimate(right, join.right_column)
-        join_rows = max(1.0, outer_rows * right_rows / max(1.0, distinct))
-
         # Nested loop: parameterized seek on the inner side.
         param_pred = Predicate(join.right_column, Op.EQ, PARAM)
         inner_preds = (param_pred,) + tuple(join.predicates)
         nl_inner = self._nl_inner_access(
             right, inner_preds, right_needed, extra_indexes, excluded
         )
-        nl_cost = None
-        if nl_inner is not None:
-            per_probe = nl_inner.cost
-            nl_cost = outer_cost + outer_rows * per_probe
         # Hash join: scan both sides, build on inner.
         hash_inner = self._best_access(
             right, tuple(join.predicates), right_needed, extra_indexes, excluded
         )
+        return _JoinContext(
+            join=join,
+            right_rows=right_rows,
+            distinct=distinct,
+            nl_inner=nl_inner,
+            hash_inner=hash_inner,
+        )
+
+    def _apply_join(
+        self,
+        ctx: "_JoinContext",
+        outer_plan: PlanNode,
+        outer_rows: float,
+        outer_order: Tuple[str, ...],
+        outer_cost: float,
+    ):
+        model = self._cost_model
+        # Join output cardinality via the containment assumption.
+        join_rows = max(
+            1.0, outer_rows * ctx.right_rows / max(1.0, ctx.distinct)
+        )
+        nl_cost = None
+        if ctx.nl_inner is not None:
+            nl_cost = outer_cost + outer_rows * ctx.nl_inner.cost
         hash_cost = (
             outer_cost
-            + hash_inner.cost
-            + model.hash_cost(right_rows, outer_rows)
+            + ctx.hash_inner.cost
+            + model.hash_cost(ctx.right_rows, outer_rows)
         )
         if nl_cost is not None and nl_cost <= hash_cost:
             plan = NestedLoopJoinNode(
                 est_rows=join_rows,
                 est_cost=nl_cost,
                 outer=outer_plan,
-                inner=nl_inner.node,
-                join=join,
+                inner=ctx.nl_inner.node,
+                join=ctx.join,
             )
             return plan, join_rows, outer_order, nl_cost
         plan = HashJoinNode(
             est_rows=join_rows,
             est_cost=hash_cost,
             outer=outer_plan,
-            inner=hash_inner.node,
-            join=join,
+            inner=ctx.hash_inner.node,
+            join=ctx.join,
         )
         return plan, join_rows, (), hash_cost
 
@@ -705,7 +841,10 @@ class Optimizer:
     # Missing-index emission
 
     def _emit_missing_indexes(
-        self, query: SelectQuery, plan: PlanNode, mi_sink: MiSink
+        self,
+        query: SelectQuery,
+        plan: PlanNode,
+        record: Callable[[tuple], None],
     ) -> None:
         # MI's analysis is local, "predominantly in the leaf node of a
         # plan" (Section 5.1.1): the include list captures the plan leaf's
@@ -722,7 +861,7 @@ class Optimizer:
             query.predicates,
             leaf_columns,
             plan.est_cost,
-            mi_sink,
+            record,
         )
         if query.join is not None:
             join_needed = tuple(
@@ -737,16 +876,18 @@ class Optimizer:
                 tuple(query.join.predicates),
                 join_needed,
                 plan.est_cost,
-                mi_sink,
+                record,
             )
 
-    def _emit_dml_missing_indexes(self, query, plan: PlanNode, mi_sink: MiSink) -> None:
+    def _emit_dml_missing_indexes(
+        self, query, plan: PlanNode, record: Callable[[tuple], None]
+    ) -> None:
         self._emit_for_table(
             query.table,
             query.predicates,
             tuple(p.column for p in query.predicates),
             plan.est_cost,
-            mi_sink,
+            record,
         )
 
     def _emit_for_table(
@@ -755,7 +896,7 @@ class Optimizer:
         predicates: Tuple[Predicate, ...],
         referenced: Tuple[str, ...],
         plan_cost: float,
-        mi_sink: MiSink,
+        record: Callable[[tuple], None],
     ) -> None:
         """Compare the current plan to an ideal local index; report if better.
 
@@ -817,13 +958,15 @@ class Optimizer:
         if candidate.cost >= best_existing.cost * (1.0 - MI_REPORT_THRESHOLD):
             return
         impact = 100.0 * (1.0 - candidate.cost / best_existing.cost)
-        mi_sink(
-            table_name,
-            eq_cols,
-            ineq_cols,
-            ideal.included_columns,
-            best_existing.cost,
-            impact,
+        record(
+            (
+                table_name,
+                eq_cols,
+                ineq_cols,
+                ideal.included_columns,
+                best_existing.cost,
+                impact,
+            )
         )
 
 

@@ -1,0 +1,121 @@
+"""Memoized plan cache for the optimizer.
+
+Plan search is the engine's hottest profiled path: every executed
+statement optimizes, and DTA/MI recommendation sweeps re-optimize the
+same templates against dozens of hypothetical configurations
+(Section 5.3).  The cache memoizes ``optimize()`` results keyed by
+
+- the **query** itself (queries are frozen, hashable dataclasses, so the
+  full query — including literal values — is its own signature),
+- a per-referenced-table **fingerprint** ``(name, schema_version,
+  stats_version, data_version)`` capturing everything cost estimation
+  reads: the visible index set, the statistics snapshot, and the live
+  tree shape / row count, and
+- the **what-if configuration**: the sorted ``excluded`` names plus the
+  ``extra_indexes`` tuple, so hypothetical configurations are cached
+  independently of normal mode and of each other.
+
+Staleness is handled twice over.  Version counters inside the key mean a
+DDL change, statistics rebuild, or DML mutation makes every affected key
+unreachable, so a stale plan can never be returned.  Explicit
+:meth:`PlanCache.invalidate` additionally reclaims the memory for those
+unreachable entries at the events the engine knows about (index
+create/drop, fleet statistics refresh, restart).
+
+Plans are frozen dataclass trees and are shared by reference between the
+cache and callers.  Missing-index emissions recorded while a plan was
+first computed are replayed on every hit, so the MI DMV's ``user_seeks``
+accounting (Section 5.2) is identical with and without the cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from typing import Hashable, Optional, Tuple
+
+from repro.engine.plans import PlanNode
+
+#: Default maximum number of cached plans per engine.
+DEFAULT_CAPACITY = 1024
+
+
+@dataclasses.dataclass(frozen=True)
+class PlanCacheEntry:
+    """One memoized optimization result."""
+
+    plan: PlanNode
+    #: MI sink argument tuples recorded when the plan was computed; replayed
+    #: into the sink on every cache hit (normal mode only).
+    mi_emissions: Tuple[tuple, ...]
+    #: Tables the plan reads or writes — the invalidation granularity.
+    tables: Tuple[str, ...]
+
+
+class PlanCache:
+    """A bounded LRU mapping cache keys to :class:`PlanCacheEntry`.
+
+    Counters are monotone over the cache's lifetime: ``hits``/``misses``
+    count :meth:`lookup` outcomes, ``evictions`` counts entries removed
+    for any reason (capacity pressure *and* invalidation), and
+    ``invalidations`` counts :meth:`invalidate` calls.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, PlanCacheEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    # ------------------------------------------------------------------
+
+    def lookup(self, key: Hashable) -> Optional[PlanCacheEntry]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def store(self, key: Hashable, entry: PlanCacheEntry) -> None:
+        if self.capacity <= 0:
+            return
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, table: Optional[str] = None) -> int:
+        """Drop entries touching ``table`` (all entries when ``None``).
+
+        Version counters in the key already make stale entries
+        unreachable; this reclaims their memory.  Returns the number of
+        entries removed.
+        """
+        self.invalidations += 1
+        if table is None:
+            removed = len(self._entries)
+            self._entries.clear()
+        else:
+            stale = [
+                key
+                for key, entry in self._entries.items()
+                if table in entry.tables
+            ]
+            for key in stale:
+                del self._entries[key]
+            removed = len(stale)
+        self.evictions += removed
+        return removed

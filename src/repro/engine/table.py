@@ -133,6 +133,12 @@ class Table:
         self.statistics = TableStatistics(schema.name)
         #: Bumped on every index create/drop; resets the MI DMV (Section 5.2).
         self.schema_version = 0
+        #: Bumped on every statistics (re)build; part of the optimizer's
+        #: plan-cache fingerprint, so cached plans go stale on stats refresh.
+        self.stats_version = 0
+        #: Bumped on every DML mutation; cost estimates depend on live tree
+        #: shape and row count, so cached plans go stale on data change.
+        self.data_version = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -189,6 +195,7 @@ class Table:
                 f"duplicate primary key {pk!r} in table {self.name!r}"
             )
         self.clustered.insert(pk, row)
+        self.data_version += 1
         if meter is not None:
             # Base row insert: clustered traversal plus row formatting/log.
             meter.charge(self.clustered.height + 2)
@@ -204,6 +211,7 @@ class Table:
         removed = self.clustered.delete(pk)
         if not removed:
             raise ExecutionError(f"row with pk {pk!r} vanished during delete")
+        self.data_version += 1
         if meter is not None:
             meter.charge(self.clustered.height + 2)
         for index in self.indexes.values():
@@ -238,6 +246,7 @@ class Table:
         pk = self.schema.pk_values(old_row)
         self.clustered.delete(pk)
         self.clustered.insert(pk, new_row)
+        self.data_version += 1
         if meter is not None:
             meter.charge(self.clustered.height + 2)
         for index in self.indexes.values():
@@ -327,6 +336,8 @@ class Table:
         copy_table.statistics.built_at = self.statistics.built_at
         copy_table.statistics.rows_at_build = self.statistics.rows_at_build
         copy_table.schema_version = self.schema_version
+        copy_table.stats_version = self.stats_version
+        copy_table.data_version = self.data_version
         return copy_table
 
     # ------------------------------------------------------------------
@@ -360,4 +371,5 @@ class Table:
             built += 1
         self.statistics.built_at = at_time
         self.statistics.rows_at_build = len(all_rows)
+        self.stats_version += 1
         return built

@@ -76,6 +76,19 @@ def render_dashboard(
     )
     lines.append(f"  incidents:       {int(incidents)}")
 
+    # --- optimizer plan cache ----------------------------------------
+    hits = registry.total("plan_cache_hits")
+    misses = registry.total("plan_cache_misses")
+    evictions = registry.total("plan_cache_evictions")
+    lookups = hits + misses
+    if lookups:
+        hit_rate = hits / lookups
+        lines.append("optimizer plan cache:")
+        lines.append(
+            f"  lookups:         {int(lookups)} (hit rate {hit_rate:.1%})"
+        )
+        lines.append(f"  evictions:       {int(evictions)}")
+
     # --- slowest tuning sessions -------------------------------------
     lines.append(f"slowest tuning sessions (top {top_n}):")
     slowest = recorder.slowest(TUNING_KINDS, n=top_n)

@@ -7,6 +7,8 @@ query over the raw rows, so optimizer plan choice can never change results
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.engine import (
@@ -27,6 +29,13 @@ from tests.engine.test_optimizer import perfect_engine
 @pytest.fixture
 def eng():
     return perfect_engine(seed=21)
+
+
+def exact_sum(values):
+    """Exactly rounded sum (matches the executor's order-independent SUM)."""
+    if any(isinstance(v, float) for v in values):
+        return math.fsum(values)
+    return sum(values)
 
 
 def brute_force(eng, query: SelectQuery):
@@ -79,9 +88,9 @@ def brute_force(eng, query: SelectQuery):
                     elif not values:
                         item[agg.label()] = None
                     elif agg.func is AggFunc.SUM:
-                        item[agg.label()] = sum(values)
+                        item[agg.label()] = exact_sum(values)
                     elif agg.func is AggFunc.AVG:
-                        item[agg.label()] = sum(values) / len(values)
+                        item[agg.label()] = exact_sum(values) / len(values)
                     elif agg.func is AggFunc.MIN:
                         item[agg.label()] = min(values)
                     elif agg.func is AggFunc.MAX:

@@ -91,7 +91,7 @@ def engines():
 
 
 @settings(
-    max_examples=120,
+    max_examples=200,
     deadline=None,
     suppress_health_check=[HealthCheck.function_scoped_fixture],
 )

@@ -22,7 +22,7 @@ def eng():
 
 
 @settings(
-    max_examples=80,
+    max_examples=200,
     deadline=None,
     suppress_health_check=[HealthCheck.function_scoped_fixture],
 )
@@ -38,7 +38,7 @@ def test_property_excluding_indexes_never_helps(eng, query):
 
 
 @settings(
-    max_examples=80,
+    max_examples=200,
     deadline=None,
     suppress_health_check=[HealthCheck.function_scoped_fixture],
 )

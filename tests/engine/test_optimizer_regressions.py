@@ -1,0 +1,129 @@
+"""Pinned regressions: Hypothesis falsifying examples, made deterministic.
+
+Two bugs were found by the property suites and fixed together:
+
+1. **Non-monotone plan search.**  ``_best_access`` credited
+   order-providing access paths with an avoided-sort bonus computed from
+   ``candidates[0].out_rows`` — the *pre-aggregation* cardinality of an
+   arbitrary candidate.  Under GROUP BY the real saving is only the
+   stream-vs-hash aggregate delta over far fewer rows, so the heuristic
+   picked wildly mispriced plans: excluding indexes could *lower*
+   ``est_cost`` (9.77 -> 3.06) and a hypothetical covering index could
+   *raise* it (3.28 -> 10.56).  Fixed by costing the complete plan per
+   access candidate and taking the true argmin.
+
+2. **Order-dependent aggregation.**  SUM/AVG used naive ``sum()``, so an
+   index-order scan and a heap-order scan returned different float bits
+   for the same data.  Fixed with exactly rounded ``math.fsum``.
+
+These tests re-run the exact falsifying queries with no Hypothesis
+involvement, so the bugs can never silently return on a lucky draw.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import IndexDefinition, Op, Predicate, SelectQuery
+from repro.engine.query import AggFunc, Aggregate
+from tests.engine.test_executor import brute_force, norm
+from tests.engine.test_optimizer import perfect_engine
+
+#: The hypothetical covering index from the property suite.
+HYP_ALL = IndexDefinition(
+    "hyp_all",
+    "orders",
+    ("o_status", "o_date"),
+    ("o_amount", "o_note"),
+    hypothetical=True,
+)
+
+
+def agg_query(predicate: Predicate, group: str) -> SelectQuery:
+    return SelectQuery(
+        "orders",
+        predicates=(predicate,),
+        group_by=(group,),
+        aggregates=(
+            Aggregate(AggFunc.COUNT),
+            Aggregate(AggFunc.SUM, "o_amount"),
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def eng():
+    # Mirrors the tests/engine/test_optimizer_property.py fixture.
+    engine = perfect_engine(seed=4001)
+    engine.create_index(
+        IndexDefinition("ix_cust", "orders", ("o_cust",), ("o_amount",))
+    )
+    engine.create_index(IndexDefinition("ix_date", "orders", ("o_date",)))
+    return engine
+
+
+class TestPlanSearchMonotonicity:
+    @pytest.mark.parametrize("cutoff", [501, 538])
+    def test_excluding_indexes_never_helps_pinned(self, eng, cutoff):
+        """Falsifying example: o_id < 501 GROUP BY o_cust went 9.77 -> 3.06
+        when ix_cust/ix_date were *hidden* (the sort bonus overpriced the
+        full-configuration plan)."""
+        query = agg_query(Predicate("o_id", Op.LT, cutoff), "o_cust")
+        full = eng.optimizer.optimize(query).est_cost
+        excluded = eng.optimizer.optimize(
+            query, excluded=frozenset({"ix_cust", "ix_date"})
+        ).est_cost
+        assert excluded >= full - 1e-9
+
+    def test_hypothetical_superset_never_hurts_pinned(self, eng):
+        """Falsifying example: o_id < 538 GROUP BY o_status went
+        3.28 -> 10.56 when the covering hypothetical was *added* (its
+        group-order output attracted the bogus sort credit)."""
+        query = agg_query(Predicate("o_id", Op.LT, 538), "o_status")
+        base = eng.optimizer.optimize(query).est_cost
+        with_hyp = eng.optimizer.optimize(
+            query, extra_indexes=(HYP_ALL,)
+        ).est_cost
+        assert with_hyp <= base + 1e-9
+
+    def test_chosen_plan_is_true_argmin_over_single_exclusions(self, eng):
+        """Full-plan costing means no single index exclusion can beat the
+        unrestricted search, for every pinned query shape."""
+        queries = [
+            agg_query(Predicate("o_id", Op.LT, 501), "o_cust"),
+            agg_query(Predicate("o_id", Op.LT, 538), "o_status"),
+        ]
+        for query in queries:
+            full = eng.optimizer.optimize(query).est_cost
+            for name in ("ix_cust", "ix_date"):
+                restricted = eng.optimizer.optimize(
+                    query, excluded=frozenset({name})
+                ).est_cost
+                assert restricted >= full - 1e-9
+
+
+class TestOrderIndependentAggregation:
+    @pytest.fixture(scope="module")
+    def engines(self):
+        # Mirrors the tests/engine/test_executor_property.py fixture.
+        bare = perfect_engine(seed=3001)
+        indexed = perfect_engine(seed=3001)
+        indexed.create_index(
+            IndexDefinition("ix_cust", "orders", ("o_cust",), ("o_amount",))
+        )
+        indexed.create_index(
+            IndexDefinition("ix_sd", "orders", ("o_status", "o_date"))
+        )
+        indexed.create_index(IndexDefinition("ix_note", "orders", ("o_note",)))
+        return bare, indexed
+
+    @pytest.mark.parametrize("group", ["o_status", "o_note"])
+    def test_sum_bits_match_across_plans_pinned(self, engines, group):
+        """Falsifying example: SUM(o_amount) under o_cust < 2 returned
+        different float bits from the index-ordered plan than from the
+        heap scan before fsum."""
+        bare, indexed = engines
+        query = agg_query(Predicate("o_cust", Op.LT, 2), group)
+        expected = norm(brute_force(bare, query))
+        assert norm(bare.execute(query).rows) == expected
+        assert norm(indexed.execute(query).rows) == expected
