@@ -1,112 +1,14 @@
 #!/usr/bin/env python
-"""Lint: every metric name used in source must be registered and snake_case.
-
-Scans ``src/`` and ``benchmarks/`` for registry call sites —
-``.counter("...")``, ``.gauge("...")``, ``.histogram("...")``,
-``.total("...")``, ``.series_for("...")`` — and fails the build when a
-name is not ``snake_case`` or is missing from the
-:data:`repro.observability.metrics.CATALOG` taxonomy.  Call sites whose
-first argument is not a string literal are flagged too, because the lint
-(and the exporters' HELP text) can only vouch for literal names.
-
-Usage: ``python scripts/check_metric_names.py [paths...]``
-Exit status 0 = clean, 1 = violations found.
+"""Back-compat shim: metric-name linting now lives in the unified
+observability-name lint, which also covers audit event types and alert
+rule names.  See ``scripts/check_observability_names.py``.
 """
 
 from __future__ import annotations
 
-import pathlib
-import re
 import sys
 
-REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
-DEFAULT_PATHS = (REPO_ROOT / "src", REPO_ROOT / "benchmarks")
-
-SNAKE_CASE = re.compile(r"^[a-z][a-z0-9_]*$")
-#: A registry method call with a string-literal first argument.
-LITERAL_CALL = re.compile(
-    r"\.(?:counter|gauge|histogram|total|series_for)\(\s*[rbu]*([\"'])"
-    r"(?P<name>[^\"']*)\1"
-)
-#: Any registry method call, literal or not (to flag dynamic names).
-ANY_CALL = re.compile(
-    r"\.(?:counter|gauge|histogram|total|series_for)\(\s*(?P<arg>[^)\s,]*)"
-)
-
-
-def load_catalog() -> set:
-    sys.path.insert(0, str(REPO_ROOT / "src"))
-    from repro.observability.metrics import CATALOG
-
-    return set(CATALOG)
-
-
-def iter_py_files(paths):
-    for path in paths:
-        path = pathlib.Path(path)
-        if path.is_file():
-            yield path
-        else:
-            yield from sorted(path.rglob("*.py"))
-
-
-def check_file(path: pathlib.Path, catalog: set) -> list:
-    errors = []
-    # The registry module itself defines the methods; skip its internals.
-    if path.name == "metrics.py" and "observability" in path.parts:
-        return errors
-    text = path.read_text()
-
-    def lineno(offset: int) -> int:
-        return text.count("\n", 0, offset) + 1
-
-    # Both patterns' \s* crosses newlines, so calls that wrap the name
-    # onto the next line are still checked.
-    literal_starts = set()
-    for match in LITERAL_CALL.finditer(text):
-        literal_starts.add(match.start())
-        name = match.group("name")
-        if not SNAKE_CASE.match(name):
-            errors.append(
-                f"{path}:{lineno(match.start())}: metric name {name!r} "
-                "is not snake_case"
-            )
-        elif name not in catalog:
-            errors.append(
-                f"{path}:{lineno(match.start())}: metric name {name!r} is "
-                "not in the CATALOG taxonomy "
-                "(src/repro/observability/metrics.py)"
-            )
-    for match in ANY_CALL.finditer(text):
-        if match.start() in literal_starts:
-            continue
-        arg = match.group("arg")
-        if arg.startswith(("'", '"')) or arg == "":
-            continue  # empty call, or a literal ANY_CALL truncated oddly
-        errors.append(
-            f"{path}:{lineno(match.start())}: metric name is not a string "
-            f"literal ({arg!r}); the lint cannot verify it"
-        )
-    return errors
-
-
-def main(argv=None) -> int:
-    argv = sys.argv[1:] if argv is None else argv
-    paths = argv or DEFAULT_PATHS
-    catalog = load_catalog()
-    errors = []
-    checked = 0
-    for path in iter_py_files(paths):
-        errors.extend(check_file(path, catalog))
-        checked += 1
-    for error in errors:
-        print(error)
-    print(
-        f"check_metric_names: {checked} files checked, "
-        f"{len(errors)} violation(s), {len(catalog)} catalog entries"
-    )
-    return 1 if errors else 0
-
+from check_observability_names import main
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -1,0 +1,171 @@
+#!/usr/bin/env python
+"""Lint: every observability name used in source must be cataloged.
+
+One static check over the whole observability taxonomy:
+
+- **Metrics** — ``.counter("...")``, ``.gauge("...")``,
+  ``.histogram("...")``, ``.total("...")``, ``.series_for("...")`` call
+  sites must use snake_case names registered in
+  :data:`repro.observability.metrics.CATALOG`;
+- **Audit events** — ``audit.emit(at, "...", ...)`` call sites must use
+  event types declared in
+  :data:`repro.observability.audit.AUDIT_CATALOG`;
+- **Alert rules** — ``AlertRule(name="...")`` construction sites must
+  use rule names declared in
+  :data:`repro.observability.alerts.ALERT_CATALOG`.
+
+Call sites whose name argument is not a string literal are flagged too,
+because the lint (and the exporters'/explain renderers' help text) can
+only vouch for literal names.
+
+Usage: ``python scripts/check_observability_names.py [paths...]``
+Exit status 0 = clean, 1 = violations found.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+DEFAULT_PATHS = (REPO_ROOT / "src", REPO_ROOT / "benchmarks")
+
+SNAKE_CASE = re.compile(r"^[a-z][a-z0-9_]*$")
+#: A registry method call with a string-literal first argument.
+LITERAL_CALL = re.compile(
+    r"\.(?:counter|gauge|histogram|total|series_for)\(\s*[rbu]*([\"'])"
+    r"(?P<name>[^\"']*)\1"
+)
+#: Any registry method call, literal or not (to flag dynamic names).
+ANY_CALL = re.compile(
+    r"\.(?:counter|gauge|histogram|total|series_for)\(\s*(?P<arg>[^)\s,]*)"
+)
+#: ``audit.emit(at, "event_type", ...)`` with a literal event type.  The
+#: first argument (the timestamp) is matched non-greedily up to the
+#: first comma, which is where every call site puts it.
+LITERAL_EMIT = re.compile(
+    r"\baudit\.emit\(\s*(?P<at>[^,()]+?),\s*[rbu]*([\"'])"
+    r"(?P<name>[^\"']*)\2"
+)
+#: Any ``audit.emit`` call (to flag dynamic event types).
+ANY_EMIT = re.compile(
+    r"\baudit\.emit\(\s*(?P<at>[^,()]+?),\s*(?P<arg>[^)\s,]*)"
+)
+#: ``AlertRule(name="...")`` construction with a literal rule name.
+LITERAL_RULE = re.compile(
+    r"\bAlertRule\(\s*name=[rbu]*([\"'])(?P<name>[^\"']*)\1"
+)
+
+
+def load_catalogs() -> tuple:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.observability.alerts import ALERT_CATALOG
+    from repro.observability.audit import AUDIT_CATALOG
+    from repro.observability.metrics import CATALOG
+
+    return set(CATALOG), set(AUDIT_CATALOG), set(ALERT_CATALOG)
+
+
+def iter_py_files(paths):
+    for path in paths:
+        path = pathlib.Path(path)
+        if path.is_file():
+            yield path
+        else:
+            yield from sorted(path.rglob("*.py"))
+
+
+def check_file(path: pathlib.Path, metrics: set, events: set, rules: set) -> list:
+    errors = []
+    # The defining modules validate their own names at runtime; skip
+    # their internals so catalog declarations don't self-flag.
+    if path.name in ("metrics.py", "audit.py", "alerts.py") and (
+        "observability" in path.parts
+    ):
+        return errors
+    text = path.read_text()
+
+    def lineno(offset: int) -> int:
+        return text.count("\n", 0, offset) + 1
+
+    # Both patterns' \s* crosses newlines, so calls that wrap the name
+    # onto the next line are still checked.
+    literal_starts = set()
+    for match in LITERAL_CALL.finditer(text):
+        literal_starts.add(match.start())
+        name = match.group("name")
+        if not SNAKE_CASE.match(name):
+            errors.append(
+                f"{path}:{lineno(match.start())}: metric name {name!r} "
+                "is not snake_case"
+            )
+        elif name not in metrics:
+            errors.append(
+                f"{path}:{lineno(match.start())}: metric name {name!r} is "
+                "not in the CATALOG taxonomy "
+                "(src/repro/observability/metrics.py)"
+            )
+    for match in ANY_CALL.finditer(text):
+        if match.start() in literal_starts:
+            continue
+        arg = match.group("arg")
+        if arg.startswith(("'", '"')) or arg == "":
+            continue  # empty call, or a literal ANY_CALL truncated oddly
+        errors.append(
+            f"{path}:{lineno(match.start())}: metric name is not a string "
+            f"literal ({arg!r}); the lint cannot verify it"
+        )
+    emit_starts = set()
+    for match in LITERAL_EMIT.finditer(text):
+        emit_starts.add(match.start())
+        name = match.group("name")
+        if name not in events:
+            errors.append(
+                f"{path}:{lineno(match.start())}: audit event type {name!r} "
+                "is not in the AUDIT_CATALOG taxonomy "
+                "(src/repro/observability/audit.py)"
+            )
+    for match in ANY_EMIT.finditer(text):
+        if match.start() in emit_starts:
+            continue
+        arg = match.group("arg")
+        if arg.startswith(("'", '"')) or arg == "":
+            continue
+        errors.append(
+            f"{path}:{lineno(match.start())}: audit event type is not a "
+            f"string literal ({arg!r}); the lint cannot verify it"
+        )
+    for match in LITERAL_RULE.finditer(text):
+        name = match.group("name")
+        if name not in rules:
+            errors.append(
+                f"{path}:{lineno(match.start())}: alert rule name {name!r} "
+                "is not in the ALERT_CATALOG taxonomy "
+                "(src/repro/observability/alerts.py)"
+            )
+    return errors
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    paths = argv or DEFAULT_PATHS
+    metrics, events, rules = load_catalogs()
+    errors = []
+    checked = 0
+    for path in iter_py_files(paths):
+        errors.extend(check_file(path, metrics, events, rules))
+        checked += 1
+    for error in errors:
+        print(error)
+    print(
+        f"check_observability_names: {checked} files checked, "
+        f"{len(errors)} violation(s); catalog entries: "
+        f"{len(metrics)} metrics, {len(events)} audit events, "
+        f"{len(rules)} alert rules"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

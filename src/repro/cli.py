@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands mirror the repo's main entry points:
+Five subcommands mirror the repo's main entry points:
 
 - ``repro demo`` — the quickstart flow on one generated database;
 - ``repro ops --days N --dbs K`` — a closed-loop service run with the
@@ -8,9 +8,16 @@ Four subcommands mirror the repo's main entry points:
 - ``repro fig6 --tier premium --dbs K`` — the Figure 6 experiment for one
   tier;
 - ``repro telemetry --days N --dbs K`` — a closed-loop run rendered as
-  the live-style fleet dashboard (state-machine counts, revert rate,
-  slowest tuning sessions, engine hot paths), with ``--format json`` /
-  ``--format prom`` machine-readable exports.
+  the live-style fleet dashboard (state-machine counts, firing alerts,
+  revert rate, slowest tuning sessions, engine hot paths), with
+  ``--format json`` / ``--format prom`` machine-readable exports;
+- ``repro explain <db> [rec-id]`` — the decision-provenance timeline for
+  one recommendation (audit events + spans + state-store journal), from
+  a fresh closed-loop run, a replayed ``--audit`` JSONL dump, or the
+  seeded ``--regression-demo`` create->validate->revert scenario.
+
+``repro ops`` and ``repro telemetry`` accept ``--audit-out FILE`` to dump
+the run's audit stream as JSONL for later ``repro explain --audit``.
 
 Invoke as ``python -m repro <command>``.
 """
@@ -30,12 +37,15 @@ from repro.controlplane import (
 from repro.experiment.compare import ComparisonSettings, compare_fleet
 from repro.fleet import Fleet, FleetSpec
 from repro.observability import (
+    AuditLog,
     Profiler,
     json_text,
     prometheus_text,
     render_dashboard,
+    render_explain,
     use_profiler,
 )
+from repro.observability.explain import render_index
 from repro.reporting import operational_report
 from repro.service import ServiceSettings, build_service
 
@@ -95,7 +105,14 @@ def cmd_ops(args: argparse.Namespace) -> int:
     print()
     for line in operational_report(service.plane).lines():
         print(line)
+    _maybe_dump_audit(service.plane, args)
     return 0
+
+
+def _maybe_dump_audit(plane, args: argparse.Namespace) -> None:
+    if getattr(args, "audit_out", None):
+        count = plane.audit.dump(args.audit_out)
+        print(f"wrote {count} audit events to {args.audit_out}")
 
 
 def cmd_telemetry(args: argparse.Namespace) -> int:
@@ -127,9 +144,92 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
     else:
         print()
         for line in render_dashboard(
-            telemetry.registry, telemetry.recorder, profiler, top_n=args.top
+            telemetry.registry,
+            telemetry.recorder,
+            profiler,
+            top_n=args.top,
+            watchdog=service.plane.watchdog,
         ):
             print(line)
+    _maybe_dump_audit(service.plane, args)
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Reconstruct why one recommendation was created/validated/reverted."""
+    recorder = None
+    store = None
+    if args.audit:
+        audit = AuditLog.replay(args.audit)
+        database = args.database
+        if database is None:
+            databases = sorted(
+                {e.database for e in audit.events() if e.rec_id is not None}
+            )
+            if len(databases) != 1:
+                print("--audit replay needs an explicit <database> "
+                      f"(stream covers: {', '.join(databases) or 'none'})")
+                return 1
+            database = databases[0]
+    elif args.regression_demo:
+        from repro.experiment.regression import run_regression_scenario
+
+        # The scenario is pinned to its own seed: the point is a
+        # deterministic create->validate->revert chain, not a sweep.
+        print("staging the seeded create->validate->revert scenario...")
+        scenario = run_regression_scenario()
+        plane = scenario.plane
+        audit = plane.audit
+        recorder = plane.telemetry.recorder
+        store = plane.store
+        database = args.database or scenario.database
+        if args.rec_id is None:
+            args.rec_id = str(scenario.rec_id)
+        print(f"final state: {scenario.final_state.value}; firing alerts: "
+              f"{', '.join(a.rule for a in plane.watchdog.active()) or 'none'}")
+        print()
+    else:
+        if args.database is None:
+            print("explain needs a <database> (or --regression-demo / --audit)")
+            return 1
+        database = args.database
+        service = build_service(
+            n_databases=args.dbs,
+            tier=args.tier,
+            seed=args.seed,
+            control_settings=ControlPlaneSettings(
+                snapshot_period=2 * HOURS,
+                analysis_period=8 * HOURS,
+                validation_window=6 * HOURS,
+            ),
+            service_settings=ServiceSettings(max_statements_per_step=80),
+            default_config=AutoIndexingConfig(create_mode=AutoMode.AUTO),
+        )
+        print(f"running the closed loop: {args.dbs} {args.tier} databases, "
+              f"{args.days} simulated days")
+        service.run(hours=args.days * 24)
+        print()
+        plane = service.plane
+        audit = plane.audit
+        recorder = plane.telemetry.recorder
+        store = plane.store
+    if args.rec_id is None:
+        for line in render_index(audit, database):
+            print(line)
+        print("(re-run with a rec-id for the full decision timeline)")
+        return 0
+    if args.rec_id == "latest":
+        rec_ids = audit.rec_ids(database)
+        if not rec_ids:
+            print(f"no recommendation decisions recorded for {database}")
+            return 1
+        rec_id = rec_ids[-1]
+    else:
+        rec_id = int(args.rec_id)
+    for line in render_explain(
+        audit, database, rec_id, recorder=recorder, store=store
+    ):
+        print(line)
     return 0
 
 
@@ -161,6 +261,9 @@ def build_parser() -> argparse.ArgumentParser:
     ops = sub.add_parser("ops", help="closed-loop run + operational report")
     _add_common(ops)
     ops.add_argument("--days", type=int, default=4)
+    ops.add_argument(
+        "--audit-out", help="dump the run's audit stream to this JSONL file"
+    )
     ops.set_defaults(func=cmd_ops)
     fig6 = sub.add_parser("fig6", help="the Figure 6 recommender comparison")
     _add_common(fig6)
@@ -178,7 +281,33 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("dashboard", "json", "prom"),
         default="dashboard",
     )
+    telemetry.add_argument(
+        "--audit-out", help="dump the run's audit stream to this JSONL file"
+    )
     telemetry.set_defaults(func=cmd_telemetry)
+    explain = sub.add_parser(
+        "explain",
+        help="decision-provenance timeline for one recommendation",
+    )
+    _add_common(explain)
+    explain.add_argument(
+        "database", nargs="?", help="managed database name (e.g. db-standard-0)"
+    )
+    explain.add_argument(
+        "rec_id",
+        nargs="?",
+        help="recommendation id, or 'latest' (omit for the decision index)",
+    )
+    explain.add_argument("--days", type=int, default=4)
+    explain.add_argument(
+        "--audit", help="replay a JSONL audit dump instead of running the loop"
+    )
+    explain.add_argument(
+        "--regression-demo",
+        action="store_true",
+        help="stage the seeded create->validate->revert scenario and explain it",
+    )
+    explain.set_defaults(func=cmd_explain)
     return parser
 
 

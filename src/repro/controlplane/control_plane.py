@@ -22,7 +22,7 @@ from repro.controlplane.states import DatabaseState, RecommendationState
 from repro.controlplane.store import RecommendationRecord, StateStore
 from repro.engine.engine import SqlEngine
 from repro.errors import PermanentError, TransientError
-from repro.observability import Telemetry
+from repro.observability import AlertWatchdog, Telemetry
 from repro.observability.spans import Span
 from repro.recommender import (
     DropRecommender,
@@ -135,6 +135,9 @@ class ControlPlane:
         self.classifier = classifier or LowImpactClassifier()
         self.mi_settings = mi_settings
         self.telemetry = Telemetry()
+        self.watchdog = AlertWatchdog(
+            self.telemetry.registry, audit=self.telemetry.audit
+        )
         self.store = StateStore()
         self.store.on_insert = self._telemetry_on_insert
         self.store.on_transition = self._telemetry_on_transition
@@ -167,6 +170,11 @@ class ControlPlane:
         self.validate_service = ValidationService(self)
         self.dta_service = DtaSessionManager(self)
         self.health_service = HealthService(self)
+
+    @property
+    def audit(self):
+        """The decision-provenance stream (``repro explain`` reads this)."""
+        return self.telemetry.audit
 
     # ------------------------------------------------------------------
     # Telemetry (state-machine spans + metrics, Section 3's observability)
@@ -206,6 +214,19 @@ class ControlPlane:
             parent=root,
             rec_id=record.rec_id,
         )
+        self.telemetry.audit.emit(
+            at,
+            "recommendation_registered",
+            record.database,
+            rec_id=record.rec_id,
+            state=record.state.value,
+            action=recommendation.action.value,
+            source=recommendation.source or "unknown",
+            table=recommendation.table,
+            key_columns=list(recommendation.key_columns),
+            estimated_improvement_pct=recommendation.estimated_improvement_pct,
+            estimated_size_bytes=recommendation.estimated_size_bytes,
+        )
 
     def _telemetry_on_transition(
         self,
@@ -224,6 +245,15 @@ class ControlPlane:
         ).inc()
         registry.gauge("records_in_state", state=old_state.value).dec()
         registry.gauge("records_in_state", state=new_state.value).inc()
+        self.telemetry.audit.emit(
+            at,
+            "state_changed",
+            record.database,
+            rec_id=record.rec_id,
+            from_state=old_state.value,
+            to_state=new_state.value,
+            note=note,
+        )
         tracer = self.telemetry.tracer
         phase = self._phase_spans.pop(record.rec_id, None)
         if phase is not None:
@@ -314,6 +344,7 @@ class ControlPlane:
         for managed in self.databases.values():
             managed.last_driven = now
         self._publish_plan_cache_metrics()
+        self.watchdog.evaluate(now)
 
     def _publish_plan_cache_metrics(self) -> None:
         """Surface each engine's plan-cache counters as fleet gauges.
@@ -441,6 +472,16 @@ class ControlPlane:
         )
         if previous is not RecommendationState.RETRY:
             self.store.transition(record, RecommendationState.RETRY, now, reason)
+        self.telemetry.audit.emit(
+            now,
+            "retry_scheduled",
+            managed.name,
+            rec_id=record.rec_id,
+            reason=reason,
+            attempt=record.attempts,
+            retry_at=record.retry_at,
+            retry_target=(record.retry_target.value if record.retry_target else None),
+        )
         self.events.emit(
             now, "recommendation_retry", managed.name,
             rec_id=record.rec_id, attempts=record.attempts,
@@ -455,6 +496,14 @@ class ControlPlane:
     ) -> None:
         if record.state is not RecommendationState.ERROR:
             self.store.transition(record, RecommendationState.ERROR, now, reason)
+        self.telemetry.audit.emit(
+            now,
+            "error_raised",
+            managed.name,
+            rec_id=record.rec_id,
+            reason=reason,
+            attempts=record.attempts,
+        )
         self.events.emit(
             now, "recommendation_error", managed.name, rec_id=record.rec_id,
             reason=reason,
@@ -522,6 +571,21 @@ class ControlPlane:
                 suppressed_at == float("inf")
                 or now - suppressed_at < self.settings.revert_cooldown
             ):
+                in_flight = suppressed_at == float("inf")
+                self.telemetry.audit.emit(
+                    now,
+                    "recommendation_suppressed",
+                    managed.name,
+                    reason="in_flight" if in_flight else "revert_cooldown",
+                    table=recommendation.table,
+                    key_columns=list(recommendation.key_columns),
+                    action=recommendation.action.value,
+                    cooldown_until=(
+                        None
+                        if in_flight
+                        else suppressed_at + self.settings.revert_cooldown
+                    ),
+                )
                 continue
             previous = existing_active.get(key)
             if previous is not None:

@@ -32,6 +32,9 @@ class DtaSessionManager:
         #: session keeps its span open across analysis periods, so the
         #: recorded duration is the true wall-to-wall simulated time.
         self._session_spans: Dict[str, Span] = {}
+        #: What-if evidence of the most recent completed/aborted run —
+        #: folded into the ``candidates_generated`` audit event.
+        self.last_run_info: dict = {}
 
     def settings_for(self, managed: "ManagedDatabase") -> DtaSettings:
         return DtaSettings(tier=managed.tier)
@@ -64,17 +67,24 @@ class DtaSessionManager:
                 # Give up: clean up and surface an analysis failure.
                 del self._sessions[managed.name]
                 self._close_session_span(managed, now, "abandoned")
+                self.last_run_info = {"session_outcome": "abandoned"}
                 self.plane.events.emit(now, "dta_abandoned", managed.name)
                 return []
             raise  # transient: the next analysis period resumes the session
         except SessionAbortedError:
             del self._sessions[managed.name]
             self._close_session_span(managed, now, "aborted")
+            self.last_run_info = {"session_outcome": "aborted"}
             self.plane.events.emit(now, "dta_aborted", managed.name)
             return []
         managed.dta_sessions += 1
         del self._sessions[managed.name]
         whatif_calls = session.whatif.stats.calls
+        self.last_run_info = {
+            "session_outcome": "completed",
+            "whatif_calls": whatif_calls,
+            "workload_coverage": session.report.coverage if session.report else 0.0,
+        }
         self._close_session_span(
             managed, now, "completed", whatif_calls=whatif_calls
         )

@@ -33,8 +33,19 @@ class HealthService:
             age = now - last_change
             if age < threshold:
                 continue
+            audit = self.plane.telemetry.audit
             if record.state is RecommendationState.RETRY:
                 # Known condition: retries stopped being scheduled.
+                audit.emit(
+                    now,
+                    "health_action",
+                    managed.name,
+                    rec_id=record.rec_id,
+                    action="error_stuck_retry",
+                    state=record.state.value,
+                    age_minutes=age,
+                    stuck_threshold_minutes=threshold,
+                )
                 self.plane.store.transition(
                     record,
                     RecommendationState.ERROR,
@@ -45,6 +56,16 @@ class HealthService:
                     now, "health_corrected", managed.name, rec_id=record.rec_id
                 )
             elif record.state is RecommendationState.ACTIVE:
+                audit.emit(
+                    now,
+                    "health_action",
+                    managed.name,
+                    rec_id=record.rec_id,
+                    action="expire_stale_active",
+                    state=record.state.value,
+                    age_minutes=age,
+                    stuck_threshold_minutes=threshold,
+                )
                 self.plane.store.transition(
                     record,
                     RecommendationState.EXPIRED,
@@ -65,6 +86,16 @@ class HealthService:
                     ),
                 )
                 self.plane.incidents.append(incident)
+                audit.emit(
+                    now,
+                    "health_action",
+                    managed.name,
+                    rec_id=record.rec_id,
+                    action="incident_raised",
+                    state=record.state.value,
+                    age_minutes=age,
+                    stuck_threshold_minutes=threshold,
+                )
                 self.plane.telemetry.registry.counter(
                     "incidents_total", database=managed.name
                 ).inc()

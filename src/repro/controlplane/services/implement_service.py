@@ -24,6 +24,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.controlplane.control_plane import ControlPlane, ManagedDatabase
 
 
+def _lock_evidence(protocol: LowPriorityDropProtocol) -> dict:
+    """Lock-wait evidence of a low-priority Sch-M drop protocol."""
+    return {
+        "lock_attempts": len(protocol.attempts),
+        "lock_timeouts": sum(1 for a in protocol.attempts if not a.succeeded),
+        "lock_wait_minutes": sum(a.waited for a in protocol.attempts),
+    }
+
+
 class ImplementationService:
     """Starts and advances implementations; executes reverts."""
 
@@ -72,6 +81,21 @@ class ImplementationService:
         self.plane.store.transition(
             record, RecommendationState.IMPLEMENTING, now, "implementation started"
         )
+        if recommendation.action is Action.CREATE:
+            job, _ = managed.build_jobs[record.rec_id]
+            method = {"method": "online_resumable_build", "rows_total": job.rows_total}
+        else:
+            method = {"method": "low_priority_drop"}
+        self.plane.telemetry.audit.emit(
+            now,
+            "implementation_started",
+            managed.name,
+            rec_id=record.rec_id,
+            action=recommendation.action.value,
+            index_name=record.index_name,
+            table=recommendation.table,
+            **method,
+        )
         self.plane.events.emit(
             now,
             "implement_started",
@@ -116,7 +140,14 @@ class ImplementationService:
         if progress.state is BuildState.COMPLETED:
             del managed.build_jobs[record.rec_id]
             managed.engine.missing_indexes.reset()  # schema change
-            self._implemented(record, managed, now)
+            self._implemented(
+                record,
+                managed,
+                now,
+                rows_built=progress.rows_total,
+                build_cpu_ms=progress.cpu_ms_spent,
+                log_bytes_generated=progress.log_bytes_generated,
+            )
 
     def begin_rebuild(
         self,
@@ -146,7 +177,7 @@ class ImplementationService:
             del managed.drop_protocols[record.rec_id]
             managed.engine.usage_stats.drop_index(record.index_name)
             managed.engine.missing_indexes.reset()
-            self._implemented(record, managed, now)
+            self._implemented(record, managed, now, **_lock_evidence(protocol))
             return
         if protocol.exhausted():
             raise TransientError(
@@ -158,6 +189,7 @@ class ImplementationService:
         record: RecommendationRecord,
         managed: "ManagedDatabase",
         now: float,
+        **evidence,
     ) -> None:
         settings = self.plane.settings
         first_time = record.implemented_at is None
@@ -173,6 +205,16 @@ class ImplementationService:
                 database=managed.name,
                 action=record.recommendation.action.value,
             ).inc()
+        self.plane.telemetry.audit.emit(
+            now,
+            "implementation_completed",
+            managed.name,
+            rec_id=record.rec_id,
+            action=record.recommendation.action.value,
+            index_name=record.index_name,
+            validation_window_opens=now + settings.validation_settle,
+            **evidence,
+        )
         self.plane.store.transition(
             record, RecommendationState.VALIDATING, now, "implemented"
         )
@@ -197,6 +239,7 @@ class ImplementationService:
         self.plane.faults.check("revert")
         engine = managed.engine
         recommendation = record.recommendation
+        evidence = {}
         if recommendation.action is Action.CREATE:
             # Revert a create: drop the index (low priority, Section 8.3).
             if engine.index_exists(recommendation.table, record.index_name):
@@ -215,6 +258,7 @@ class ImplementationService:
                 del managed.drop_protocols[record.rec_id]
                 engine.usage_stats.drop_index(record.index_name)
                 engine.missing_indexes.reset()
+                evidence = {"method": "low_priority_drop", **_lock_evidence(protocol)}
         else:
             # Revert a drop: recreate the index.
             definition = record.recommendation.to_definition(record.index_name)
@@ -223,6 +267,16 @@ class ImplementationService:
                 job = OnlineIndexBuildJob(table, definition, resumable=True)
                 job.advance(table.row_count + 1, now=now)
                 engine.missing_indexes.reset()
+                evidence = {"method": "recreate_index", "rows_built": job.rows_total}
+        self.plane.telemetry.audit.emit(
+            now,
+            "revert_completed",
+            managed.name,
+            rec_id=record.rec_id,
+            action=recommendation.action.value,
+            index_name=record.index_name,
+            **evidence,
+        )
         self.plane.store.transition(
             record, RecommendationState.REVERTED, now, "reverted"
         )

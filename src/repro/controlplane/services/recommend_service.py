@@ -27,8 +27,17 @@ class RecommendationService:
         """One analysis pass: pick the source by policy and run it."""
         self.plane.faults.check("analyze")
         managed.analysis_runs += 1
-        source = self.plane.policy.choose(managed.engine, managed.tier)
+        decision = self.plane.policy.decide(managed.engine, managed.tier)
+        source = decision.source
         telemetry = self.plane.telemetry
+        telemetry.audit.emit(
+            now,
+            "source_selected",
+            managed.name,
+            source=source,
+            rule=decision.rule,
+            evidence=decision.evidence,
+        )
         span = telemetry.tracer.start(
             "analysis", managed.name, now, source=source
         )
@@ -70,6 +79,7 @@ class RecommendationService:
             "analysis_runs_total", database=managed.name, source=source,
             outcome="completed",
         ).inc()
+        self._audit_analysis(managed, now, source, recommendations)
         if source != "DTA":
             # DTA sessions observe their own (resumable) span duration;
             # MI analyses are instantaneous passes over the DMV snapshots.
@@ -85,6 +95,45 @@ class RecommendationService:
         )
         if recommendations:
             self.plane.register_recommendations(managed, recommendations, now)
+
+    def _audit_analysis(
+        self,
+        managed: "ManagedDatabase",
+        now: float,
+        source: str,
+        recommendations,
+    ) -> None:
+        """Record the per-candidate evidence behind one analysis pass."""
+        audit = self.plane.telemetry.audit
+        candidates = [
+            {
+                "table": rec.table,
+                "key_columns": list(rec.key_columns),
+                "action": rec.action.value,
+                "estimated_improvement_pct": rec.estimated_improvement_pct,
+                "estimated_size_bytes": rec.estimated_size_bytes,
+            }
+            for rec in recommendations
+        ]
+        payload = {
+            "source": source,
+            "recommendations": len(recommendations),
+            "candidates": candidates,
+        }
+        if source == "DTA":
+            payload.update(self.plane.dta_service.last_run_info)
+        audit.emit(now, "candidates_generated", managed.name, **payload)
+        if source != "DTA":
+            for decision in managed.mi.last_decisions:
+                if decision.get("accepted"):
+                    continue
+                audit.emit(
+                    now,
+                    "candidate_rejected",
+                    managed.name,
+                    source=source,
+                    **decision,
+                )
 
     def analyze_drops(self, managed: "ManagedDatabase", now: float) -> None:
         """Long-horizon drop analysis (Section 5.4)."""

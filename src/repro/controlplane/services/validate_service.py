@@ -52,7 +52,31 @@ class ValidationService:
             aggregate_change=outcome.aggregate_change,
         )
         self._record_history(record, managed, outcome)
+        audit = self.plane.telemetry.audit
+        audit.emit(
+            now,
+            "validation_completed",
+            managed.name,
+            rec_id=record.rec_id,
+            window_before_minutes=before[1] - before[0],
+            window_after_minutes=window_end - record.validate_after,
+            **outcome.to_payload(),
+        )
         if outcome.should_revert:
+            audit.emit(
+                now,
+                "revert_decided",
+                managed.name,
+                rec_id=record.rec_id,
+                predicate=outcome.details or "regression detected",
+                verdict=outcome.verdict.value,
+                aggregate_change=outcome.aggregate_change,
+                trigger_query_ids=[
+                    statement.query_id
+                    for statement in outcome.statements
+                    if statement.verdict is Verdict.REGRESSED
+                ],
+            )
             self.plane.store.transition(
                 record,
                 RecommendationState.REVERTING,

@@ -162,6 +162,16 @@ class StateStore:
     def journal_length(self) -> int:
         return len(self._journal)
 
+    def journal(self, rec_id: Optional[int] = None) -> List[JournalEntry]:
+        """The append-only journal, optionally filtered to one record.
+
+        ``repro explain`` joins this against the audit stream and the
+        span recorder to rebuild a decision timeline.
+        """
+        if rec_id is None:
+            return list(self._journal)
+        return [entry for entry in self._journal if entry.rec_id == rec_id]
+
     # ------------------------------------------------------------------
     # Crash recovery
 

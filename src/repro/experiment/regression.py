@@ -1,0 +1,168 @@
+"""A seeded create->validate->revert scenario through the control plane.
+
+The paper's core failure mode (Sections 6, 8.1), staged deterministically
+end to end: a table with a heavily skewed column and stale sampled
+statistics makes an index look like a clear win to the optimizer; the
+control plane implements it; actual execution regresses; the validator's
+Welch t-tests detect the regression; and the control plane reverts the
+index.  Because the whole lifecycle runs through :class:`ControlPlane`,
+every decision lands in the audit stream — this is the fixture behind
+``repro explain --regression-demo``, the explain acceptance test, and the
+watchdog alert test.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.clock import HOURS, SimClock
+from repro.controlplane import (
+    AutoIndexingConfig,
+    AutoMode,
+    ControlPlane,
+    ControlPlaneSettings,
+    RecommendationState,
+)
+from repro.engine import (
+    Column,
+    Database,
+    IndexDefinition,
+    InsertQuery,
+    Op,
+    Predicate,
+    SelectQuery,
+    SqlEngine,
+    SqlType,
+    TableSchema,
+)
+from repro.recommender.recommendation import Action, IndexRecommendation
+from repro.validation import ValidationSettings
+
+
+@dataclasses.dataclass
+class RegressionScenario:
+    """Everything the explain/alert consumers need from one run."""
+
+    plane: ControlPlane
+    engine: SqlEngine
+    database: str
+    rec_id: int
+    final_state: RecommendationState
+
+
+def _build_engine(clock: SimClock, seed: int) -> SqlEngine:
+    db = Database("regress-demo", seed=seed)
+    schema = TableSchema(
+        "events",
+        [
+            Column("e_id", SqlType.BIGINT, nullable=False),
+            Column("e_kind", SqlType.INT),
+            Column("e_payload", SqlType.TEXT),
+        ],
+        primary_key=["e_id"],
+    )
+    table = db.create_table(schema)
+    rng = np.random.default_rng(seed + 1)
+    for i in range(6000):
+        # e_kind is extremely skewed: almost every row is kind 0.
+        kind = 0 if rng.random() < 0.97 else int(rng.integers(1, 50))
+        table.insert((i, kind, f"payload-{i % 13}"))
+    engine = SqlEngine(db, clock=clock)
+    # Stale, sampled statistics make kind=0 look selective to the optimizer.
+    table.build_statistics(
+        sample_fraction=0.02, rng=np.random.default_rng(seed + 7)
+    )
+    return engine
+
+
+def run_regression_scenario(
+    seed: int = 3, database: str = "db-standard-0"
+) -> RegressionScenario:
+    """Stage the regression and drive it to its terminal state."""
+    clock = SimClock()
+    engine = _build_engine(clock, seed)
+    plane = ControlPlane(
+        clock,
+        settings=ControlPlaneSettings(
+            validation_settle=30.0,
+            validation_window=2 * HOURS,
+        ),
+        validation_settings=ValidationSettings(min_resource_share=0.01),
+    )
+    managed = plane.add_database(
+        database,
+        engine,
+        tier="standard",
+        config=AutoIndexingConfig(create_mode=AutoMode.AUTO),
+    )
+
+    hot = SelectQuery(
+        "events", ("e_payload",), (Predicate("e_kind", Op.EQ, 0),)
+    )
+
+    def workload_round(i: int, start_id: int) -> None:
+        """The app: frequent inserts plus a hot query on the skew."""
+        engine.execute(hot)
+        batch = tuple((start_id + i * 5 + j, 0, "x") for j in range(5))
+        engine.execute(InsertQuery("events", batch))
+        clock.advance(3.0)
+
+    # Phase 1: observe the workload before any index change, long enough
+    # to fill the validator's before-window.
+    for i in range(45):
+        workload_round(i, start_id=100_000)
+
+    # The mis-estimated recommendation, with the optimizer's own what-if
+    # numbers as its evidence (exactly what the MI/DTA sources would
+    # attach).
+    probe = IndexDefinition(
+        "hyp", "events", ("e_kind",), ("e_payload",), hypothetical=True
+    )
+    estimated_before = engine.whatif_cost(hot)
+    estimated_after = engine.whatif_cost(hot, extra_indexes=[probe])
+    improvement = 100.0 * (1.0 - estimated_after / max(estimated_before, 1e-9))
+    recommendation = IndexRecommendation(
+        action=Action.CREATE,
+        table="events",
+        key_columns=("e_kind",),
+        included_columns=("e_payload",),
+        source="MI",
+        estimated_improvement_pct=improvement,
+        estimated_size_bytes=engine.database.table("events")
+        .hypothetical_stats_view(probe)
+        .size_bytes,
+        details="seeded regression scenario",
+        created_at=clock.now,
+    )
+    records = plane.register_recommendations(managed, [recommendation], clock.now)
+    record = records[0]
+
+    # Let the implementation land exactly on a Query Store interval
+    # boundary so the validator's before/after windows see unmixed
+    # plans: begin the build a few minutes before the boundary, then
+    # let the next process() pass complete it at the boundary.
+    interval = engine.query_store.interval_minutes
+    boundary = (int(clock.now // interval) + 1) * interval
+    clock.advance(boundary - 3.0 - clock.now)
+    plane.process()  # begins the online build
+    clock.advance(3.0)
+    plane.process()  # completes it at the boundary
+
+    # Phase 2: keep the workload running while the control plane carries
+    # the record through implement -> validate -> revert.
+    for i in range(160):
+        if record.terminal:
+            break
+        plane.process()
+        workload_round(i, start_id=200_000)
+    plane.process()
+
+    return RegressionScenario(
+        plane=plane,
+        engine=engine,
+        database=database,
+        rec_id=record.rec_id,
+        final_state=record.state,
+    )

@@ -11,12 +11,30 @@ A :class:`Telemetry` object bundles one registry + tracer + recorder;
 the control plane owns one and threads it through every micro-service.
 """
 
+from repro.observability.alerts import (
+    ALERT_CATALOG,
+    Alert,
+    AlertRule,
+    AlertWatchdog,
+    default_rules,
+)
+from repro.observability.audit import (
+    AUDIT_CATALOG,
+    AUDIT_SCHEMA_VERSION,
+    AuditEvent,
+    AuditLog,
+)
 from repro.observability.compliance import (
     FORBIDDEN_KEYS,
     ensure_compliant,
     find_forbidden_keys,
 )
 from repro.observability.dashboard import render_dashboard
+from repro.observability.explain import (
+    build_timeline,
+    decision_index,
+    render_explain,
+)
 from repro.observability.exporters import json_export, json_text, prometheus_text
 from repro.observability.metrics import (
     CATALOG,
@@ -38,15 +56,24 @@ from repro.observability.spans import Span, SpanRecorder, Tracer
 
 
 class Telemetry:
-    """One bundle of telemetry state (registry + tracer + span recorder)."""
+    """One bundle of telemetry state (registry + tracer + spans + audit)."""
 
     def __init__(self) -> None:
         self.registry = MetricsRegistry()
         self.recorder = SpanRecorder()
         self.tracer = Tracer(self.recorder)
+        self.audit = AuditLog()
 
 
 __all__ = [
+    "ALERT_CATALOG",
+    "AUDIT_CATALOG",
+    "AUDIT_SCHEMA_VERSION",
+    "Alert",
+    "AlertRule",
+    "AlertWatchdog",
+    "AuditEvent",
+    "AuditLog",
     "CATALOG",
     "DEFAULT_BOUNDS",
     "FORBIDDEN_KEYS",
@@ -61,7 +88,10 @@ __all__ = [
     "Telemetry",
     "Tracer",
     "active",
+    "build_timeline",
     "count",
+    "decision_index",
+    "default_rules",
     "ensure_compliant",
     "find_forbidden_keys",
     "json_export",
@@ -69,5 +99,6 @@ __all__ = [
     "profile",
     "prometheus_text",
     "render_dashboard",
+    "render_explain",
     "use_profiler",
 ]

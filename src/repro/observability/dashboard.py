@@ -38,10 +38,41 @@ def render_dashboard(
     recorder: SpanRecorder,
     profiler: Optional[Profiler] = None,
     top_n: int = 5,
+    watchdog=None,
 ) -> List[str]:
-    """The fleet dashboard as a list of printable lines."""
+    """The fleet dashboard as a list of printable lines.
+
+    ``watchdog`` (an :class:`~repro.observability.alerts.AlertWatchdog`)
+    adds the firing-alerts panel; without one the panel falls back to
+    the ``alerts_firing`` gauges so a replayed registry still shows
+    which rules were up.
+    """
     profiler = profiler if profiler is not None else active()
     lines: List[str] = ["== fleet telemetry =="]
+
+    # --- firing alerts (the watchdog's pager view) -------------------
+    lines.append("alerts:")
+    if watchdog is not None:
+        firing = watchdog.active()
+        if not firing:
+            lines.append("  (none firing)")
+        for alert in firing:
+            comparator = ">=" if alert.direction == "above" else "<="
+            lines.append(
+                f"  FIRING {alert.rule:<30} value {alert.value:.3f} "
+                f"{comparator} {alert.threshold:.3f} "
+                f"(samples {int(alert.samples)}, raised t+{alert.raised_at:.0f}m)"
+            )
+    else:
+        firing_rules = [
+            dict(series.labels).get("rule", "?")
+            for series in registry.series_for("alerts_firing")
+            if series.metric.value
+        ]
+        if not firing_rules:
+            lines.append("  (none firing)")
+        for rule in sorted(firing_rules):
+            lines.append(f"  FIRING {rule}")
 
     # --- state machine counts ----------------------------------------
     lines.append("state machine records:")

@@ -80,6 +80,7 @@ def json_export(
     registry: MetricsRegistry,
     recorder: Optional[SpanRecorder] = None,
     profiler: Optional[Profiler] = None,
+    audit=None,
 ) -> dict:
     """A JSON-serializable snapshot of the whole telemetry state.
 
@@ -136,6 +137,11 @@ def json_export(
             }
             for row in profiler.rows()
         ]
+    if audit is not None:
+        # Same per-event shape as the JSONL dump, one object per event.
+        out["audit"] = [
+            json.loads(event.to_json_line()) for event in audit.events()
+        ]
     return out
 
 
@@ -144,7 +150,10 @@ def json_text(
     recorder: Optional[SpanRecorder] = None,
     profiler: Optional[Profiler] = None,
     indent: int = 2,
+    audit=None,
 ) -> str:
     return json.dumps(
-        json_export(registry, recorder, profiler), indent=indent, sort_keys=False
+        json_export(registry, recorder, profiler, audit=audit),
+        indent=indent,
+        sort_keys=False,
     )

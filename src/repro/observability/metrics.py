@@ -12,8 +12,10 @@ deterministic and independent of wall-clock time.
 
 ``CATALOG`` is the metrics taxonomy: every metric the repo emits is
 declared there with its kind, unit, and description.  The
-``scripts/check_metric_names.py`` lint fails the build when source code
-uses a name that is missing from the catalog or not ``snake_case``.
+``scripts/check_observability_names.py`` lint fails the build when
+source code uses a name that is missing from the catalog or not
+``snake_case`` (the same lint covers audit event types and alert rule
+names).
 """
 
 from __future__ import annotations
@@ -77,6 +79,10 @@ CATALOG: Dict[str, MetricSpec] = dict(
               "Optimizer plan-cache misses per database (monotone engine counter)."),
         _spec("plan_cache_evictions", "gauge", "entries",
               "Plan-cache entries removed per database (capacity + invalidation)."),
+        _spec("alerts_raised_total", "counter", "alerts",
+              "Watchdog alerts raised, by rule name."),
+        _spec("alerts_firing", "gauge", "alerts",
+              "Whether each watchdog alert rule is currently firing (0/1)."),
         _spec("bench_duration_ms", "gauge", "milliseconds",
               "Micro-benchmark wall-clock duration, by benchmark name."),
         _spec("bench_pages_touched", "gauge", "pages",

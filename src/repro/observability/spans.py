@@ -47,9 +47,21 @@ class Span:
 
 
 class SpanRecorder:
-    """Store of finished and in-flight spans with query helpers."""
+    """Store of finished and in-flight spans with query helpers.
 
-    def __init__(self) -> None:
+    Retention is bounded by ``max_spans`` (mirroring the EventBus
+    ``history_limit``): when the store exceeds the cap, the oldest
+    *finished* root trees — a root plus all its descendants, every span
+    closed — are evicted whole, oldest root first, until the store is
+    back at or under the cap.  Trees with any open span are never
+    evicted (the tracer still holds them), so the store can transiently
+    exceed the cap while everything in it is live.
+    """
+
+    def __init__(self, max_spans: Optional[int] = 50_000) -> None:
+        if max_spans is not None and max_spans < 1:
+            raise TelemetryError("max_spans must be at least 1 (or None)")
+        self.max_spans = max_spans
         self._spans: List[Span] = []
         self._by_id: Dict[int, Span] = {}
         self._children: Dict[int, List[int]] = {}
@@ -59,6 +71,35 @@ class SpanRecorder:
         self._by_id[span.span_id] = span
         if span.parent_id is not None:
             self._children.setdefault(span.parent_id, []).append(span.span_id)
+        if self.max_spans is not None and len(self._spans) > self.max_spans:
+            self._evict()
+
+    def _tree_ids(self, span_id: int) -> List[int]:
+        ids = [span_id]
+        for child in self._children.get(span_id, ()):
+            ids.extend(self._tree_ids(child))
+        return ids
+
+    def _evict(self) -> None:
+        """Drop oldest finished root trees until at/under the cap."""
+        overflow = len(self._spans) - self.max_spans
+        evicted: set = set()
+        for span in self._spans:
+            if overflow <= 0:
+                break
+            if span.parent_id is not None:
+                continue
+            tree = self._tree_ids(span.span_id)
+            if any(self._by_id[i].open for i in tree):
+                continue
+            evicted.update(tree)
+            overflow -= len(tree)
+        if not evicted:
+            return
+        self._spans = [s for s in self._spans if s.span_id not in evicted]
+        for span_id in evicted:
+            del self._by_id[span_id]
+            self._children.pop(span_id, None)
 
     # ------------------------------------------------------------------
     # Queries

@@ -77,6 +77,10 @@ class MiRecommender:
         self.classifier = classifier or LowImpactClassifier()
         self.accumulator = SnapshotAccumulator()
         self.snapshots_taken = 0
+        #: Per-candidate accept/reject decisions of the most recent
+        #: :meth:`recommend` run, each with the failed predicate —
+        #: provenance evidence for the audit stream.
+        self.last_decisions: List[dict] = []
 
     # ------------------------------------------------------------------
 
@@ -93,14 +97,31 @@ class MiRecommender:
 
     # ------------------------------------------------------------------
 
+    def _reject(self, table, keys, failed_predicate: str, **evidence) -> None:
+        self.last_decisions.append(
+            {
+                "table": table,
+                "key_columns": list(keys),
+                "accepted": False,
+                "failed_predicate": failed_predicate,
+                **evidence,
+            }
+        )
+
     def recommend(self) -> List[IndexRecommendation]:
         """Run the pipeline over everything accumulated so far."""
         settings = self.settings
+        self.last_decisions = []
         candidates: List[MergeCandidate] = []
         impact_by_identity = {}
         for series in self.accumulator.series():
+            group_keys, _ = candidate_key_columns(series.group)
             # Step 3: ad-hoc filter.
             if series.seeks < settings.min_seeks:
+                self._reject(
+                    series.group.table, group_keys, "min_seeks",
+                    seeks=series.seeks, min_seeks=settings.min_seeks,
+                )
                 continue
             # Step 4: statistically robust growth of the impact score.
             if settings.use_slope_test:
@@ -108,8 +129,18 @@ class MiRecommender:
                     series.points, t_threshold=settings.slope_t_threshold
                 )
                 if not test.passed:
+                    self._reject(
+                        series.group.table, group_keys, "impact_slope_test",
+                        t_statistic=test.t_statistic,
+                        t_threshold=settings.slope_t_threshold,
+                    )
                     continue
             if series.last_avg_impact < settings.min_avg_impact_pct:
+                self._reject(
+                    series.group.table, group_keys, "min_avg_impact",
+                    avg_impact_pct=series.last_avg_impact,
+                    min_avg_impact_pct=settings.min_avg_impact_pct,
+                )
                 continue
             keys, includes = candidate_key_columns(series.group)
             candidate = MergeCandidate(
@@ -130,9 +161,22 @@ class MiRecommender:
                 candidates, max_include_columns=settings.max_include_columns
             )
         # Drop candidates already satisfied by an existing index.
-        candidates = [c for c in candidates if not self._already_indexed(c)]
+        surviving = []
+        for candidate in candidates:
+            if self._already_indexed(candidate):
+                self._reject(
+                    candidate.table, candidate.key_columns, "already_indexed"
+                )
+            else:
+                surviving.append(candidate)
+        candidates = surviving
         # Top-N by aggregate benefit.
         candidates.sort(key=lambda c: -c.benefit)
+        for candidate in candidates[settings.top_n:]:
+            self._reject(
+                candidate.table, candidate.key_columns, "below_top_n",
+                benefit=candidate.benefit, top_n=settings.top_n,
+            )
         recommendations: List[IndexRecommendation] = []
         for candidate in candidates[: settings.top_n]:
             impact, seeks = impact_by_identity.get(
@@ -155,11 +199,32 @@ class MiRecommender:
                 index_size_bytes=size,
                 observed_seeks=seeks,
             ):
+                self._reject(
+                    candidate.table, candidate.key_columns,
+                    "low_impact_classifier",
+                    estimated_impact_pct=impact, observed_seeks=seeks,
+                    index_size_bytes=size,
+                )
                 continue
             if settings.verify_with_whatif and not self._whatif_confirms(
                 candidate
             ):
+                self._reject(
+                    candidate.table, candidate.key_columns, "whatif_verify",
+                    estimated_impact_pct=impact,
+                )
                 continue
+            self.last_decisions.append(
+                {
+                    "table": candidate.table,
+                    "key_columns": list(candidate.key_columns),
+                    "accepted": True,
+                    "failed_predicate": None,
+                    "estimated_impact_pct": impact,
+                    "estimated_size_bytes": size,
+                    "observed_seeks": seeks,
+                }
+            )
             recommendations.append(
                 IndexRecommendation(
                     action=Action.CREATE,

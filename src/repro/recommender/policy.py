@@ -16,6 +16,20 @@ from repro.engine.engine import SqlEngine
 
 
 @dataclasses.dataclass
+class PolicyDecision:
+    """One source choice plus the predicate evidence that drove it.
+
+    ``rule`` names the first predicate that decided the outcome;
+    ``evidence`` holds the measured values and thresholds so the audit
+    stream can show *why* (not just *what*) was chosen.
+    """
+
+    source: str  # "MI" | "DTA"
+    rule: str
+    evidence: dict
+
+
+@dataclasses.dataclass
 class RecommenderPolicy:
     """Decides MI vs DTA for a given database."""
 
@@ -32,22 +46,37 @@ class RecommenderPolicy:
 
     def choose(self, engine: SqlEngine, tier: str) -> str:
         """Returns "MI" or "DTA"."""
+        return self.decide(engine, tier).source
+
+    def decide(self, engine: SqlEngine, tier: str) -> PolicyDecision:
+        """The full decision: source plus the predicate that chose it."""
         if tier in self.mi_tiers:
-            return "MI"
+            return PolicyDecision("MI", "tier_forces_mi", {"tier": tier})
         if tier in self.dta_tiers:
-            return "DTA"
+            return PolicyDecision("DTA", "tier_forces_dta", {"tier": tier})
         now = engine.now
         since = max(0.0, now - self.lookback_hours * HOURS)
         totals = engine.query_store.per_query_totals(since, now)
         if not totals:
-            return "MI"
+            return PolicyDecision(
+                "MI", "no_observed_workload",
+                {"tier": tier, "lookback_hours": self.lookback_hours},
+            )
         executions = sum(
             stats.executions
             for stats in engine.query_store.aggregate(since, now).values()
         )
         hours = max(1e-9, (now - since) / HOURS)
-        if executions / hours < self.min_hourly_statements:
-            return "MI"
+        hourly = executions / hours
+        if hourly < self.min_hourly_statements:
+            return PolicyDecision(
+                "MI", "activity_below_minimum",
+                {
+                    "tier": tier,
+                    "hourly_statements": hourly,
+                    "min_hourly_statements": self.min_hourly_statements,
+                },
+            )
         complex_cpu = 0.0
         total_cpu = 0.0
         for query_id, cpu in totals.items():
@@ -60,7 +89,16 @@ class RecommenderPolicy:
             ):
                 complex_cpu += cpu
         if total_cpu <= 0:
-            return "MI"
-        if complex_cpu / total_cpu >= self.complexity_threshold:
-            return "DTA"
-        return "MI"
+            return PolicyDecision(
+                "MI", "no_cpu_consumed", {"tier": tier, "hourly_statements": hourly}
+            )
+        complexity = complex_cpu / total_cpu
+        evidence = {
+            "tier": tier,
+            "hourly_statements": hourly,
+            "complexity_share": complexity,
+            "complexity_threshold": self.complexity_threshold,
+        }
+        if complexity >= self.complexity_threshold:
+            return PolicyDecision("DTA", "workload_complex_enough", evidence)
+        return PolicyDecision("MI", "workload_below_complexity", evidence)

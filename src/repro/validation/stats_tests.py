@@ -34,6 +34,18 @@ class WelchResult:
     def significant(self, alpha: float = 0.05) -> bool:
         return self.p_value < alpha
 
+    def to_payload(self) -> dict:
+        """JSON-serializable evidence dict (audit events, ``repro explain``)."""
+        relative = self.relative_change
+        return {
+            "t_statistic": self.t_statistic,
+            "degrees_of_freedom": self.degrees_of_freedom,
+            "p_value": self.p_value,
+            "mean_before": self.mean_before,
+            "mean_after": self.mean_after,
+            "relative_change": relative if math.isfinite(relative) else None,
+        }
+
 
 def welch_t_test(
     mean_a: float,

@@ -83,6 +83,50 @@ class StatementVerdict:
             return 0.0
         return max(result.relative_change for result in self.tests.values())
 
+    # The raw Welch evidence, surfaced so audit events and ``repro
+    # explain`` can show the numbers that drove the verdict (not just
+    # the enum).  ``cpu_time_ms`` is the authoritative metric.
+
+    @property
+    def primary_metric(self) -> Optional[str]:
+        if "cpu_time_ms" in self.tests:
+            return "cpu_time_ms"
+        return next(iter(self.tests), None)
+
+    @property
+    def primary_test(self) -> Optional[WelchResult]:
+        metric = self.primary_metric
+        return self.tests[metric] if metric is not None else None
+
+    @property
+    def t_statistic(self) -> Optional[float]:
+        test = self.primary_test
+        return test.t_statistic if test is not None else None
+
+    @property
+    def degrees_of_freedom(self) -> Optional[float]:
+        test = self.primary_test
+        return test.degrees_of_freedom if test is not None else None
+
+    @property
+    def p_value(self) -> Optional[float]:
+        test = self.primary_test
+        return test.p_value if test is not None else None
+
+    def to_payload(self) -> dict:
+        """JSON-serializable evidence for the audit stream."""
+        return {
+            "query_id": self.query_id,
+            "verdict": self.verdict.value,
+            "resource_share": self.resource_share,
+            "executions_before": self.executions_before,
+            "executions_after": self.executions_after,
+            "tests": {
+                metric: result.to_payload()
+                for metric, result in self.tests.items()
+            },
+        }
+
 
 @dataclasses.dataclass
 class ValidationOutcome:
@@ -105,6 +149,19 @@ class ValidationOutcome:
     @property
     def regressed_count(self) -> int:
         return sum(1 for s in self.statements if s.verdict is Verdict.REGRESSED)
+
+    def to_payload(self) -> dict:
+        """JSON-serializable evidence for the audit stream."""
+        return {
+            "index_name": self.index_name,
+            "action": self.action,
+            "verdict": self.verdict.value,
+            "should_revert": self.should_revert,
+            "aggregate_change": self.aggregate_change,
+            "observed_statements": self.observed_statements,
+            "details": self.details,
+            "statements": [s.to_payload() for s in self.statements],
+        }
 
 
 def _merge_by_query(

@@ -1,0 +1,142 @@
+"""AlertWatchdog: rule validation, gating, and the raise/resolve loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.observability import (
+    ALERT_CATALOG,
+    AlertRule,
+    AlertWatchdog,
+    AuditLog,
+    MetricsRegistry,
+    default_rules,
+)
+from repro.observability.alerts import FLEET_SCOPE
+
+
+def _revert(registry, times=1):
+    registry.counter(
+        "state_transitions_total", database="db1", to_state="reverted"
+    ).inc(times)
+
+
+def _success(registry, times=1):
+    registry.counter(
+        "state_transitions_total", database="db1", to_state="success"
+    ).inc(times)
+
+
+class TestAlertRule:
+    def test_name_must_be_cataloged(self):
+        with pytest.raises(TelemetryError, match="ALERT_CATALOG"):
+            AlertRule(
+                name="made_up_rule", threshold=0.5, direction="above",
+                min_samples=1, value=lambda r: (1.0, 1.0),
+            )
+
+    def test_direction_must_be_above_or_below(self):
+        with pytest.raises(TelemetryError, match="direction"):
+            AlertRule(
+                name="revert_rate_spike", threshold=0.5, direction="sideways",
+                min_samples=1, value=lambda r: (1.0, 1.0),
+            )
+
+    def test_min_samples_gates_firing(self):
+        rule = AlertRule(
+            name="revert_rate_spike", threshold=0.5, direction="above",
+            min_samples=10, value=lambda r: (1.0, 9.0),
+        )
+        assert rule.evaluate(MetricsRegistry()) == (False, 1.0, 9.0)
+
+    def test_direction_below_fires_under_the_floor(self):
+        rule = AlertRule(
+            name="plan_cache_hit_rate_collapse", threshold=0.2,
+            direction="below", min_samples=1, value=lambda r: (0.1, 5.0),
+        )
+        firing, value, _ = rule.evaluate(MetricsRegistry())
+        assert firing and value == 0.1
+
+    def test_default_rules_cover_the_catalog(self):
+        assert {rule.name for rule in default_rules()} == set(ALERT_CATALOG)
+
+
+class TestWatchdog:
+    def test_duplicate_rule_names_rejected(self):
+        rules = default_rules() + default_rules()[:1]
+        with pytest.raises(TelemetryError, match="duplicate"):
+            AlertWatchdog(MetricsRegistry(), rules=rules)
+
+    def test_quiet_registry_raises_nothing(self):
+        watchdog = AlertWatchdog(MetricsRegistry())
+        assert watchdog.evaluate(0.0) == []
+        assert watchdog.active() == []
+
+    def test_raise_update_resolve_lifecycle(self):
+        registry = MetricsRegistry()
+        audit = AuditLog()
+        watchdog = AlertWatchdog(registry, audit=audit)
+
+        # One reverted, zero successes: revert rate 1.0 >= 0.30 fires.
+        _revert(registry)
+        raised = watchdog.evaluate(10.0)
+        assert [a.rule for a in raised] == ["revert_rate_spike"]
+        (alert,) = watchdog.active()
+        assert alert.firing and alert.raised_at == 10.0 and alert.value == 1.0
+        assert registry.total("alerts_raised_total", rule="revert_rate_spike") == 1
+        assert registry.total("alerts_firing", rule="revert_rate_spike") == 1
+        (event,) = audit.events(event_type="alert_raised")
+        assert event.database == FLEET_SCOPE
+        assert event.payload["rule"] == "revert_rate_spike"
+        assert event.payload["value"] == 1.0
+
+        # Still over the threshold: no re-raise, evidence kept current.
+        _success(registry)  # rate 1/2 = 0.5
+        assert watchdog.evaluate(20.0) == []
+        (alert,) = watchdog.active()
+        assert alert.value == 0.5 and alert.samples == 2
+        assert registry.total("alerts_raised_total", rule="revert_rate_spike") == 1
+
+        # Enough successes pull the rate under the threshold: resolved.
+        _success(registry, times=3)  # rate 1/5 = 0.2 < 0.30
+        assert watchdog.evaluate(30.0) == []
+        assert watchdog.active() == []
+        assert alert.resolved_at == 30.0 and not alert.firing
+        assert registry.total("alerts_firing", rule="revert_rate_spike") == 0
+        (resolved,) = audit.events(event_type="alert_resolved")
+        assert resolved.payload["rule"] == "revert_rate_spike"
+        # History keeps the full episode for post-mortems.
+        assert watchdog.history == [alert]
+
+    def test_validation_failure_rule_needs_two_samples(self):
+        registry = MetricsRegistry()
+        watchdog = AlertWatchdog(registry)
+        registry.counter(
+            "state_transitions_total", database="db1", to_state="reverting"
+        ).inc()
+        # One validated change at 100% failure: gated by min_samples=2.
+        assert all(
+            a.rule != "validation_failure_spike" for a in watchdog.evaluate(0.0)
+        )
+        registry.counter(
+            "state_transitions_total", database="db1", to_state="reverting"
+        ).inc()
+        raised = watchdog.evaluate(1.0)
+        assert "validation_failure_spike" in [a.rule for a in raised]
+
+    def test_plan_cache_rule_needs_real_traffic(self):
+        registry = MetricsRegistry()
+        watchdog = AlertWatchdog(registry)
+        # A handful of cold-start misses must not page anyone.
+        registry.counter("plan_cache_misses", database="db1").inc(10)
+        assert watchdog.evaluate(0.0) == []
+        registry.counter("plan_cache_misses", database="db1").inc(490)
+        raised = watchdog.evaluate(1.0)
+        assert [a.rule for a in raised] == ["plan_cache_hit_rate_collapse"]
+
+    def test_works_without_an_audit_log(self):
+        registry = MetricsRegistry()
+        watchdog = AlertWatchdog(registry)  # audit=None
+        _revert(registry)
+        assert [a.rule for a in watchdog.evaluate(0.0)] == ["revert_rate_spike"]

@@ -1,0 +1,160 @@
+"""Acceptance: ``repro explain`` reconstructs a revert, end to end.
+
+Runs the seeded create->validate->revert scenario once through a real
+ControlPlane and asserts the full decision-provenance story:
+
+- the audit chain carries every lifecycle event with its evidence
+  (what-if estimates, build timings, Welch t-test statistics, trigger
+  statements);
+- the rendered timeline joins audit + journal + spans chronologically;
+- the watchdog raises ``revert_rate_spike`` and the dashboard shows it;
+- the JSONL dump replays into the same timeline offline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.controlplane import RecommendationState
+from repro.experiment.regression import run_regression_scenario
+from repro.observability import AuditLog, render_dashboard, render_explain
+from repro.observability.explain import build_timeline, decision_index, render_index
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return run_regression_scenario()
+
+
+#: The evidence events a full create->validate->revert chain must carry,
+#: in causal order.
+LIFECYCLE_EVENTS = [
+    "recommendation_registered",
+    "implementation_started",
+    "implementation_completed",
+    "validation_completed",
+    "revert_decided",
+    "revert_completed",
+]
+
+
+class TestScenario:
+    def test_ends_reverted(self, scenario):
+        assert scenario.final_state is RecommendationState.REVERTED
+        record = scenario.plane.store.get(scenario.rec_id)
+        assert record.state is RecommendationState.REVERTED
+        # The index really is gone from the engine again.
+        table = scenario.engine.database.table("events")
+        assert all(not ix.auto_created for ix in table.indexes.values())
+
+    def test_audit_chain_is_complete_and_causally_linked(self, scenario):
+        chain = scenario.plane.audit.chain(scenario.rec_id)
+        kinds = [e.event_type for e in chain]
+        assert [k for k in kinds if k in LIFECYCLE_EVENTS] == LIFECYCLE_EVENTS
+        # The state-machine spine: active -> implementing -> validating
+        # -> reverting -> reverted.
+        spine = [
+            e.payload["to_state"] for e in chain if e.event_type == "state_changed"
+        ]
+        assert spine == ["implementing", "validating", "reverting", "reverted"]
+        # parent_seq links every event to its predecessor in the chain.
+        assert chain[0].parent_seq is None
+        for prev, event in zip(chain, chain[1:]):
+            assert event.parent_seq == prev.seq
+
+    def test_evidence_payloads(self, scenario):
+        audit = scenario.plane.audit
+        (registered,) = audit.events(event_type="recommendation_registered")
+        assert registered.payload["estimated_improvement_pct"] > 0
+        assert registered.payload["key_columns"] == ["e_kind"]
+        (completed,) = audit.events(event_type="implementation_completed")
+        assert completed.payload["rows_built"] > 0
+        assert completed.payload["build_cpu_ms"] > 0
+        (validated,) = audit.events(event_type="validation_completed")
+        assert validated.payload["verdict"] == "regressed"
+        regressed = [
+            s for s in validated.payload["statements"]
+            if s["verdict"] == "regressed"
+        ]
+        assert regressed
+        test = regressed[0]["tests"]["cpu_time_ms"]
+        # The Welch evidence is complete and points the right way.
+        assert test["mean_after"] > test["mean_before"]
+        assert test["p_value"] < 0.05
+        assert test["degrees_of_freedom"] > 0
+        (decided,) = audit.events(event_type="revert_decided")
+        assert decided.payload["trigger_query_ids"] == [
+            s["query_id"] for s in regressed
+        ]
+        (reverted,) = audit.events(event_type="revert_completed")
+        assert reverted.payload["method"] == "low_priority_drop"
+
+
+class TestExplainRendering:
+    def test_timeline_joins_all_three_sources(self, scenario):
+        entries = build_timeline(
+            scenario.plane.audit,
+            scenario.database,
+            scenario.rec_id,
+            recorder=scenario.plane.telemetry.recorder,
+            store=scenario.plane.store,
+        )
+        sources = {entry.source for entry in entries}
+        assert sources == {"audit", "journal", "span"}
+        assert [e.at for e in entries] == sorted(e.at for e in entries)
+
+    def test_rendered_explain_tells_the_whole_story(self, scenario):
+        text = "\n".join(
+            render_explain(
+                scenario.plane.audit,
+                scenario.database,
+                scenario.rec_id,
+                recorder=scenario.plane.telemetry.recorder,
+                store=scenario.plane.store,
+            )
+        )
+        for kind in LIFECYCLE_EVENTS:
+            assert kind in text
+        # Welch numbers are shown inline, per statement and metric.
+        assert "t=" in text and "dof=" in text and "p=" in text
+        assert "cpu_time_ms: mean" in text
+        assert "triggering statements:" in text
+        assert "[journal] -> reverted" in text
+        assert "[span] validate" in text
+
+    def test_decision_index_lists_the_reverted_chain(self, scenario):
+        (row,) = decision_index(scenario.plane.audit, scenario.database)
+        assert row["rec_id"] == scenario.rec_id
+        assert row["state"] == "reverted"
+        assert row["action"] == "create" and row["source"] == "MI"
+        text = "\n".join(render_index(scenario.plane.audit, scenario.database))
+        assert "reverted" in text
+
+    def test_jsonl_replay_reconstructs_the_timeline_offline(self, scenario):
+        replayed = AuditLog.replay(scenario.plane.audit.to_jsonl())
+        assert replayed.state_counts() == {"reverted": 1}
+        text = "\n".join(
+            render_explain(replayed, scenario.database, scenario.rec_id)
+        )
+        assert "revert_decided" in text and "p=" in text
+
+
+class TestWatchdogOnScenario:
+    def test_revert_rate_alert_fires(self, scenario):
+        active = scenario.plane.watchdog.active()
+        assert [a.rule for a in active] == ["revert_rate_spike"]
+        (alert,) = active
+        assert alert.value == 1.0 and alert.samples == 1
+        (event,) = scenario.plane.audit.events(event_type="alert_raised")
+        assert event.payload["rule"] == "revert_rate_spike"
+
+    def test_dashboard_shows_the_firing_alert(self, scenario):
+        telemetry = scenario.plane.telemetry
+        text = "\n".join(
+            render_dashboard(
+                telemetry.registry,
+                telemetry.recorder,
+                watchdog=scenario.plane.watchdog,
+            )
+        )
+        assert "FIRING revert_rate_spike" in text

@@ -1,4 +1,4 @@
-"""Tracer/SpanRecorder: nesting, double-close, and queries."""
+"""Tracer/SpanRecorder: nesting, double-close, queries, and retention."""
 
 from __future__ import annotations
 
@@ -84,3 +84,78 @@ class TestSlowest:
         tracer.end(b, at=99.0)
         top = tracer.recorder.slowest(("dta_session", "analysis"), n=5)
         assert top == [a]
+
+
+class TestRetention:
+    def _finished_tree(self, tracer, at, database="db1"):
+        """One closed root with one closed child; returns the root."""
+        root = tracer.start("recommendation", database, at=at)
+        child = tracer.start("implement", database, at=at, parent=root)
+        tracer.end(child, at=at + 1.0)
+        tracer.end(root, at=at + 1.0)
+        return root
+
+    def test_max_spans_must_be_positive(self):
+        with pytest.raises(TelemetryError):
+            SpanRecorder(max_spans=0)
+        with pytest.raises(TelemetryError):
+            SpanRecorder(max_spans=-5)
+
+    def test_none_disables_the_cap(self):
+        recorder = SpanRecorder(max_spans=None)
+        tracer = Tracer(recorder)
+        for i in range(200):
+            self._finished_tree(tracer, at=float(i))
+        assert len(recorder) == 400
+
+    def test_record_2x_cap_evicts_oldest_finished_trees_whole(self):
+        # The regression scenario from the cap's introduction: record
+        # twice the cap and check the store holds only the newest trees,
+        # each kept or dropped as a unit.
+        cap = 8  # 4 two-span trees
+        recorder = SpanRecorder(max_spans=cap)
+        tracer = Tracer(recorder)
+        roots = [self._finished_tree(tracer, at=float(i)) for i in range(8)]
+        assert len(recorder) == cap
+        survivors = roots[4:]
+        assert recorder.roots() == survivors
+        for root in roots[:4]:
+            assert recorder.get(root.span_id) is None
+            assert recorder.children(root.span_id) == []
+        # Surviving trees are intact: root and child both queryable.
+        for root in survivors:
+            assert recorder.get(root.span_id) is root
+            (child,) = recorder.children(root.span_id)
+            assert recorder.get(child.span_id) is child
+
+    def test_open_trees_are_never_evicted(self):
+        recorder = SpanRecorder(max_spans=2)
+        tracer = Tracer(recorder)
+        open_root = tracer.start("recommendation", "db1", at=0.0)
+        open_child = tracer.start("validate", "db1", at=0.0, parent=open_root)
+        # The live tree already fills the cap; finished trees flow
+        # through and are evicted, the open tree stays.
+        for i in range(5):
+            self._finished_tree(tracer, at=10.0 + i)
+        assert recorder.get(open_root.span_id) is open_root
+        assert recorder.get(open_child.span_id) is open_child
+        # A transient overshoot is allowed while nothing is evictable:
+        # the open tree plus the newest finished tree exceed the cap.
+        assert len(recorder) > 2
+        assert all(
+            s.open or s.start == 14.0 for s in recorder.spans()
+        )
+
+    def test_closing_the_open_tree_makes_it_evictable(self):
+        recorder = SpanRecorder(max_spans=2)
+        tracer = Tracer(recorder)
+        old_root = tracer.start("recommendation", "db1", at=0.0)
+        for i in range(3):
+            self._finished_tree(tracer, at=10.0 + i)
+        tracer.end(old_root, at=50.0)
+        # Eviction runs on record(): the next tree pushes the
+        # now-finished old root (the oldest) out.
+        newest = self._finished_tree(tracer, at=60.0)
+        assert recorder.get(old_root.span_id) is None
+        assert recorder.get(newest.span_id) is newest
+        assert len(recorder) == 2
