@@ -16,7 +16,14 @@ One static check over the whole observability taxonomy:
 
 Call sites whose name argument is not a string literal are flagged too,
 because the lint (and the exporters'/explain renderers' help text) can
-only vouch for literal names.
+only vouch for literal names.  A call site that *must* be dynamic (the
+fleet-parallel merge replays already-linted worker call sites) may carry
+an ``# observability-names: allow-dynamic`` comment on the same line.
+
+The ``fleet_*`` namespace gets a stricter pass: **any** string literal
+starting with ``fleet_`` — not just registry call arguments — must name
+a CATALOG metric, so fleet metrics cannot be referenced (in benchmarks,
+dashboards, or scripts) before being declared.
 
 Usage: ``python scripts/check_observability_names.py [paths...]``
 Exit status 0 = clean, 1 = violations found.
@@ -29,7 +36,14 @@ import re
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
-DEFAULT_PATHS = (REPO_ROOT / "src", REPO_ROOT / "benchmarks")
+DEFAULT_PATHS = (
+    REPO_ROOT / "src",
+    REPO_ROOT / "benchmarks",
+    REPO_ROOT / "scripts",
+)
+
+#: Same-line opt-out for call sites that replay already-linted names.
+ALLOW_DYNAMIC = "observability-names: allow-dynamic"
 
 SNAKE_CASE = re.compile(r"^[a-z][a-z0-9_]*$")
 #: A registry method call with a string-literal first argument.
@@ -56,6 +70,8 @@ ANY_EMIT = re.compile(
 LITERAL_RULE = re.compile(
     r"\bAlertRule\(\s*name=[rbu]*([\"'])(?P<name>[^\"']*)\1"
 )
+#: Any ``"fleet_..."`` string literal (reserved metric namespace).
+FLEET_LITERAL = re.compile(r"([\"'])(?P<name>fleet_[a-z0-9_]*)\1")
 
 
 def load_catalogs() -> tuple:
@@ -79,15 +95,24 @@ def iter_py_files(paths):
 def check_file(path: pathlib.Path, metrics: set, events: set, rules: set) -> list:
     errors = []
     # The defining modules validate their own names at runtime; skip
-    # their internals so catalog declarations don't self-flag.
+    # their internals so catalog declarations don't self-flag.  The lint
+    # itself is also skipped: its docstring and regexes are full of
+    # example names.
     if path.name in ("metrics.py", "audit.py", "alerts.py") and (
         "observability" in path.parts
     ):
+        return errors
+    if path.resolve() == pathlib.Path(__file__).resolve():
         return errors
     text = path.read_text()
 
     def lineno(offset: int) -> int:
         return text.count("\n", 0, offset) + 1
+
+    lines = text.splitlines()
+
+    def allows_dynamic(offset: int) -> bool:
+        return ALLOW_DYNAMIC in lines[lineno(offset) - 1]
 
     # Both patterns' \s* crosses newlines, so calls that wrap the name
     # onto the next line are still checked.
@@ -112,6 +137,8 @@ def check_file(path: pathlib.Path, metrics: set, events: set, rules: set) -> lis
         arg = match.group("arg")
         if arg.startswith(("'", '"')) or arg == "":
             continue  # empty call, or a literal ANY_CALL truncated oddly
+        if allows_dynamic(match.start()):
+            continue
         errors.append(
             f"{path}:{lineno(match.start())}: metric name is not a string "
             f"literal ({arg!r}); the lint cannot verify it"
@@ -132,6 +159,8 @@ def check_file(path: pathlib.Path, metrics: set, events: set, rules: set) -> lis
         arg = match.group("arg")
         if arg.startswith(("'", '"')) or arg == "":
             continue
+        if allows_dynamic(match.start()):
+            continue
         errors.append(
             f"{path}:{lineno(match.start())}: audit event type is not a "
             f"string literal ({arg!r}); the lint cannot verify it"
@@ -143,6 +172,15 @@ def check_file(path: pathlib.Path, metrics: set, events: set, rules: set) -> lis
                 f"{path}:{lineno(match.start())}: alert rule name {name!r} "
                 "is not in the ALERT_CATALOG taxonomy "
                 "(src/repro/observability/alerts.py)"
+            )
+    for match in FLEET_LITERAL.finditer(text):
+        name = match.group("name")
+        if name not in metrics:
+            errors.append(
+                f"{path}:{lineno(match.start())}: string {name!r} is in the "
+                "reserved fleet_* metric namespace but is not in the CATALOG "
+                "taxonomy (src/repro/observability/metrics.py) — declare it "
+                "before use"
             )
     return errors
 

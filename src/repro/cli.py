@@ -1,10 +1,14 @@
 """Command-line interface.
 
-Five subcommands mirror the repo's main entry points:
+Six subcommands mirror the repo's main entry points:
 
 - ``repro demo`` — the quickstart flow on one generated database;
 - ``repro ops --days N --dbs K`` — a closed-loop service run with the
   Section 8.1-style operational report;
+- ``repro run --dbs K --workers N`` — the fleet-parallel closed loop:
+  databases sharded across N workers (process-backed by default), each
+  tick merged deterministically, so the output matches a serial run
+  byte for byte under the same seed;
 - ``repro fig6 --tier premium --dbs K`` — the Figure 6 experiment for one
   tier;
 - ``repro telemetry --days N --dbs K`` — a closed-loop run rendered as
@@ -115,6 +119,66 @@ def _maybe_dump_audit(plane, args: argparse.Namespace) -> None:
         print(f"wrote {count} audit events to {args.audit_out}")
 
 
+def cmd_run(args: argparse.Namespace) -> int:
+    """Fleet-parallel closed-loop run (sharded workers, merged output)."""
+    from repro.parallel import build_fleet_service
+
+    service = build_fleet_service(
+        n_databases=args.dbs,
+        workers=args.workers,
+        backend=args.backend,
+        tier=args.tier,
+        seed=args.seed,
+        control_settings=ControlPlaneSettings(
+            snapshot_period=2 * HOURS,
+            analysis_period=8 * HOURS,
+            validation_window=6 * HOURS,
+        ),
+        service_settings=ServiceSettings(
+            max_statements_per_step=args.max_statements
+        ),
+        default_config=AutoIndexingConfig(create_mode=AutoMode.AUTO),
+    )
+    print(
+        f"running the fleet-parallel loop: {args.dbs} {args.tier} databases "
+        f"across {len(service.payloads)} {service.backend} worker(s), "
+        f"{args.days} simulated days"
+    )
+    try:
+        for day in range(args.days):
+            service.run(hours=24)
+            counts = service.store.count_by_state()
+            summary = ", ".join(
+                f"{state.value}={count}"
+                for state, count in sorted(
+                    counts.items(), key=lambda i: i[0].value
+                )
+            )
+            print(f"  day {day + 1}: {summary or '(quiet)'}")
+        print()
+        registry = service.telemetry.registry
+        wall = sum(service.tick_wall_seconds)
+        busy = sum(
+            series.metric.value
+            for series in registry.series_for("fleet_shard_busy")
+        )
+        print(f"databases: {args.dbs}  shards: {len(service.payloads)}  "
+              f"backend: {service.backend}")
+        print(f"ticks: {registry.counter('fleet_ticks_total').value:.0f}  "
+              f"wall: {wall:.2f}s  shard-busy: {busy:.2f}s")
+        print(f"audit events: {len(service.telemetry.audit.events())}  "
+              f"journal entries: {service.store.journal_length()}  "
+              f"validations: {len(service.validation_history)}")
+        firing = service.watchdog.active()
+        print(f"firing alerts: {', '.join(a.rule for a in firing) or 'none'}")
+        if getattr(args, "audit_out", None):
+            count = service.telemetry.audit.dump(args.audit_out)
+            print(f"wrote {count} audit events to {args.audit_out}")
+    finally:
+        service.close()
+    return 0
+
+
 def cmd_telemetry(args: argparse.Namespace) -> int:
     """Closed-loop run rendered through the observability layer."""
     profiler = Profiler()
@@ -131,9 +195,12 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
             service_settings=ServiceSettings(max_statements_per_step=80),
             default_config=AutoIndexingConfig(create_mode=AutoMode.AUTO),
         )
+        # Progress goes to stderr so `--format json` / `--format prom`
+        # stdout stays machine-parseable.
         print(
             f"collecting fleet telemetry: {args.dbs} {args.tier} databases, "
-            f"{args.days} simulated days"
+            f"{args.days} simulated days",
+            file=sys.stderr,
         )
         service.run(hours=args.days * 24)
     telemetry = service.telemetry
@@ -265,6 +332,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--audit-out", help="dump the run's audit stream to this JSONL file"
     )
     ops.set_defaults(func=cmd_ops)
+    run = sub.add_parser(
+        "run", help="fleet-parallel closed-loop run (sharded workers)"
+    )
+    _add_common(run)
+    run.add_argument("--days", type=int, default=4)
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="shard workers (0 = serial in-process execution)",
+    )
+    run.add_argument(
+        "--backend",
+        choices=("auto", "serial", "thread", "process"),
+        default="auto",
+        help="execution backend (auto = process when --workers > 1)",
+    )
+    run.add_argument(
+        "--max-statements",
+        type=int,
+        default=80,
+        help="statement cap per database per step",
+    )
+    run.add_argument(
+        "--audit-out", help="dump the run's audit stream to this JSONL file"
+    )
+    run.set_defaults(func=cmd_run)
     fig6 = sub.add_parser("fig6", help="the Figure 6 recommender comparison")
     _add_common(fig6)
     fig6.set_defaults(func=cmd_fig6)

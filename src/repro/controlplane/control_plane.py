@@ -127,6 +127,7 @@ class ControlPlane:
         classifier: Optional[LowImpactClassifier] = None,
         mi_settings: Optional[MiRecommenderSettings] = None,
         fault_seed: int = 0,
+        enable_watchdog: bool = True,
     ) -> None:
         self.clock = clock
         self.settings = settings or ControlPlaneSettings()
@@ -135,12 +136,24 @@ class ControlPlane:
         self.classifier = classifier or LowImpactClassifier()
         self.mi_settings = mi_settings
         self.telemetry = Telemetry()
-        self.watchdog = AlertWatchdog(
-            self.telemetry.registry, audit=self.telemetry.audit
+        #: ``enable_watchdog=False`` is used by per-shard worker planes:
+        #: alert rules are fleet-level, so the region service evaluates
+        #: one watchdog over the *merged* registry instead.
+        self.watchdog = (
+            AlertWatchdog(self.telemetry.registry, audit=self.telemetry.audit)
+            if enable_watchdog
+            else None
         )
         self.store = StateStore()
         self.store.on_insert = self._telemetry_on_insert
         self.store.on_transition = self._telemetry_on_transition
+        #: Non-terminal record ids — the due-set :meth:`process` drives.
+        #: Maintained by the store hooks so a quiescent fleet costs O(live),
+        #: not O(all records ever created).
+        self._live: set = set()
+        #: Last-published (hits, misses, evictions) per database, so the
+        #: per-tick plan-cache gauge publish skips unchanged engines.
+        self._plan_cache_published: Dict[str, tuple] = {}
         #: Open root span per live recommendation, keyed by rec_id.
         self._record_spans: Dict[int, Span] = {}
         #: Open state-occupancy span per live recommendation.
@@ -189,6 +202,7 @@ class ControlPlane:
     }
 
     def _telemetry_on_insert(self, record: RecommendationRecord, at: float) -> None:
+        self._live.add(record.rec_id)
         registry = self.telemetry.registry
         recommendation = record.recommendation
         registry.counter(
@@ -236,6 +250,8 @@ class ControlPlane:
         at: float,
         note: str,
     ) -> None:
+        if new_state.terminal:
+            self._live.discard(record.rec_id)
         registry = self.telemetry.registry
         registry.counter(
             "state_transitions_total",
@@ -331,11 +347,20 @@ class ControlPlane:
     # The main loop step
 
     def process(self, now: Optional[float] = None) -> None:
-        """One automation pass at virtual time ``now``."""
+        """One automation pass at virtual time ``now``.
+
+        Driving iterates the *due set* — the non-terminal record ids the
+        store hooks maintain — in ascending ``rec_id`` order (insertion
+        order, matching the old full-table scan exactly).  A fleet of
+        quiescent databases therefore costs O(live records), not
+        O(records ever created).
+        """
         now = self.clock.now if now is None else now
         self.scheduler.run_due(now)
-        for record in self.store.all_records():
-            if record.terminal:
+        for rec_id in sorted(self._live):
+            record = self.store.get(rec_id)
+            if record is None or record.terminal:
+                self._live.discard(rec_id)
                 continue
             managed = self.databases.get(record.database)
             if managed is None:
@@ -344,18 +369,25 @@ class ControlPlane:
         for managed in self.databases.values():
             managed.last_driven = now
         self._publish_plan_cache_metrics()
-        self.watchdog.evaluate(now)
+        if self.watchdog is not None:
+            self.watchdog.evaluate(now)
 
     def _publish_plan_cache_metrics(self) -> None:
         """Surface each engine's plan-cache counters as fleet gauges.
 
         The engine-side counters are monotone; publishing them as gauges
         (current value, per database) keeps the dashboard a pure read of
-        the telemetry substrate.
+        the telemetry substrate.  The last published triple is memoized
+        per database, so idle engines (no plan-cache movement since the
+        previous tick) skip the three gauge lookups entirely.
         """
         registry = self.telemetry.registry
         for name, managed in self.databases.items():
             cache = managed.engine.plan_cache
+            values = (cache.hits, cache.misses, cache.evictions)
+            if self._plan_cache_published.get(name) == values:
+                continue
+            self._plan_cache_published[name] = values
             registry.gauge("plan_cache_hits", database=name).set(cache.hits)
             registry.gauge("plan_cache_misses", database=name).set(cache.misses)
             registry.gauge(

@@ -68,6 +68,26 @@ class EventBus:
             callback(event)
         return event
 
+    def ingest(self, event: Event) -> Event:
+        """Append an externally produced event (the fleet-merge path).
+
+        History, per-kind counts, and subscribers behave exactly like
+        :meth:`emit`, but the ``events_total`` counter is NOT incremented:
+        the shard worker's registry already counted the event, and that
+        count arrives via the merged metric deltas — incrementing here
+        would double it.
+        """
+        ensure_compliant(event.payload, "event payload")
+        self._history.append(event)
+        if len(self._history) > self._history_limit:
+            del self._history[: len(self._history) - self._history_limit]
+        self.counts[event.kind] += 1
+        for callback in self._subscribers.get(event.kind, ()):
+            callback(event)
+        for callback in self._subscribers.get("*", ()):
+            callback(event)
+        return event
+
     def history(self, kind: Optional[str] = None) -> List[Event]:
         if kind is None:
             return list(self._history)

@@ -32,6 +32,9 @@ class JobScheduler:
         self._jobs: List[ScheduledJob] = []
         self._heap: List[Tuple[float, int, ScheduledJob]] = []
         self._counter = itertools.count()
+        #: Disabled one-shot jobs pulled off the heap; re-armed by
+        #: :meth:`enable` (periodic jobs stay in the heap while disabled).
+        self._parked: List[ScheduledJob] = []
 
     def schedule(
         self,
@@ -48,11 +51,26 @@ class JobScheduler:
         return job
 
     def run_due(self, now: float) -> int:
-        """Run every job due at or before ``now``; returns the run count."""
+        """Run every job due at or before ``now``; returns the run count.
+
+        Disabled jobs are *skipped, not dropped*: a periodic job is
+        re-armed one period out (so re-enabling it fires on the next due
+        tick), and a one-shot job is parked until :meth:`enable` re-arms
+        it.  Dropping them permanently was a bug — a database whose
+        automation was paused and later resumed would never be analyzed
+        again.
+        """
         executed = 0
         while self._heap and self._heap[0][0] <= now:
             _when, _seq, job = heapq.heappop(self._heap)
             if not job.enabled:
+                if job.period is not None:
+                    job.next_run = now + job.period
+                    heapq.heappush(
+                        self._heap, (job.next_run, next(self._counter), job)
+                    )
+                else:
+                    self._parked.append(job)
                 continue
             job.callback(now)
             job.runs += 1
@@ -63,6 +81,27 @@ class JobScheduler:
                     self._heap, (job.next_run, next(self._counter), job)
                 )
         return executed
+
+    def enable(self, name: str) -> None:
+        """Re-enable jobs named ``name``; parked one-shots are re-armed."""
+        for job in self._jobs:
+            if job.name == name:
+                job.enabled = True
+        still_parked = []
+        for job in self._parked:
+            if job.name == name:
+                heapq.heappush(
+                    self._heap, (job.next_run, next(self._counter), job)
+                )
+            else:
+                still_parked.append(job)
+        self._parked = still_parked
+
+    def disable(self, name: str) -> None:
+        """Disable jobs named ``name`` (they stop firing but are kept)."""
+        for job in self._jobs:
+            if job.name == name:
+                job.enabled = False
 
     def jobs(self) -> List[ScheduledJob]:
         return list(self._jobs)

@@ -17,6 +17,7 @@ from repro.engine.ddl import (
     LowPriorityDropProtocol,
     OnlineIndexBuildJob,
 )
+from repro.engine.schema import auto_index_name
 from repro.errors import PermanentError, TransientError
 from repro.recommender.recommendation import Action
 
@@ -56,7 +57,18 @@ class ImplementationService:
                 raise PermanentError(
                     f"table {recommendation.table!r} was dropped"
                 )
-            definition = recommendation.to_definition()
+            # Name by record id: unique per database and reproducible,
+            # unlike the process-global fallback counter (whose value
+            # depends on allocation order across every plane in the
+            # process — never stable under fleet sharding).
+            definition = recommendation.to_definition(
+                record.index_name
+                or auto_index_name(
+                    recommendation.table,
+                    recommendation.key_columns,
+                    seq=record.rec_id,
+                )
+            )
             if engine.index_exists(recommendation.table, definition.name):
                 raise PermanentError(
                     f"an index named {definition.name!r} already exists"

@@ -162,6 +162,15 @@ class StateStore:
     def journal_length(self) -> int:
         return len(self._journal)
 
+    def journal_since(self, index: int) -> List[JournalEntry]:
+        """Entries appended after the first ``index`` (a drain cursor).
+
+        The fleet-parallel layer drains each worker store once per tick
+        with a monotonically advancing cursor, so this must be O(delta),
+        not O(journal).
+        """
+        return self._journal[index:]
+
     def journal(self, rec_id: Optional[int] = None) -> List[JournalEntry]:
         """The append-only journal, optionally filtered to one record.
 
@@ -173,6 +182,48 @@ class StateStore:
         return [entry for entry in self._journal if entry.rec_id == rec_id]
 
     # ------------------------------------------------------------------
+    # Replay (shared by crash recovery and the fleet-parallel merge)
+
+    def _apply_entry(self, entry: JournalEntry, insert_note: str) -> None:
+        """Apply one journal entry to the record table (no hooks)."""
+        if entry.op == "insert":
+            record = RecommendationRecord(
+                rec_id=entry.rec_id,
+                database=entry.payload["database"],
+                recommendation=entry.payload["recommendation"],
+            )
+            record.state_history.append((entry.at, record.state, insert_note))
+            self._records[entry.rec_id] = record
+        elif entry.op == "transition":
+            record = self._records[entry.rec_id]
+            record.state = entry.payload["state"]
+            record.note = entry.payload.get("note", "")
+            record.state_history.append((entry.at, record.state, record.note))
+        elif entry.op == "update":
+            record = self._records[entry.rec_id]
+            for key, value in entry.payload.items():
+                setattr(record, key, value)
+
+    def ingest(self, op: str, at: float, rec_id: int, payload: dict) -> None:
+        """Append and apply one externally produced journal entry.
+
+        The fleet-parallel merge replays per-shard journals through this
+        path with globally remapped ``rec_id``s; the observer hooks do
+        NOT fire (the shard already emitted the matching telemetry, which
+        the merger replays separately), and no transition checking is
+        re-done — the shard's own store already enforced it.
+        """
+        entry = JournalEntry(
+            seq=next(self._seq_counter), at=at, op=op, rec_id=rec_id,
+            payload=payload,
+        )
+        self._journal.append(entry)
+        self._apply_entry(entry, insert_note="created")
+        if op == "insert":
+            # Keep direct insert() ids ahead of everything merged so far.
+            self._id_counter = itertools.count(rec_id + 1)
+
+    # ------------------------------------------------------------------
     # Crash recovery
 
     def recover(self) -> "StateStore":
@@ -180,28 +231,9 @@ class StateStore:
         rebuilt = StateStore()
         max_id = 0
         for entry in self._journal:
+            rebuilt._apply_entry(entry, insert_note="created (recovered)")
             if entry.op == "insert":
-                record = RecommendationRecord(
-                    rec_id=entry.rec_id,
-                    database=entry.payload["database"],
-                    recommendation=entry.payload["recommendation"],
-                )
-                record.state_history.append(
-                    (entry.at, record.state, "created (recovered)")
-                )
-                rebuilt._records[entry.rec_id] = record
                 max_id = max(max_id, entry.rec_id)
-            elif entry.op == "transition":
-                record = rebuilt._records[entry.rec_id]
-                record.state = entry.payload["state"]
-                record.note = entry.payload.get("note", "")
-                record.state_history.append(
-                    (entry.at, record.state, record.note)
-                )
-            elif entry.op == "update":
-                record = rebuilt._records[entry.rec_id]
-                for key, value in entry.payload.items():
-                    setattr(record, key, value)
             rebuilt._journal.append(entry)
         rebuilt._id_counter = itertools.count(max_id + 1)
         rebuilt._seq_counter = itertools.count(

@@ -190,12 +190,18 @@ class TableSchema:
 _AUTO_INDEX_COUNTER = itertools.count(1)
 
 
-def auto_index_name(table: str, key_columns: Sequence[str]) -> str:
+def auto_index_name(
+    table: str, key_columns: Sequence[str], seq: Optional[int] = None
+) -> str:
     """Generate a service-style index name.
 
     Mirrors the naming scheme customers asked about in Section 8.2: the
     prefix makes auto-created indexes recognizable and collision-free.
+    Callers that need reproducible names (the control plane uses the
+    recommendation's record id, unique per database) pass ``seq``;
+    without it the suffix comes from a process-global counter, which is
+    unique but depends on allocation order across the whole process.
     """
-    suffix = next(_AUTO_INDEX_COUNTER)
+    suffix = next(_AUTO_INDEX_COUNTER) if seq is None else seq
     column_part = "_".join(key_columns[:3])
     return f"nci_auto_{table}_{column_part}_{suffix}"

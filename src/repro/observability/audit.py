@@ -256,6 +256,14 @@ class AuditLog:
             out.append(event)
         return out
 
+    def events_since(self, index: int) -> List[AuditEvent]:
+        """Events appended after the first ``index`` (a drain cursor).
+
+        The fleet-parallel layer drains each worker's log once per tick;
+        slicing keeps the drain O(delta) instead of O(log).
+        """
+        return self._events[index:]
+
     def chain(self, rec_id: int) -> List[AuditEvent]:
         """Every event of one recommendation, in causal order."""
         return list(self._chains.get(rec_id, ()))

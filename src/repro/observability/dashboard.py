@@ -120,6 +120,26 @@ def render_dashboard(
         )
         lines.append(f"  evictions:       {int(evictions)}")
 
+    # --- fleet execution (only present on sharded parallel runs) -----
+    databases = registry.total("fleet_databases")
+    if databases:
+        workers = registry.total("fleet_workers")
+        ticks = registry.total("fleet_ticks_total")
+        skew = registry.total("fleet_tick_skew_seconds")
+        lines.append("fleet execution:")
+        lines.append(
+            f"  databases:       {int(databases)} across "
+            f"{int(workers)} shard worker(s)"
+        )
+        lines.append(f"  ticks merged:    {int(ticks)}")
+        busy_series = registry.series_for("fleet_shard_busy")
+        if busy_series:
+            busy = [series.metric.value for series in busy_series]
+            lines.append(
+                f"  shard busy:      {sum(busy):.2f}s total "
+                f"(max {max(busy):.2f}s, last-tick skew {skew:.2f}s)"
+            )
+
     # --- slowest tuning sessions -------------------------------------
     lines.append(f"slowest tuning sessions (top {top_n}):")
     slowest = recorder.slowest(TUNING_KINDS, n=top_n)

@@ -83,6 +83,21 @@ CATALOG: Dict[str, MetricSpec] = dict(
               "Watchdog alerts raised, by rule name."),
         _spec("alerts_firing", "gauge", "alerts",
               "Whether each watchdog alert rule is currently firing (0/1)."),
+        _spec("fleet_databases", "gauge", "databases",
+              "Managed databases in the sharded fleet-parallel run."),
+        _spec("fleet_workers", "gauge", "workers",
+              "Shard workers executing the fleet-parallel control plane."),
+        _spec("fleet_shard_busy", "gauge", "seconds",
+              "Cumulative wall-clock seconds each shard spent executing "
+              "ticks (labeled by shard; wall time, not simulated time)."),
+        _spec("fleet_tick_skew_seconds", "gauge", "seconds",
+              "Busiest-minus-idlest shard wall-clock gap for the most "
+              "recent tick (stragglers bound parallel speedup)."),
+        _spec("fleet_merge_queue_depth", "gauge", "deltas",
+              "Per-database tick deltas awaiting the deterministic merge "
+              "at the start of the most recent merge pass."),
+        _spec("fleet_ticks_total", "counter", "ticks",
+              "Fleet-parallel ticks executed (dispatch + merge rounds)."),
         _spec("bench_duration_ms", "gauge", "milliseconds",
               "Micro-benchmark wall-clock duration, by benchmark name."),
         _spec("bench_pages_touched", "gauge", "pages",

@@ -1,0 +1,53 @@
+"""Fleet-parallel control plane: sharded workers + deterministic merge.
+
+The paper operates the auto-indexing loop over *millions* of databases
+per region; stepping them serially in one thread leaves every other core
+idle.  Because each managed database owns an independent engine,
+workload, and recommendation state machine, the per-tick work is
+embarrassingly parallel.  This package shards the fleet across a worker
+pool (process-based, with thread and serial fallbacks), runs each
+virtual-time tick's per-database work concurrently, and merges the
+results **deterministically**: every worker buffers its journal entries,
+audit events, span operations, bus events, and metric deltas per
+database, and the region service replays them in stable
+``(db_name, seq)`` order — so a parallel run is byte-identical to a
+serial run under the same seed.
+
+Entry points:
+
+- :class:`ShardedFleetService` — the region service facade
+  (``repro run --workers N`` on the CLI);
+- :class:`ParallelSettings` — worker count + backend selection;
+- :func:`repro.service.build_fleet_service` — convenience constructor.
+"""
+
+from repro.parallel.delta import (
+    TickDelta,
+    apply_metric_diff,
+    diff_snapshots,
+    registry_snapshot,
+)
+from repro.parallel.merge import DeterministicMerger
+from repro.parallel.pool import make_pool
+from repro.parallel.service import ShardedFleetService, build_fleet_service
+from repro.parallel.settings import ParallelSettings
+from repro.parallel.spec import DatabaseSpec, SharedSettings, ShardPayload
+from repro.parallel.worker import DatabaseWorker, RecordingTracer, ShardRunner
+
+__all__ = [
+    "DatabaseSpec",
+    "DatabaseWorker",
+    "DeterministicMerger",
+    "ParallelSettings",
+    "RecordingTracer",
+    "ShardPayload",
+    "ShardRunner",
+    "SharedSettings",
+    "ShardedFleetService",
+    "TickDelta",
+    "apply_metric_diff",
+    "build_fleet_service",
+    "diff_snapshots",
+    "make_pool",
+    "registry_snapshot",
+]

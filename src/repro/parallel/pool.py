@@ -1,0 +1,157 @@
+"""Worker pools: serial, thread, and process execution of shard ticks.
+
+All three backends expose the same surface — ``tick(end,
+max_statements, classifier_state) -> List[ShardResult]`` plus
+``close()`` — and all three produce identical deltas for the same
+seed; only wall-clock behaviour differs.  The process backend keeps one
+long-lived OS process per shard: shard state is built inside the child
+from the picklable payload at startup, and only commands / per-tick
+deltas cross the pipe afterwards.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional
+
+from repro.parallel.spec import ShardPayload
+from repro.parallel.worker import ShardResult, ShardRunner, shard_worker_main
+
+
+class SerialPool:
+    """Shards executed inline, one after another (the baseline)."""
+
+    backend = "serial"
+
+    def __init__(self, payloads: List[ShardPayload]) -> None:
+        self.runners = [ShardRunner(payload) for payload in payloads]
+
+    def tick(
+        self,
+        end: float,
+        max_statements: Optional[int],
+        classifier_state: Optional[dict],
+    ) -> List[ShardResult]:
+        return [
+            runner.tick(end, max_statements, classifier_state)
+            for runner in self.runners
+        ]
+
+    def close(self) -> None:
+        pass
+
+
+class ThreadPool:
+    """One thread per shard.
+
+    CPython's GIL serializes the pure-Python engine work, so this is not
+    a speedup backend — it exercises the exact pool/merge machinery of
+    the process backend without process startup cost, which is what the
+    determinism tests and the ``workers=2`` CI variant lean on.
+    """
+
+    backend = "thread"
+
+    def __init__(self, payloads: List[ShardPayload]) -> None:
+        self.runners = [ShardRunner(payload) for payload in payloads]
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, len(self.runners)),
+            thread_name_prefix="repro-shard",
+        )
+
+    def tick(
+        self,
+        end: float,
+        max_statements: Optional[int],
+        classifier_state: Optional[dict],
+    ) -> List[ShardResult]:
+        futures = [
+            self._executor.submit(
+                runner.tick, end, max_statements, classifier_state
+            )
+            for runner in self.runners
+        ]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True)
+
+
+class ProcessPool:
+    """One long-lived process per shard, command/response over a pipe."""
+
+    backend = "process"
+
+    def __init__(
+        self, payloads: List[ShardPayload], mp_context: str = ""
+    ) -> None:
+        method = mp_context or (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        ctx = multiprocessing.get_context(method)
+        self._connections = []
+        self._processes = []
+        for payload in payloads:
+            parent_conn, child_conn = ctx.Pipe()
+            process = ctx.Process(
+                target=shard_worker_main,
+                args=(child_conn, payload),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._connections.append(parent_conn)
+            self._processes.append(process)
+        for conn in self._connections:
+            reply = conn.recv()
+            if reply[0] != "ready":
+                raise RuntimeError(f"shard worker failed to start: {reply[1]}")
+
+    def tick(
+        self,
+        end: float,
+        max_statements: Optional[int],
+        classifier_state: Optional[dict],
+    ) -> List[ShardResult]:
+        for conn in self._connections:
+            conn.send(("tick", end, max_statements, classifier_state))
+        results = []
+        for conn in self._connections:
+            reply = conn.recv()
+            if reply[0] != "ok":
+                self.close()
+                raise RuntimeError(f"shard worker failed:\n{reply[1]}")
+            results.append(reply[1])
+        return results
+
+    def close(self) -> None:
+        for conn in self._connections:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+                process.join(timeout=5.0)
+        for conn in self._connections:
+            conn.close()
+        self._connections = []
+        self._processes = []
+
+
+def make_pool(
+    backend: str, payloads: List[ShardPayload], mp_context: str = ""
+):
+    """Build the pool for an *effective* (already auto-resolved) backend."""
+    if backend == "serial":
+        return SerialPool(payloads)
+    if backend == "thread":
+        return ThreadPool(payloads)
+    if backend == "process":
+        return ProcessPool(payloads, mp_context=mp_context)
+    raise ValueError(f"unknown backend {backend!r}")

@@ -1,0 +1,213 @@
+"""The sharded fleet service: dispatch ticks, merge deterministically.
+
+:class:`ShardedFleetService` is the fleet-parallel counterpart of
+:class:`repro.service.AutoIndexingService`.  Databases are sharded
+across a worker pool (process, thread, or serial — see
+:class:`~repro.parallel.settings.ParallelSettings`); each virtual-time
+tick every shard advances its databases' workloads and control planes
+concurrently, and the parent replays the resulting per-database deltas
+through the :class:`~repro.parallel.merge.DeterministicMerger` into one
+region-level store/audit/registry/span/event history.
+
+Because global ordering is assigned at merge time in stable
+``(db_name, seq)`` order, a run's audit JSONL, recovered store state,
+and span trees are byte-identical across backends and worker counts for
+the same seed.  Cross-database services stay at the parent, where they
+see the same merged state at the same virtual time in every backend:
+the alert watchdog evaluates over the merged registry, and the
+low-impact classifier retrains on the merged validation history (the
+new state is broadcast to workers with the *next* tick command).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from repro.clock import HOURS, SimClock
+from repro.controlplane import (
+    AutoIndexingConfig,
+    ControlPlaneSettings,
+)
+from repro.controlplane.control_plane import Incident
+from repro.controlplane.events import EventBus
+from repro.controlplane.store import StateStore
+from repro.engine.engine import EngineSettings
+from repro.observability import AlertWatchdog, Telemetry
+from repro.recommender import MiRecommenderSettings
+from repro.recommender.classifier import (
+    LowImpactClassifier,
+    examples_from_history,
+)
+from repro.recommender.policy import RecommenderPolicy
+from repro.service import ServiceSettings
+from repro.parallel.merge import DeterministicMerger
+from repro.parallel.pool import make_pool
+from repro.parallel.settings import ParallelSettings
+from repro.parallel.spec import (
+    SharedSettings,
+    database_specs,
+    shard_payloads,
+)
+from repro.validation import ValidationSettings
+
+
+class ShardedFleetService:
+    """One region's auto-indexing service, executed shard-parallel."""
+
+    def __init__(
+        self,
+        n_databases: int,
+        tier: str = "standard",
+        seed: int = 0,
+        parallel: Optional[ParallelSettings] = None,
+        service_settings: Optional[ServiceSettings] = None,
+        control_settings: Optional[ControlPlaneSettings] = None,
+        validation_settings: Optional[ValidationSettings] = None,
+        policy: Optional[RecommenderPolicy] = None,
+        mi_settings: Optional[MiRecommenderSettings] = None,
+        engine_settings: Optional[EngineSettings] = None,
+        default_config: Optional[AutoIndexingConfig] = None,
+        fault_seed: int = 0,
+        name_prefix: str = "db",
+    ) -> None:
+        self.parallel = parallel or ParallelSettings()
+        self.settings = service_settings or ServiceSettings()
+        self.clock = SimClock()
+        # Region-level merged state: same shapes the serial service's
+        # control plane exposes, so reporting/CLI code reads either.
+        self.telemetry = Telemetry()
+        self.store = StateStore()
+        self.events = EventBus(metrics=self.telemetry.registry)
+        self.incidents: List[Incident] = []
+        self.validation_history: List[dict] = []
+        self.classifier = LowImpactClassifier()
+        self.watchdog = AlertWatchdog(
+            self.telemetry.registry, audit=self.telemetry.audit
+        )
+        self.merger = DeterministicMerger(
+            store=self.store,
+            audit=self.telemetry.audit,
+            registry=self.telemetry.registry,
+            recorder=self.telemetry.recorder,
+            bus=self.events,
+            incidents=self.incidents,
+            validation_history=self.validation_history,
+        )
+        self.specs = database_specs(
+            n_databases,
+            tier=tier,
+            seed=seed,
+            name_prefix=name_prefix,
+            fault_seed=fault_seed,
+            config=default_config,
+        )
+        self.database_names = [spec.name for spec in self.specs]
+        shared = SharedSettings(
+            control_settings=control_settings,
+            validation_settings=validation_settings,
+            mi_settings=mi_settings,
+            policy=policy,
+            engine_settings=engine_settings,
+        )
+        self.payloads = shard_payloads(
+            self.specs, self.parallel.effective_workers, shared
+        )
+        self.backend = self.parallel.effective_backend
+        self.pool = make_pool(
+            self.backend, self.payloads, mp_context=self.parallel.mp_context
+        )
+        registry = self.telemetry.registry
+        registry.gauge("fleet_databases").set(len(self.specs))
+        registry.gauge("fleet_workers").set(len(self.payloads))
+        self._shard_busy = [0.0] * len(self.payloads)
+        #: Wall-clock seconds per tick (dispatch + merge); the fleet
+        #: benchmark derives p95 tick latency from this.
+        self.tick_wall_seconds: List[float] = []
+        self._pending_classifier_state: Optional[dict] = None
+        self._last_retrain = 0.0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+
+    def run(self, hours: float) -> None:
+        """Advance the closed loop by ``hours`` of virtual time."""
+        remaining = hours
+        while remaining > 0:
+            step = min(self.settings.step_hours, remaining)
+            self._tick(self.clock.now + step * HOURS)
+            remaining -= step
+
+    def _tick(self, end: float) -> None:
+        started = time.perf_counter()
+        classifier_state = self._pending_classifier_state
+        self._pending_classifier_state = None
+        results = self.pool.tick(
+            end, self.settings.max_statements_per_step, classifier_state
+        )
+        deltas = [delta for result in results for delta in result.deltas]
+        registry = self.telemetry.registry
+        registry.gauge("fleet_merge_queue_depth").set(len(deltas))
+        self.merger.merge(deltas)
+        busy = [result.busy_seconds for result in results]
+        for i, seconds in enumerate(busy):
+            self._shard_busy[i] += seconds
+            registry.gauge("fleet_shard_busy", shard=str(i)).set(
+                self._shard_busy[i]
+            )
+        registry.gauge("fleet_tick_skew_seconds").set(
+            max(busy) - min(busy) if busy else 0.0
+        )
+        registry.counter("fleet_ticks_total").inc()
+        self.clock.advance_to(end)
+        self.watchdog.evaluate(end)
+        self._maybe_retrain()
+        self.tick_wall_seconds.append(time.perf_counter() - started)
+
+    def _maybe_retrain(self) -> None:
+        now = self.clock.now
+        if now - self._last_retrain < (
+            self.settings.classifier_retrain_hours * HOURS
+        ):
+            return
+        self._last_retrain = now
+        examples = examples_from_history(self.validation_history)
+        if self.classifier.fit(examples):
+            # Broadcast with the next tick command so every backend
+            # applies the new model at the same virtual time.
+            self._pending_classifier_state = self.classifier.export_state()
+            self.events.emit(
+                now,
+                "classifier_retrained",
+                "<region>",
+                examples=len(examples),
+            )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def audit(self):
+        """The merged decision-provenance stream."""
+        return self.telemetry.audit
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self.pool.close()
+
+    def __enter__(self) -> "ShardedFleetService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def build_fleet_service(
+    n_databases: int,
+    workers: int = 0,
+    backend: str = "auto",
+    **kwargs,
+) -> ShardedFleetService:
+    """Convenience constructor mirroring :func:`repro.service.build_service`."""
+    parallel = ParallelSettings(workers=workers, backend=backend)
+    return ShardedFleetService(n_databases, parallel=parallel, **kwargs)

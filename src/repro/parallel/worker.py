@@ -1,0 +1,223 @@
+"""Shard workers: per-database planes that buffer their tick output.
+
+Each managed database gets its **own** single-database
+:class:`~repro.controlplane.ControlPlane` (local rec ids, local journal
+seqs, local audit seqs, local span ids).  That is what makes the merge
+order canonical: a database's stream is identical no matter which shard
+or backend executed it, so replaying streams in sorted ``(db_name,
+seq)`` order yields one global, byte-stable history.
+
+A :class:`ShardRunner` owns a list of :class:`DatabaseWorker` and runs
+one tick over all of them; :func:`shard_worker_main` is the process
+entrypoint that builds a runner from a picklable
+:class:`~repro.parallel.spec.ShardPayload` and serves tick commands over
+a pipe.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+import traceback
+from typing import Dict, List, Optional
+
+from repro.controlplane import ControlPlane
+from repro.observability.spans import Span, Tracer
+from repro.parallel.delta import TickDelta, diff_snapshots, registry_snapshot
+from repro.parallel.spec import DatabaseSpec, ShardPayload, SharedSettings
+from repro.workload.app_profiles import make_profile
+
+
+class RecordingTracer(Tracer):
+    """A tracer that also journals every start/end as a picklable op.
+
+    The ops (not the span objects) cross the process pipe; the merger
+    replays them against the region service's recorder with globally
+    remapped span ids.
+    """
+
+    def __init__(self, recorder) -> None:
+        super().__init__(recorder)
+        self.ops: List[tuple] = []
+
+    def start(
+        self,
+        kind: str,
+        database: str,
+        at: float,
+        parent: Optional[Span] = None,
+        **attributes,
+    ) -> Span:
+        span = super().start(kind, database, at, parent=parent, **attributes)
+        self.ops.append(
+            (
+                "start",
+                span.span_id,
+                kind,
+                database,
+                at,
+                span.parent_id,
+                dict(attributes),
+            )
+        )
+        return span
+
+    def end(self, span: Span, at: float, outcome: str = "ok", **attributes) -> Span:
+        super().end(span, at, outcome, **attributes)
+        self.ops.append(("end", span.span_id, at, outcome, dict(attributes)))
+        return span
+
+    def drain(self) -> List[tuple]:
+        ops, self.ops = self.ops, []
+        return ops
+
+
+class DatabaseWorker:
+    """One managed database: profile + single-database control plane."""
+
+    def __init__(self, spec: DatabaseSpec, shared: SharedSettings) -> None:
+        self.spec = spec
+        self.profile = make_profile(
+            spec.name,
+            seed=spec.profile_seed,
+            tier=spec.tier,
+            engine_settings=shared.engine_settings,
+        )
+        self.plane = ControlPlane(
+            self.profile.engine.clock,
+            settings=shared.control_settings,
+            policy=shared.policy,
+            validation_settings=shared.validation_settings,
+            mi_settings=shared.mi_settings,
+            fault_seed=spec.fault_seed,
+            enable_watchdog=False,
+        )
+        # Journal span activity instead of only recording it; the merge
+        # replays the ops into the region-level recorder.
+        self.plane.telemetry.tracer = RecordingTracer(
+            self.plane.telemetry.recorder
+        )
+        self.plane.add_database(
+            spec.name, self.profile.engine, tier=spec.tier, config=spec.config
+        )
+        self._bus_buffer: List[object] = []
+        self.plane.events.subscribe("*", self._on_bus_event)
+        self._journal_cursor = 0
+        self._audit_cursor = 0
+        self._history_cursor = 0
+        self._incident_cursor = 0
+        self._metric_snapshot = registry_snapshot(self.plane.telemetry.registry)
+
+    def _on_bus_event(self, event) -> None:
+        self._bus_buffer.append(event)
+
+    def tick(self, end: float, max_statements: Optional[int]) -> TickDelta:
+        """Advance the workload to ``end`` (simulated minutes), process
+        the plane once, and drain everything emitted."""
+        engine = self.profile.engine
+        remaining_hours = (end - engine.clock.now) / 60.0
+        if remaining_hours > 0:
+            self.profile.workload.run(
+                engine, remaining_hours, max_statements=max_statements
+            )
+        if engine.clock.now < end:
+            engine.clock.advance_to(end)
+        self.plane.process(end)
+        return self._drain()
+
+    def _drain(self) -> TickDelta:
+        plane = self.plane
+        journal = plane.store.journal_since(self._journal_cursor)
+        self._journal_cursor += len(journal)
+        audit = plane.telemetry.audit.events_since(self._audit_cursor)
+        self._audit_cursor += len(audit)
+        spans = plane.telemetry.tracer.drain()
+        bus, self._bus_buffer = self._bus_buffer, []
+        history = plane.validation_history[self._history_cursor:]
+        self._history_cursor += len(history)
+        incidents = plane.incidents[self._incident_cursor:]
+        self._incident_cursor += len(incidents)
+        snapshot = registry_snapshot(plane.telemetry.registry)
+        metrics = diff_snapshots(self._metric_snapshot, snapshot)
+        self._metric_snapshot = snapshot
+        return TickDelta(
+            database=self.spec.name,
+            journal=list(journal),
+            audit=list(audit),
+            spans=spans,
+            bus=list(bus),
+            metrics=metrics,
+            validation_history=list(history),
+            incidents=list(incidents),
+        )
+
+    def load_classifier(self, state: Optional[dict]) -> None:
+        self.plane.classifier.load_state(state)
+
+
+@dataclasses.dataclass
+class ShardResult:
+    """One shard's tick output plus its wall-clock cost."""
+
+    deltas: List[TickDelta]
+    busy_seconds: float
+
+
+class ShardRunner:
+    """Executes ticks for one shard's databases (any backend)."""
+
+    def __init__(self, payload: ShardPayload) -> None:
+        self.shard_index = payload.shard_index
+        self.workers = [
+            DatabaseWorker(spec, payload.shared) for spec in payload.databases
+        ]
+
+    def tick(
+        self,
+        end: float,
+        max_statements: Optional[int],
+        classifier_state: Optional[dict],
+    ) -> ShardResult:
+        started = time.perf_counter()
+        if classifier_state is not None:
+            for worker in self.workers:
+                worker.load_classifier(classifier_state)
+        deltas = [worker.tick(end, max_statements) for worker in self.workers]
+        return ShardResult(
+            deltas=deltas, busy_seconds=time.perf_counter() - started
+        )
+
+
+def shard_worker_main(conn, payload: ShardPayload) -> None:
+    """Process entrypoint: build the shard, then serve tick commands.
+
+    Protocol (all picklable):
+
+    - recv ``("tick", end, max_statements, classifier_state)`` →
+      send ``("ok", ShardResult)``;
+    - recv ``("stop",)`` → exit.
+
+    Any exception is reported as ``("error", formatted_traceback)`` and
+    the worker exits; the pool raises it in the parent.
+    """
+    try:
+        runner = ShardRunner(payload)
+        conn.send(("ready", runner.shard_index, len(runner.workers)))
+        while True:
+            command = conn.recv()
+            if command[0] == "stop":
+                break
+            if command[0] == "tick":
+                _cmd, end, max_statements, classifier_state = command
+                result = runner.tick(end, max_statements, classifier_state)
+                conn.send(("ok", result))
+            else:  # pragma: no cover - protocol misuse
+                conn.send(("error", f"unknown command {command[0]!r}"))
+                break
+    except Exception:  # pragma: no cover - exercised via pool error test
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()

@@ -127,6 +127,32 @@ class LowImpactClassifier:
         )
         return probability >= self.threshold
 
+    # ------------------------------------------------------------------
+    # State transfer (the fleet-parallel layer broadcasts retrained
+    # weights from the region service to its shard workers).
+
+    def export_state(self) -> Optional[dict]:
+        """Picklable snapshot of the trained model (None if untrained)."""
+        if self._weights is None:
+            return None
+        return {
+            "weights": [float(w) for w in self._weights],
+            "trained_on": self.trained_on,
+            "threshold": self.threshold,
+            "min_training_examples": self.min_training_examples,
+        }
+
+    def load_state(self, state: Optional[dict]) -> None:
+        """Adopt a snapshot produced by :meth:`export_state`."""
+        if state is None:
+            self._weights = None
+            self.trained_on = 0
+            return
+        self._weights = np.array(state["weights"], dtype=float)
+        self.trained_on = int(state["trained_on"])
+        self.threshold = float(state["threshold"])
+        self.min_training_examples = int(state["min_training_examples"])
+
 
 def examples_from_history(history: List[dict]) -> List[ValidationExample]:
     """Adapt control-plane validation records into training examples."""

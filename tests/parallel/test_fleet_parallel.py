@@ -1,0 +1,214 @@
+"""Fleet-parallel service: determinism across backends, and the glue.
+
+The hard guarantee under test: for the same fleet seed, the sharded
+service produces **byte-identical** merged output — audit JSONL, store
+journal, recovered record states, spans — no matter which backend
+(serial / thread / process) or worker count executed the ticks.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clock import HOURS
+from repro.controlplane import ControlPlaneSettings
+from repro.parallel import ParallelSettings, build_fleet_service
+from repro.parallel.spec import database_specs
+from repro.service import ServiceSettings
+
+
+#: Worker count for the parallel side of the equivalence tests.  The CI
+#: matrix includes a ``REPRO_TEST_WORKERS=2`` variant so the suite is
+#: exercised at more than one sharding width.
+WORKERS = max(2, int(os.environ.get("REPRO_TEST_WORKERS", "4")))
+
+
+def run_fleet(
+    backend: str,
+    workers: int,
+    n_databases: int = 3,
+    hours: float = 48.0,
+    seed: int = 11,
+):
+    service = build_fleet_service(
+        n_databases,
+        workers=workers,
+        backend=backend,
+        seed=seed,
+        control_settings=ControlPlaneSettings(
+            snapshot_period=2 * HOURS,
+            analysis_period=8 * HOURS,
+            validation_window=6 * HOURS,
+        ),
+        service_settings=ServiceSettings(max_statements_per_step=60),
+    )
+    try:
+        service.run(hours)
+        return {
+            "jsonl": service.telemetry.audit.to_jsonl(),
+            "journal": [
+                (e.seq, e.op, e.rec_id, e.at, json.dumps(e.payload, sort_keys=True, default=str))
+                for e in service.store.journal()
+            ],
+            "recovered": {
+                r.rec_id: (r.database, r.state.name, tuple(r.state_history))
+                for r in service.store.recover().all_records()
+            },
+            "spans": [
+                (s.span_id, s.kind, s.database, s.start, s.end, s.outcome, s.parent_id)
+                for s in service.telemetry.recorder.spans()
+            ],
+            "history": service.validation_history,
+            "bus": [
+                (e.at, e.kind, e.database, json.dumps(e.payload, sort_keys=True, default=str))
+                for e in service.events.history()
+            ],
+        }
+    finally:
+        service.close()
+
+
+class TestBackendEquivalence:
+    """One moderate run per backend, compared stream by stream."""
+
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return run_fleet("serial", 1)
+
+    def test_thread_backend_matches_serial(self, serial):
+        threaded = run_fleet("thread", WORKERS)
+        assert threaded["jsonl"] == serial["jsonl"]
+        assert threaded["journal"] == serial["journal"]
+        assert threaded["recovered"] == serial["recovered"]
+        assert threaded["spans"] == serial["spans"]
+        assert threaded["history"] == serial["history"]
+        assert threaded["bus"] == serial["bus"]
+
+    def test_process_backend_matches_serial(self, serial):
+        processed = run_fleet("process", WORKERS)
+        assert processed["jsonl"] == serial["jsonl"]
+        assert processed["journal"] == serial["journal"]
+        assert processed["recovered"] == serial["recovered"]
+        assert processed["spans"] == serial["spans"]
+
+    def test_run_produced_real_work(self, serial):
+        assert serial["recovered"], "no recommendations were generated"
+        assert serial["jsonl"].count("\n") > 20
+        assert serial["spans"], "no spans recorded"
+
+
+@settings(max_examples=4, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_property_serial_vs_parallel_identical(seed):
+    """For any fleet seed: a serial run and a multi-worker run produce
+    identical audit JSONL dumps and identical recovered store state."""
+    serial = run_fleet("serial", 1, n_databases=2, hours=12.0, seed=seed)
+    parallel = run_fleet("thread", WORKERS, n_databases=2, hours=12.0, seed=seed)
+    assert parallel["jsonl"] == serial["jsonl"]
+    assert parallel["recovered"] == serial["recovered"]
+
+
+class TestFleetGauges:
+    def test_fleet_metrics_populated(self):
+        service = build_fleet_service(
+            2,
+            workers=2,
+            backend="thread",
+            seed=5,
+            service_settings=ServiceSettings(max_statements_per_step=40),
+        )
+        try:
+            service.run(6)
+            registry = service.telemetry.registry
+            assert registry.total("fleet_databases") == 2
+            assert registry.total("fleet_workers") == 2
+            assert registry.total("fleet_ticks_total") == 3
+            assert registry.total("fleet_merge_queue_depth") == 2
+            assert len(registry.series_for("fleet_shard_busy")) == 2
+            assert len(service.tick_wall_seconds) == 3
+        finally:
+            service.close()
+
+
+class TestClassifierBroadcast:
+    def test_state_reaches_workers_on_next_tick(self):
+        service = build_fleet_service(
+            2, workers=2, backend="thread", seed=5
+        )
+        try:
+            state = {
+                "weights": [0.1, -0.2, 0.3, 0.0, 0.5],
+                "trained_on": 64,
+                "threshold": 0.3,
+                "min_training_examples": 30,
+            }
+            service._pending_classifier_state = state
+            service.run(2)  # one tick: dispatch carries the state
+            for runner in service.pool.runners:
+                for worker in runner.workers:
+                    assert worker.plane.classifier.is_trained
+                    assert worker.plane.classifier.trained_on == 64
+        finally:
+            service.close()
+
+
+class TestSpecsAndSettings:
+    def test_specs_mirror_fleet_naming_and_seeding(self):
+        from repro.fleet import Fleet, FleetSpec
+
+        specs = database_specs(3, tier="premium", seed=9)
+        fleet = Fleet(FleetSpec(n_databases=3, tier="premium", seed=9))
+        assert [s.name for s in specs] == [p.name for p in fleet]
+        assert [s.profile_seed for s in specs] == [
+            9 * 1_000_003 + i for i in range(3)
+        ]
+
+    def test_parallel_settings_validation(self):
+        with pytest.raises(ValueError):
+            ParallelSettings(backend="gpu")
+        with pytest.raises(ValueError):
+            ParallelSettings(workers=-1)
+        assert ParallelSettings(workers=0).effective_backend == "serial"
+        assert ParallelSettings(workers=1).effective_backend == "serial"
+        assert ParallelSettings(workers=4).effective_backend == "process"
+        assert (
+            ParallelSettings(workers=4, backend="thread").effective_backend
+            == "thread"
+        )
+
+
+class TestCli:
+    def test_repro_run_smoke(self, tmp_path):
+        out = tmp_path / "audit.jsonl"
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "run",
+                "--dbs",
+                "2",
+                "--days",
+                "1",
+                "--workers",
+                "2",
+                "--backend",
+                "thread",
+                "--audit-out",
+                str(out),
+            ],
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "fleet-parallel loop" in result.stdout
+        assert "day 1:" in result.stdout
+        assert out.exists() and out.read_text().strip()

@@ -1,0 +1,292 @@
+"""Unit tests for the fleet-parallel merge machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.controlplane.events import Event, EventBus
+from repro.controlplane.store import StateStore
+from repro.errors import TelemetryError
+from repro.observability.audit import AuditLog
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.spans import SpanRecorder
+from repro.parallel import (
+    DeterministicMerger,
+    TickDelta,
+    apply_metric_diff,
+    diff_snapshots,
+    registry_snapshot,
+)
+from repro.recommender.recommendation import Action, IndexRecommendation
+
+
+def make_recommendation() -> IndexRecommendation:
+    return IndexRecommendation(
+        action=Action.CREATE, table="orders", key_columns=("o_cust",)
+    )
+
+
+class TestSnapshotDiff:
+    def test_counter_and_gauge_roundtrip(self):
+        worker = MetricsRegistry()
+        worker.counter("events_total", kind="x", database="db").inc(3)
+        worker.gauge("records_in_state", state="active").set(2)
+        before = registry_snapshot(worker)
+        worker.counter("events_total", kind="x", database="db").inc(2)
+        worker.gauge("records_in_state", state="active").set(1)
+        diff = diff_snapshots(before, registry_snapshot(worker))
+
+        merged = MetricsRegistry()
+        merged.counter("events_total", kind="x", database="db").inc(3)
+        merged.gauge("records_in_state", state="active").set(2)
+        apply_metric_diff(merged, diff)
+        assert merged.counter("events_total", kind="x", database="db").value == 5
+        assert merged.gauge("records_in_state", state="active").value == 1
+
+    def test_new_series_included_even_at_zero(self):
+        """A series that first appears with value 0 still materializes in
+        the merged registry — serial and parallel runs must expose the
+        same series set, not just the same non-zero values."""
+        worker = MetricsRegistry()
+        before = registry_snapshot(worker)
+        worker.gauge("records_in_state", state="retry").set(0.0)
+        diff = diff_snapshots(before, registry_snapshot(worker))
+        assert len(diff) == 1
+
+        merged = MetricsRegistry()
+        apply_metric_diff(merged, diff)
+        assert len(merged.series_for("records_in_state", state="retry")) == 1
+
+    def test_histogram_diff_merges_buckets(self):
+        worker = MetricsRegistry()
+        histogram = worker.histogram("state_duration_minutes", state="active")
+        histogram.observe(5.0)
+        before = registry_snapshot(worker)
+        histogram.observe(50.0)
+        histogram.observe(5000.0)
+        diff = diff_snapshots(before, registry_snapshot(worker))
+
+        merged = MetricsRegistry()
+        target = merged.histogram("state_duration_minutes", state="active")
+        target.observe(5.0)
+        apply_metric_diff(merged, diff)
+        assert target.count == 3
+        assert target.sum == pytest.approx(5055.0)
+        assert target.min == pytest.approx(5.0)
+        assert target.max == pytest.approx(5000.0)
+
+    def test_unchanged_series_not_in_diff(self):
+        worker = MetricsRegistry()
+        worker.counter("events_total", kind="x", database="db").inc()
+        snap = registry_snapshot(worker)
+        assert diff_snapshots(snap, registry_snapshot(worker)) == {}
+
+    def test_uncataloged_name_rejected_at_merge(self):
+        diff = {("fleet_bogus_metric", "counter", ()): 1.0}
+        with pytest.raises(TelemetryError, match="CATALOG"):
+            apply_metric_diff(MetricsRegistry(), diff)
+
+
+class TestEventBusIngest:
+    def test_ingest_skips_events_total(self):
+        """The worker registry already counted the event; its count
+        arrives through the metric diff, so ingest must not double it."""
+        registry = MetricsRegistry()
+        bus = EventBus(metrics=registry)
+        bus.emit(1.0, "snapshot_taken", "db-0", tables=3)
+        assert registry.total("events_total") == 1.0
+        bus.ingest(Event(at=2.0, kind="snapshot_taken", database="db-1", payload={}))
+        assert registry.total("events_total") == 1.0
+        assert len(bus.history()) == 2
+        assert bus.counts["snapshot_taken"] == 2
+
+    def test_ingest_still_notifies_subscribers_and_enforces_compliance(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("*", seen.append)
+        bus.ingest(Event(at=1.0, kind="k", database="db", payload={}))
+        assert len(seen) == 1
+        with pytest.raises(Exception):
+            bus.ingest(
+                Event(
+                    at=1.0,
+                    kind="k",
+                    database="db",
+                    payload={"query_text": "SELECT secret"},
+                )
+            )
+
+
+class TestStoreIngest:
+    def test_ingest_replays_and_continues_ids(self):
+        worker = StateStore()
+        record = worker.insert("db-a", make_recommendation(), at=1.0)
+        entries = worker.journal_since(0)
+
+        merged = StateStore()
+        for entry in entries:
+            merged.ingest(entry.op, entry.at, 7, entry.payload)
+        replayed = merged.get(7)
+        assert replayed is not None
+        assert replayed.database == "db-a"
+        assert replayed.state == record.state
+        # The id counter continues past ingested ids: a direct insert
+        # afterwards must not collide.
+        fresh = merged.insert("db-b", make_recommendation(), at=2.0)
+        assert fresh.rec_id == 8
+
+    def test_ingest_does_not_fire_hooks(self):
+        merged = StateStore()
+        fired = []
+        merged.on_insert = lambda record: fired.append(record)
+        worker = StateStore()
+        worker.insert("db-a", make_recommendation(), at=1.0)
+        for entry in worker.journal_since(0):
+            merged.ingest(entry.op, entry.at, 1, entry.payload)
+        assert fired == []
+
+
+def make_merger():
+    registry = MetricsRegistry()
+    store = StateStore()
+    audit = AuditLog()
+    recorder = SpanRecorder()
+    bus = EventBus(metrics=registry)
+    incidents = []
+    history = []
+    return DeterministicMerger(
+        store=store,
+        audit=audit,
+        registry=registry,
+        recorder=recorder,
+        bus=bus,
+        incidents=incidents,
+        validation_history=history,
+    )
+
+
+def delta_for(database: str, journal, audit=(), spans=(), bus=()) -> TickDelta:
+    return TickDelta(
+        database=database,
+        journal=list(journal),
+        audit=list(audit),
+        spans=list(spans),
+        bus=list(bus),
+        metrics={},
+        validation_history=[],
+        incidents=[],
+    )
+
+
+class TestDeterministicMerger:
+    def test_sorted_by_database_and_rec_ids_remapped(self):
+        """Deltas arriving in arbitrary order merge in db-name order, and
+        each database's local rec_id 1 gets a distinct global id."""
+        stores = {}
+        deltas = []
+        for name in ("db-b", "db-a"):
+            worker = StateStore()
+            worker.insert(name, make_recommendation(), at=1.0)
+            stores[name] = worker
+            deltas.append(delta_for(name, worker.journal_since(0)))
+
+        merger = make_merger()
+        merger.merge(deltas)
+        assert merger.rec_ids[("db-a", 1)] == 1
+        assert merger.rec_ids[("db-b", 1)] == 2
+        assert merger.store.get(1).database == "db-a"
+        assert merger.store.get(2).database == "db-b"
+
+    def test_audit_rec_ids_remapped_and_chained(self):
+        worker_store = StateStore()
+        worker_store.insert("db-b", make_recommendation(), at=1.0)
+        worker_audit = AuditLog()
+        worker_audit.emit(
+            1.0,
+            "recommendation_registered",
+            "db-b",
+            rec_id=1,
+            state="active",
+        )
+        worker_audit.emit(
+            2.0, "state_changed", "db-b", rec_id=1, to_state="implementing"
+        )
+
+        # Another database merged first shifts db-b's global ids.
+        other = StateStore()
+        other.insert("db-a", make_recommendation(), at=1.0)
+
+        merger = make_merger()
+        merger.merge(
+            [
+                delta_for(
+                    "db-b",
+                    worker_store.journal_since(0),
+                    audit=worker_audit.events_since(0),
+                ),
+                delta_for("db-a", other.journal_since(0)),
+            ]
+        )
+        events = merger.audit.events()
+        assert [e.database for e in events] == ["db-b", "db-b"]
+        assert all(e.rec_id == 2 for e in events), "local 1 -> global 2"
+        # The chain is recomputed at merge time: the second event hangs
+        # off the first.
+        assert events[1].parent_seq == events[0].seq
+
+    def test_out_of_order_stream_raises(self):
+        merger = make_merger()
+        worker = StateStore()
+        record = worker.insert("db-a", make_recommendation(), at=1.0)
+        from repro.controlplane.states import RecommendationState
+
+        worker.transition(record, RecommendationState.IMPLEMENTING, 2.0)
+        entries = worker.journal_since(0)
+        update_only = [e for e in entries if e.op != "insert"]
+        with pytest.raises(TelemetryError, match="out of order"):
+            merger.merge([delta_for("db-a", update_only)])
+
+    def test_span_ops_replayed_with_global_ids(self):
+        merger = make_merger()
+        ops_a = [
+            ("start", 10, "recommend", "db-a", 1.0, None, {}),
+            ("end", 10, 2.0, "ok", {}),
+        ]
+        ops_b = [
+            ("start", 10, "recommend", "db-b", 1.0, None, {}),
+            ("end", 10, 3.0, "ok", {}),
+        ]
+        merger.merge(
+            [
+                delta_for("db-b", [], spans=ops_b),
+                delta_for("db-a", [], spans=ops_a),
+            ]
+        )
+        spans = sorted(merger.recorder.spans(), key=lambda s: s.span_id)
+        assert [(s.span_id, s.database) for s in spans] == [
+            (1, "db-a"),
+            (2, "db-b"),
+        ]
+        assert all(s.end is not None for s in spans)
+
+    def test_bus_events_ingested_with_remapped_rec_id(self):
+        merger = make_merger()
+        worker = StateStore()
+        worker.insert("db-b", make_recommendation(), at=1.0)
+        other = StateStore()
+        other.insert("db-a", make_recommendation(), at=1.0)
+        event = Event(
+            at=2.0,
+            kind="recommendation_created",
+            database="db-b",
+            payload={"rec_id": 1},
+        )
+        merger.merge(
+            [
+                delta_for("db-a", other.journal_since(0)),
+                delta_for("db-b", worker.journal_since(0), bus=[event]),
+            ]
+        )
+        merged_events = merger.bus.history()
+        assert merged_events[0].payload["rec_id"] == 2
+        assert merger.registry.total("events_total") == 0.0
