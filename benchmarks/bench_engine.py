@@ -199,6 +199,50 @@ def test_whatif_sweep_plan_cache(bench_engine):
     assert warm_ms < cold_ms
 
 
+def test_interp_vs_vector_sweep():
+    """Interpreted vs vectorized executor on the hot plan shapes.
+
+    Reuses the standalone sweep's engine/query builders
+    (``benchmarks/bench_exec_vector.py``, whose full run writes the
+    committed ``BENCH_exec_vector.json`` baseline) at a pytest-friendly
+    size.  Doubles as a correctness gate: each cell asserts identical
+    rows and identical ``ExecutionMetrics`` across the two paths — the
+    metering-equivalence contract.
+    """
+    from benchmarks.bench_exec_vector import (
+        build_engine,
+        make_query,
+        metrics_tuple,
+        time_query,
+    )
+
+    interp = build_engine(20_000, 3, "interp")
+    vector = build_engine(20_000, 3, "vector")
+    lines = ["== interp vs vector executor (20k rows, sel 0.2) =="]
+    for operator in ("scan_filter", "aggregate", "topn", "sort"):
+        query = make_query(operator, 0.2)
+        interp_ms, interp_result = time_query(interp, query, reps=2)
+        vector_ms, vector_result = time_query(vector, query, reps=2)
+        assert vector_result.rows == interp_result.rows
+        assert metrics_tuple(vector_result.metrics) == metrics_tuple(
+            interp_result.metrics
+        )
+        speedup = interp_ms / vector_ms
+        lines.append(
+            f"  {operator:<12} interp={interp_ms:7.2f}ms "
+            f"vector={vector_ms:6.2f}ms speedup={speedup:5.1f}x"
+        )
+        REGISTRY.gauge(
+            "bench_duration_ms", benchmark=f"exec_interp_{operator}"
+        ).set(interp_ms)
+        REGISTRY.gauge(
+            "bench_duration_ms", benchmark=f"exec_vector_{operator}"
+        ).set(vector_ms)
+    emit(lines)
+    assert vector.executor.vector_statements > 0
+    assert vector.executor.interp_statements == 0
+
+
 def test_zz_emit_telemetry_json():
     """Last in the module: dump everything recorded above as JSON."""
     text = json_text(REGISTRY)

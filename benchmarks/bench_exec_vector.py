@@ -1,0 +1,226 @@
+#!/usr/bin/env python
+"""Interp-vs-vector executor sweep: rows x selectivity x operator.
+
+For each cell the same ``SelectQuery`` is executed on two engines over
+identical data, one pinned to ``REPRO_EXECUTOR=interp`` and one to
+``vector``, and the sweep records wall time per execution plus the
+speedup.  The benchmark doubles as a correctness gate: within every
+cell the two paths must return identical rows and identical
+``ExecutionMetrics`` (the metering-equivalence contract); any mismatch
+exits non-zero, so the CI artifact job re-verifies the contract on
+every run.
+
+Results land in ``BENCH_exec_vector.json`` (committed at the repo root
+as the baseline).  The acceptance target for the tentpole is >=5x on
+the 100k-row scan and aggregate cells.
+
+Usage::
+
+    python benchmarks/bench_exec_vector.py [--smoke] [--out FILE] [--seed N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+import numpy as np  # noqa: E402
+
+from repro.engine import (  # noqa: E402
+    Column,
+    Database,
+    Op,
+    OrderItem,
+    Predicate,
+    SelectQuery,
+    SqlEngine,
+    SqlType,
+    TableSchema,
+)
+from repro.engine.cost_model import CostModelSettings  # noqa: E402
+from repro.engine.engine import EngineSettings  # noqa: E402
+from repro.engine.query import Aggregate, AggFunc  # noqa: E402
+
+
+def build_engine(n_rows: int, seed: int, mode: str) -> SqlEngine:
+    db = Database(f"exec-bench-{n_rows}", seed=seed)
+    schema = TableSchema(
+        "t",
+        [
+            Column("id", SqlType.BIGINT, nullable=False),
+            Column("grp", SqlType.INT),
+            Column("val", SqlType.FLOAT),
+            Column("cat", SqlType.TEXT),
+        ],
+        primary_key=["id"],
+    )
+    table = db.create_table(schema)
+    rng = np.random.default_rng(seed)
+    groups = rng.integers(0, 64, size=n_rows)
+    values = rng.random(size=n_rows)
+    for i in range(n_rows):
+        table.insert(
+            (i, int(groups[i]), float(values[i]), f"cat-{int(groups[i]) % 7}")
+        )
+    settings = EngineSettings(
+        cost_model=CostModelSettings(error_sigma=0.0, severe_error_rate=0.0)
+    )
+    settings.execution.noise_sigma = 0.0
+    settings.execution.executor_mode = mode
+    engine = SqlEngine(db, settings=settings)
+    engine.build_all_statistics()
+    return engine
+
+
+def make_query(operator: str, selectivity: float) -> SelectQuery:
+    """One query per operator cell; ``val`` is U(0,1) so a ``val >``
+    threshold sets the selectivity directly."""
+    threshold = 1.0 - selectivity
+    preds = (
+        (Predicate("val", Op.GT, threshold),) if selectivity < 1.0 else ()
+    )
+    if operator == "scan_filter":
+        return SelectQuery("t", ("id", "val"), preds)
+    if operator == "aggregate":
+        return SelectQuery(
+            "t",
+            predicates=preds,
+            group_by=("grp",),
+            aggregates=(Aggregate(AggFunc.COUNT), Aggregate(AggFunc.SUM, "val")),
+        )
+    if operator == "topn":
+        return SelectQuery(
+            "t",
+            ("id", "val"),
+            preds,
+            order_by=(OrderItem("val", ascending=False),),
+            limit=100,
+        )
+    if operator == "sort":
+        return SelectQuery(
+            "t",
+            ("id", "val"),
+            preds,
+            order_by=(OrderItem("cat"), OrderItem("val", ascending=False)),
+        )
+    raise ValueError(operator)
+
+
+def time_query(engine: SqlEngine, query: SelectQuery, reps: int):
+    """(best wall ms per execution, last result); one warmup execution
+    lets the vector path amortize its projection build the way any real
+    workload (many statements per table version) does."""
+    result = engine.execute(query)
+    best = float("inf")
+    for _ in range(reps):
+        started = time.perf_counter()
+        result = engine.execute(query)
+        best = min(best, time.perf_counter() - started)
+    return best * 1000.0, result
+
+
+def metrics_tuple(metrics):
+    return (
+        metrics.cpu_time_ms,
+        metrics.duration_ms,
+        metrics.logical_reads,
+        metrics.rows_returned,
+    )
+
+
+def run_sweep(sizes, selectivities, operators, reps, seed):
+    results = []
+    for n_rows in sizes:
+        interp = build_engine(n_rows, seed, "interp")
+        vector = build_engine(n_rows, seed, "vector")
+        for selectivity in selectivities:
+            for operator in operators:
+                query = make_query(operator, selectivity)
+                interp_ms, interp_result = time_query(interp, query, reps)
+                vector_ms, vector_result = time_query(vector, query, reps)
+                if interp_result.rows != vector_result.rows:
+                    raise SystemExit(
+                        f"ROW MISMATCH: {operator} rows={n_rows} "
+                        f"sel={selectivity}"
+                    )
+                if metrics_tuple(interp_result.metrics) != metrics_tuple(
+                    vector_result.metrics
+                ):
+                    raise SystemExit(
+                        f"METRICS MISMATCH: {operator} rows={n_rows} "
+                        f"sel={selectivity}: "
+                        f"{metrics_tuple(interp_result.metrics)} != "
+                        f"{metrics_tuple(vector_result.metrics)}"
+                    )
+                row = {
+                    "operator": operator,
+                    "rows": n_rows,
+                    "selectivity": selectivity,
+                    "interp_ms": round(interp_ms, 3),
+                    "vector_ms": round(vector_ms, 3),
+                    "speedup": round(interp_ms / vector_ms, 2),
+                    "rows_returned": vector_result.metrics.rows_returned,
+                    "logical_reads": vector_result.metrics.logical_reads,
+                }
+                results.append(row)
+                print(
+                    f"rows={n_rows:>7} sel={selectivity:<5} "
+                    f"{operator:<12} interp={interp_ms:>9.2f}ms "
+                    f"vector={vector_ms:>8.2f}ms speedup={row['speedup']:>6.2f}x"
+                )
+        if vector.executor.vector_statements == 0:
+            raise SystemExit("vector engine never dispatched the batch path")
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small sweep for CI smoke (10k rows, one selectivity)",
+    )
+    parser.add_argument("--out", default="BENCH_exec_vector.json")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        sizes, selectivities, reps = [10_000], [0.2], 2
+    else:
+        sizes, selectivities, reps = [10_000, 100_000], [0.01, 0.2, 1.0], 3
+    operators = ["scan_filter", "aggregate", "topn", "sort"]
+
+    results = run_sweep(sizes, selectivities, operators, reps, args.seed)
+
+    payload = {
+        "benchmark": "exec-vector",
+        "smoke": args.smoke,
+        "seed": args.seed,
+        "reps": reps,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "contract": (
+            "within every cell the interp and vector paths returned "
+            "identical rows and identical ExecutionMetrics"
+        ),
+        "results": results,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -154,6 +154,8 @@ class ControlPlane:
         #: Last-published (hits, misses, evictions) per database, so the
         #: per-tick plan-cache gauge publish skips unchanged engines.
         self._plan_cache_published: Dict[str, tuple] = {}
+        #: Last-published executor dispatch/cache counters per database.
+        self._executor_published: Dict[str, tuple] = {}
         #: Open root span per live recommendation, keyed by rec_id.
         self._record_spans: Dict[int, Span] = {}
         #: Open state-occupancy span per live recommendation.
@@ -369,6 +371,7 @@ class ControlPlane:
         for managed in self.databases.values():
             managed.last_driven = now
         self._publish_plan_cache_metrics()
+        self._publish_executor_metrics()
         if self.watchdog is not None:
             self.watchdog.evaluate(now)
 
@@ -393,6 +396,48 @@ class ControlPlane:
             registry.gauge(
                 "plan_cache_evictions", database=name
             ).set(cache.evictions)
+
+    def _publish_executor_metrics(self) -> None:
+        """Surface each engine's execution-path counters as fleet gauges.
+
+        Same memoized-publish pattern as the plan cache: the executor's
+        dispatch counters and the columnar projection cache stats are
+        monotone, and databases whose engines ran nothing since the last
+        tick skip every gauge lookup.
+        """
+        registry = self.telemetry.registry
+        for name, managed in self.databases.items():
+            executor = managed.engine.executor
+            hits, misses, invalidations = executor.column_cache_stats()
+            values = (
+                executor.vector_statements,
+                executor.interp_statements,
+                executor.batch_rows,
+                hits,
+                misses,
+                invalidations,
+            )
+            if self._executor_published.get(name) == values:
+                continue
+            self._executor_published[name] = values
+            registry.gauge(
+                "executor_vector_dispatch_total", database=name, path="vector"
+            ).set(executor.vector_statements)
+            registry.gauge(
+                "executor_vector_dispatch_total", database=name, path="interp"
+            ).set(executor.interp_statements)
+            registry.gauge(
+                "executor_batch_rows", database=name
+            ).set(executor.batch_rows)
+            registry.gauge(
+                "executor_column_cache_hits", database=name
+            ).set(hits)
+            registry.gauge(
+                "executor_column_cache_misses", database=name
+            ).set(misses)
+            registry.gauge(
+                "executor_column_cache_invalidations", database=name
+            ).set(invalidations)
 
     # ------------------------------------------------------------------
     # Record driving

@@ -203,6 +203,14 @@ class ExecutionCostSettings:
     io_wait_ms_per_page: float = 0.010
     #: Log-normal sigma of run-to-run measurement noise (concurrency).
     noise_sigma: float = 0.10
+    #: Execution path: "vector", "interp", or "auto"; None defers to the
+    #: ``REPRO_EXECUTOR`` environment variable (default "auto").  Both
+    #: paths produce byte-identical rows and metrics; this only changes
+    #: how fast the host executes them.
+    executor_mode: Optional[str] = None
+    #: In "auto" mode, the minimum scanned-table row count before the
+    #: vectorized path is worth the projection build.
+    vector_min_rows: int = 256
 
 
 def _op_kind(predicate: Predicate) -> str:

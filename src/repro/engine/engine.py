@@ -25,7 +25,7 @@ from repro.engine.cost_model import (
     CostModelSettings,
     ExecutionCostSettings,
 )
-from repro.engine.executor import ExecutionMetrics, Executor
+from repro.engine.exec import ExecutionMetrics, Executor
 from repro.engine.locks import LockManager
 from repro.engine.missing_index import MissingIndexDmv
 from repro.engine.optimizer import Optimizer

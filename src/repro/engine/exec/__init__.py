@@ -1,0 +1,46 @@
+"""Plan execution: an interpreted and a vectorized path behind one facade.
+
+Package layout:
+
+- :mod:`repro.engine.exec.metering` — shared work counters and the
+  finished :class:`ExecutionMetrics` (the metering-equivalence contract);
+- :mod:`repro.engine.exec.interp` — the reference row-at-a-time
+  interpreter, plus the value-semantics helpers both paths share;
+- :mod:`repro.engine.exec.columns` — the per-table columnar projection
+  cache, invalidated on ``(data_version, schema_version)`` bumps;
+- :mod:`repro.engine.exec.vector` — batch operators (mask scans,
+  rank-code grouping, lexsort, argpartition TOP-N);
+- :mod:`repro.engine.exec.dispatch` — the :class:`Executor` facade that
+  picks a path per plan (``REPRO_EXECUTOR=vector|interp|auto``).
+
+``repro.engine.executor`` remains as a thin import shim for the
+pre-split module path.
+"""
+
+from repro.engine.exec.columns import ColumnarCache, VectorUnsupported
+from repro.engine.exec.dispatch import Executor, resolve_executor_mode
+from repro.engine.exec.interp import (
+    InterpExecutor,
+    aggregate_values,
+    compute_aggregate,
+    stable_sum,
+)
+from repro.engine.exec.metering import (
+    ExecutionMetrics,
+    Meterings,
+    sort_meter_rows,
+)
+
+__all__ = [
+    "ColumnarCache",
+    "ExecutionMetrics",
+    "Executor",
+    "InterpExecutor",
+    "Meterings",
+    "VectorUnsupported",
+    "aggregate_values",
+    "compute_aggregate",
+    "resolve_executor_mode",
+    "sort_meter_rows",
+    "stable_sum",
+]

@@ -1,0 +1,232 @@
+"""Columnar projection cache for the vectorized execution path.
+
+Each :class:`ColumnarCache` belongs to one :class:`~repro.engine.table.Table`
+and holds per-projection columnar images: one for the clustered tree and
+one per secondary index.  A projection snapshots the tree's entries in
+scan order and lazily normalizes each referenced column into a NumPy
+array pair (filled values + NULL mask).
+
+Validity is keyed on the table's ``(data_version, schema_version)``
+token: every DML bumps ``data_version`` and every index create/drop
+bumps ``schema_version``, so any access after a mutation discards the
+cached projections and rebuilds on demand.  ``Table.clone()`` constructs
+a fresh ``Table`` (fresh cache attribute), so B-instance forks never
+share projections with their origin.
+
+Design rule: output values always come from the original Python entry
+tuples — NumPy computes only masks, orders, and groupings — so result
+bits match the interpreted path exactly.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.exec.interp import index_entry_layout
+from repro.engine.types import SqlType
+
+#: SQL types stored as int64 arrays (BOOL uses 0/1; DATE is an int day).
+_INT_KINDS = (SqlType.INT, SqlType.BIGINT, SqlType.DATE, SqlType.BOOL)
+
+
+class VectorUnsupported(Exception):
+    """The vectorized path cannot handle this plan/column; fall back."""
+
+
+class ColumnVector:
+    """One column as (filled values, NULL mask) plus lazy rank codes."""
+
+    __slots__ = ("values", "nulls", "_codes")
+
+    def __init__(self, values: np.ndarray, nulls: np.ndarray) -> None:
+        self.values = values
+        self.nulls = nulls
+        self._codes: Optional[np.ndarray] = None
+
+    def codes(self) -> np.ndarray:
+        """Dense sort ranks (int64); NULLs are coded -1 so they sort
+        first ascending, matching ``sort_key``'s NULLs-first order."""
+        if self._codes is None:
+            _uniq, inverse = np.unique(self.values, return_inverse=True)
+            codes = inverse.reshape(len(self.values)).astype(np.int64)
+            codes[self.nulls] = -1
+            self._codes = codes
+        return self._codes
+
+
+def _build_vector(sql_type: SqlType, raw_values: List[object]) -> ColumnVector:
+    n = len(raw_values)
+    nulls = np.fromiter((v is None for v in raw_values), dtype=bool, count=n)
+    try:
+        if sql_type in _INT_KINDS:
+            values = np.fromiter(
+                (0 if v is None else v for v in raw_values),
+                dtype=np.int64,
+                count=n,
+            )
+        elif sql_type is SqlType.FLOAT:
+            values = np.fromiter(
+                (0.0 if v is None else v for v in raw_values),
+                dtype=np.float64,
+                count=n,
+            )
+        else:
+            if n == 0:
+                values = np.empty(0, dtype="U1")
+            else:
+                values = np.array(
+                    ["" if v is None else v for v in raw_values], dtype=np.str_
+                )
+    except (OverflowError, ValueError, TypeError) as exc:
+        # e.g. a BIGINT beyond int64: the interpreter handles it fine.
+        raise VectorUnsupported(str(exc)) from exc
+    return ColumnVector(values, nulls)
+
+
+class Projection:
+    """Columnar image of one tree (clustered or one secondary index).
+
+    Entries are snapshotted eagerly in scan order (cheap: list of
+    existing tuples); per-column arrays are built lazily on first use.
+    """
+
+    def __init__(self, table, index_name: Optional[str] = None) -> None:
+        self._schema = table.schema
+        if index_name is None:
+            tree = table.clustered
+            rows = [row for _key, row in tree.items()]
+            self._rows = rows
+            self._layout: Dict[str, Tuple[bool, int]] = {}
+            self._positions = {
+                name: self._schema.position(name)
+                for name in self._schema.column_names
+            }
+        else:
+            index = table.get_index(index_name)
+            tree = index.tree
+            entries = list(tree.items())
+            self._rows = entries
+            self._layout = index_entry_layout(table, index.definition)
+            self._positions = {}
+        self.row_count = len(self._rows)
+        #: Page charge of a complete scan of this tree: the descent to
+        #: the leftmost leaf (= height) plus one hop per remaining leaf.
+        self.scan_pages = tree.height + tree.leaf_page_count - 1
+        self._raw: Dict[str, List[object]] = {}
+        self._vectors: Dict[str, ColumnVector] = {}
+
+    def has(self, column: str) -> bool:
+        return column in self._positions or column in self._layout
+
+    def raw_column(self, column: str) -> List[object]:
+        """All values of one column, in scan order, as raw Python objects."""
+        cached = self._raw.get(column)
+        if cached is not None:
+            return cached
+        if column in self._positions:
+            pos = self._positions[column]
+            values = [row[pos] for row in self._rows]
+        elif column in self._layout:
+            in_key, i = self._layout[column]
+            if in_key:
+                values = [key[i] for key, _payload in self._rows]
+            else:
+                values = [payload[i] for _key, payload in self._rows]
+        else:
+            raise VectorUnsupported(f"column {column!r} not in projection")
+        self._raw[column] = values
+        return values
+
+    def vector(self, column: str) -> ColumnVector:
+        vec = self._vectors.get(column)
+        if vec is None:
+            sql_type = self._schema.column(column).sql_type
+            vec = _build_vector(sql_type, self.raw_column(column))
+            self._vectors[column] = vec
+        return vec
+
+    def materialize(
+        self,
+        indices: np.ndarray,
+        names: Tuple[str, ...],
+        missing_as_none: bool = False,
+    ) -> List[Dict[str, object]]:
+        """Row dictionaries for the selected positions, in the given
+        column order — the same dict the interpreter would build.
+
+        With ``missing_as_none`` the output keeps every requested name
+        and fills absent columns with ``None`` (the final SELECT-list
+        shape, matching ``row.get``); otherwise absent columns are
+        dropped (the internal row-stream shape).
+
+        Cells are gathered per column with ``itemgetter`` and rows are
+        re-formed with ``zip`` so the per-row Python work is a single
+        ``dict(zip(...))`` call rather than a cell-by-cell loop.
+        """
+        if not missing_as_none:
+            names = tuple(name for name in names if self.has(name))
+        count = len(indices)
+        if count == 0:
+            return []
+        if not names:
+            return [{} for _ in range(count)]
+        positions = indices.tolist()
+        picker = (
+            operator.itemgetter(*positions)
+            if count > 1
+            else operator.itemgetter(positions[0])
+        )
+        gathered = []
+        for name in names:
+            if not self.has(name):
+                gathered.append((None,) * count)
+            elif count == 1:
+                gathered.append((picker(self.raw_column(name)),))
+            else:
+                gathered.append(picker(self.raw_column(name)))
+        return [dict(zip(names, cells)) for cells in zip(*gathered)]
+
+
+class ColumnarCache:
+    """Lazily built columnar projections for one table.
+
+    ``hits`` / ``misses`` count projection lookups (one per vectorized
+    scan); ``invalidations`` counts the times cached projections were
+    discarded because the table's version token moved.  All three are
+    monotone so they can be published as fleet gauges.
+    """
+
+    __slots__ = (
+        "_table", "_token", "_projections", "hits", "misses", "invalidations"
+    )
+
+    def __init__(self, table) -> None:
+        self._table = table
+        self._token: Optional[Tuple[int, int]] = None
+        self._projections: Dict[Optional[str], Projection] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def _refresh(self) -> None:
+        token = (self._table.data_version, self._table.schema_version)
+        if token != self._token:
+            if self._projections:
+                self.invalidations += 1
+                self._projections.clear()
+            self._token = token
+
+    def projection(self, index_name: Optional[str] = None) -> Projection:
+        """Get-or-build the columnar image of one tree (None = clustered)."""
+        self._refresh()
+        cached = self._projections.get(index_name)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        built = Projection(self._table, index_name)
+        self._projections[index_name] = built
+        return built

@@ -1,0 +1,228 @@
+"""The executor facade: picks the interpreted or vectorized path.
+
+Mode resolution (per statement, cheap):
+
+1. ``ExecutionCostSettings.executor_mode`` when set;
+2. else the ``REPRO_EXECUTOR`` environment variable;
+3. else ``auto``.
+
+``interp`` always interprets; ``vector`` batches every supported plan
+shape; ``auto`` batches supported shapes only when the scanned table has
+at least ``ExecutionCostSettings.vector_min_rows`` rows (below that the
+projection build outweighs the win).  DML, seeks, key lookups, joins,
+and TOP-over-lazy-scan always interpret.  Whatever the path, metering is
+byte-identical — see :mod:`repro.engine.exec.metering`.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.cost_model import ExecutionCostSettings
+from repro.engine.exec import vector
+from repro.engine.exec.columns import VectorUnsupported
+from repro.engine.exec.interp import InterpExecutor, RowDict
+from repro.engine.exec.metering import ExecutionMetrics, Meterings
+from repro.engine.plans import (
+    DeletePlanNode,
+    InsertPlanNode,
+    PlanNode,
+    UpdatePlanNode,
+    scan_leaf,
+)
+from repro.engine.query import SelectQuery
+from repro.engine.table import Table
+from repro.errors import ExecutionError
+
+_MODES = ("auto", "vector", "interp")
+
+
+def resolve_executor_mode(settings: ExecutionCostSettings) -> str:
+    """The effective execution mode for one statement."""
+    mode = settings.executor_mode
+    if mode is None:
+        mode = os.environ.get("REPRO_EXECUTOR") or "auto"
+    mode = mode.lower()
+    if mode not in _MODES:
+        raise ExecutionError(
+            f"invalid executor mode {mode!r}: "
+            "REPRO_EXECUTOR must be vector, interp, or auto"
+        )
+    return mode
+
+
+class Executor:
+    """Executes plans against tables, producing rows and actual metrics."""
+
+    def __init__(
+        self,
+        tables: Dict[str, Table],
+        settings: Optional[ExecutionCostSettings] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self._tables = tables
+        self._settings = settings or ExecutionCostSettings()
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._interp = InterpExecutor(tables)
+        #: Monotone dispatch counters, published as ``executor_*`` gauges.
+        self.vector_statements = 0
+        self.interp_statements = 0
+        #: Rows that flowed through vectorized batch operators.
+        self.batch_rows = 0
+
+    # ------------------------------------------------------------------
+
+    def execute(
+        self, plan: PlanNode, query
+    ) -> Tuple[List[RowDict], ExecutionMetrics]:
+        """Run the plan; return projected output rows and actual metrics."""
+        meters = Meterings()
+        meters.needed = self._needed_columns(query)
+        if isinstance(plan, InsertPlanNode):
+            self.interp_statements += 1
+            rows = self._interp.execute_insert(plan, query, meters)
+        elif isinstance(plan, UpdatePlanNode):
+            self.interp_statements += 1
+            rows = self._interp.execute_update(plan, query, meters)
+        elif isinstance(plan, DeletePlanNode):
+            self.interp_statements += 1
+            rows = self._interp.execute_delete(plan, query, meters)
+        else:
+            rows = self._execute_select(plan, query, meters)
+        metrics = self._finalize_metrics(meters, len(rows))
+        return rows, metrics
+
+    def _execute_select(
+        self, plan: PlanNode, query, meters: Meterings
+    ) -> List[RowDict]:
+        if self._choose_vector(plan):
+            try:
+                rows, batch_rows = vector.run(
+                    plan,
+                    self._tables,
+                    meters,
+                    project_columns=self._projection_columns(query),
+                )
+            except VectorUnsupported:
+                # Undo any partial charges; the interpreter re-runs the
+                # whole plan so the metrics stay path-independent.
+                meters.reset_counters()
+            else:
+                self.vector_statements += 1
+                self.batch_rows += batch_rows
+                return rows  # already in the final SELECT-list shape
+        self.interp_statements += 1
+        return self._project(list(self._interp.iterate(plan, meters)), query)
+
+    def _choose_vector(self, plan: PlanNode) -> bool:
+        mode = resolve_executor_mode(self._settings)
+        if mode == "interp":
+            return False
+        if not vector.supports(plan):
+            return False
+        if mode == "vector":
+            return True
+        scan = scan_leaf(plan)
+        table = self._tables.get(scan.table) if scan is not None else None
+        return (
+            table is not None
+            and table.row_count >= self._settings.vector_min_rows
+        )
+
+    # ------------------------------------------------------------------
+
+    def _needed_columns(self, query) -> Optional[Dict[str, Tuple[str, ...]]]:
+        """Column subsets the row stream must carry, per table.
+
+        SELECT streams only need referenced columns plus the primary key
+        (for key lookups); DML needs full rows and returns None.
+        """
+        if not isinstance(query, SelectQuery):
+            return None
+        table = self._tables.get(query.table)
+        if table is None:
+            return None
+        names = dict.fromkeys(query.referenced_columns())
+        for pk_column in table.schema.primary_key:
+            names.setdefault(pk_column)
+        needed = {query.table: tuple(names)}
+        if query.join is not None:
+            right = self._tables.get(query.join.table)
+            if right is not None:
+                right_names = dict.fromkeys(
+                    (query.join.right_column,)
+                    + tuple(p.column for p in query.join.predicates)
+                    + tuple(query.join.select_columns)
+                )
+                for pk_column in right.schema.primary_key:
+                    right_names.setdefault(pk_column)
+                needed[query.join.table] = tuple(right_names)
+        return needed
+
+    def _finalize_metrics(
+        self, meters: Meterings, rows_returned: int
+    ) -> ExecutionMetrics:
+        s = self._settings
+        pages = meters.page_meter.pages
+        cpu = (
+            meters.rows_processed * s.cpu_ms_per_row
+            + pages * s.cpu_ms_per_page
+            + meters.sort_rows * s.cpu_ms_per_sort_row
+            + meters.hash_rows * s.cpu_ms_per_hash_row
+            + meters.maintained_entries * s.cpu_ms_per_maintained_entry
+        )
+        if s.noise_sigma > 0:
+            cpu *= math.exp(self._rng.normal(0.0, s.noise_sigma))
+        duration = cpu + pages * s.io_wait_ms_per_page
+        if s.noise_sigma > 0:
+            duration *= math.exp(self._rng.normal(0.0, 2.5 * s.noise_sigma))
+        return ExecutionMetrics(
+            cpu_time_ms=cpu,
+            duration_ms=duration,
+            logical_reads=pages,
+            rows_returned=rows_returned,
+        )
+
+    # ------------------------------------------------------------------
+    # Projection
+
+    def _projection_columns(self, query) -> Optional[Tuple[str, ...]]:
+        """The final SELECT-list shape, or None when rows pass through
+        unprojected (aggregates and SELECT-* queries)."""
+        if not isinstance(query, SelectQuery) or query.is_aggregate:
+            return None
+        columns = list(query.select_columns)
+        if query.join is not None:
+            columns.extend(query.join.select_columns)
+        return tuple(columns) if columns else None
+
+    def _project(self, rows: List[RowDict], query) -> List[RowDict]:
+        if not isinstance(query, SelectQuery):
+            return rows
+        if query.is_aggregate:
+            return rows  # aggregate operators already shaped the output
+        columns = list(query.select_columns)
+        if query.join is not None:
+            columns.extend(query.join.select_columns)
+        if not columns:
+            return rows
+        return [
+            {column: row.get(column) for column in columns} for row in rows
+        ]
+
+    # ------------------------------------------------------------------
+    # Observability
+
+    def column_cache_stats(self) -> Tuple[int, int, int]:
+        """(hits, misses, invalidations) summed over this engine's tables."""
+        hits = misses = invalidations = 0
+        for table in self._tables.values():
+            cache_hits, cache_misses, cache_invalidations = table.columnar_stats
+            hits += cache_hits
+            misses += cache_misses
+            invalidations += cache_invalidations
+        return hits, misses, invalidations

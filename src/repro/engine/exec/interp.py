@@ -1,0 +1,575 @@
+"""Row-at-a-time plan interpretation with actual-cost metering.
+
+The interpreter walks plan trees against real table data, counting the
+pages and rows it genuinely touches.  Row streams between operators are
+dictionaries keyed by column name; scans evaluate residual predicates on
+raw tuples first and only build the dictionary for qualifying rows.
+
+This is the reference semantics: the vectorized path in
+:mod:`repro.engine.exec.vector` must reproduce both its row sets and its
+meter charges bit for bit.  Helpers that define value semantics
+(:func:`stable_sum`, :func:`aggregate_values`, :func:`sort_rows_inplace`,
+:func:`topn_rows`) live here and are shared by both paths.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.engine.exec.metering import Meterings, sort_meter_rows
+from repro.engine.plans import (
+    PARAM,
+    ClusteredScanNode,
+    ClusteredSeekNode,
+    DeletePlanNode,
+    HashAggregateNode,
+    HashJoinNode,
+    IndexScanNode,
+    IndexSeekNode,
+    InsertPlanNode,
+    KeyLookupNode,
+    NestedLoopJoinNode,
+    PlanNode,
+    SortNode,
+    StreamAggregateNode,
+    TopNode,
+    UpdatePlanNode,
+)
+from repro.engine.query import (
+    AggFunc,
+    DeleteQuery,
+    InsertQuery,
+    Op,
+    Predicate,
+    UpdateQuery,
+)
+from repro.engine.table import Table
+from repro.engine.types import sort_key
+from repro.errors import ExecutionError
+
+RowDict = Dict[str, object]
+
+
+class InterpExecutor:
+    """Interprets plans one row dictionary at a time."""
+
+    def __init__(self, tables: Dict[str, Table]) -> None:
+        self._tables = tables
+
+    # ------------------------------------------------------------------
+    # Row-stream interpretation
+
+    def iterate(
+        self,
+        node: PlanNode,
+        meters: Meterings,
+        binding: Optional[object] = None,
+    ) -> Iterator[RowDict]:
+        if isinstance(node, ClusteredScanNode):
+            yield from self._iter_clustered_scan(node, meters)
+        elif isinstance(node, ClusteredSeekNode):
+            yield from self._iter_clustered_seek(node, meters, binding)
+        elif isinstance(node, IndexSeekNode):
+            yield from self._iter_index_seek(node, meters, binding)
+        elif isinstance(node, IndexScanNode):
+            yield from self._iter_index_scan(node, meters)
+        elif isinstance(node, KeyLookupNode):
+            yield from self._iter_key_lookup(node, meters, binding)
+        elif isinstance(node, SortNode):
+            yield from self._iter_sort(node, meters)
+        elif isinstance(node, TopNode):
+            yield from self._iter_top(node, meters)
+        elif isinstance(node, (StreamAggregateNode, HashAggregateNode)):
+            yield from self._iter_aggregate(node, meters)
+        elif isinstance(node, NestedLoopJoinNode):
+            yield from self._iter_nl_join(node, meters)
+        elif isinstance(node, HashJoinNode):
+            yield from self._iter_hash_join(node, meters)
+        else:
+            raise ExecutionError(f"cannot execute node {type(node).__name__}")
+
+    def _table(self, name: str) -> Table:
+        return self._tables[name]
+
+    def _iter_clustered_scan(
+        self, node: ClusteredScanNode, meters: Meterings
+    ) -> Iterator[RowDict]:
+        table = self._table(node.table)
+        schema = table.schema
+        checks = compile_predicates(node.residual, schema)
+        names, positions = meters.columns_for(table)
+        columns = tuple(zip(names, positions))
+        processed = 0
+        try:
+            for _key, row in table.clustered.scan(meter=meters.page_meter):
+                processed += 1
+                for check in checks:
+                    if not check(row):
+                        break
+                else:
+                    yield {name: row[pos] for name, pos in columns}
+        finally:
+            meters.rows_processed += processed
+
+    def _iter_clustered_seek(
+        self,
+        node: ClusteredSeekNode,
+        meters: Meterings,
+        binding: Optional[object],
+    ) -> Iterator[RowDict]:
+        table = self._table(node.table)
+        schema = table.schema
+        names, positions = meters.columns_for(table)
+        checks = compile_predicates(node.residual, schema)
+        entries = _seek_entries(
+            table.clustered,
+            node.eq_predicates,
+            node.range_predicate,
+            meters,
+            binding,
+        )
+        for _key, row in entries:
+            meters.rows_processed += 1
+            if all(check(row) for check in checks):
+                yield {name: row[pos] for name, pos in zip(names, positions)}
+
+    def _iter_index_entries(
+        self, node, meters: Meterings, entries
+    ) -> Iterator[RowDict]:
+        """Shared seek/scan entry pipeline: residual-check raw entries,
+        then materialize only the needed columns."""
+        table = self._table(node.table)
+        index = table.get_index(node.index_name)
+        sources = index_entry_layout(table, index.definition)
+        names, _positions = meters.columns_for(table)
+        out_columns = [
+            (name,) + sources[name] for name in names if name in sources
+        ]
+        checks = compile_entry_predicates(
+            node.residual, sources, table.schema
+        )
+        processed = 0
+        try:
+            for key, payload in entries:
+                processed += 1
+                for check in checks:
+                    if not check(key, payload):
+                        break
+                else:
+                    yield {
+                        name: (key[i] if in_key else payload[i])
+                        for name, in_key, i in out_columns
+                    }
+        finally:
+            meters.rows_processed += processed
+
+    def _iter_index_seek(
+        self,
+        node: IndexSeekNode,
+        meters: Meterings,
+        binding: Optional[object],
+    ) -> Iterator[RowDict]:
+        table = self._table(node.table)
+        index = table.get_index(node.index_name)
+        entries = _seek_entries(
+            index.tree, node.eq_predicates, node.range_predicate, meters, binding
+        )
+        return self._iter_index_entries(node, meters, entries)
+
+    def _iter_index_scan(
+        self, node: IndexScanNode, meters: Meterings
+    ) -> Iterator[RowDict]:
+        table = self._table(node.table)
+        index = table.get_index(node.index_name)
+        entries = index.tree.scan(meter=meters.page_meter)
+        return self._iter_index_entries(node, meters, entries)
+
+    def _iter_key_lookup(
+        self,
+        node: KeyLookupNode,
+        meters: Meterings,
+        binding: Optional[object],
+    ) -> Iterator[RowDict]:
+        table = self._table(node.table)
+        schema = table.schema
+        names, positions = meters.columns_for(table)
+        pk = schema.primary_key
+        checks = compile_predicates(node.residual, schema)
+        for partial in self.iterate(node.child, meters, binding):
+            pk_values = tuple(partial[column] for column in pk)
+            row = table.fetch_by_pk(pk_values, meter=meters.page_meter)
+            if row is None:
+                continue
+            meters.rows_processed += 1
+            if all(check(row) for check in checks):
+                yield {name: row[pos] for name, pos in zip(names, positions)}
+
+    def _iter_sort(
+        self,
+        node: SortNode,
+        meters: Meterings,
+        limit: Optional[int] = None,
+    ) -> Iterator[RowDict]:
+        rows = list(self.iterate(node.child, meters))
+        meters.sort_rows += sort_meter_rows(len(rows), limit)
+        if limit is not None and limit < len(rows):
+            yield from topn_rows(rows, node.order_by, limit)
+            return
+        sort_rows_inplace(rows, node.order_by)
+        yield from rows
+
+    def _iter_top(self, node: TopNode, meters: Meterings) -> Iterator[RowDict]:
+        if isinstance(node.child, SortNode):
+            # TOP-N pushdown: the sort keeps only a bounded heap instead
+            # of ordering its entire input (charged via sort_meter_rows).
+            yield from self._iter_sort(node.child, meters, limit=node.limit)
+            return
+        produced = 0
+        for row in self.iterate(node.child, meters):
+            if produced >= node.limit:
+                return
+            produced += 1
+            yield row
+
+    def _iter_aggregate(self, node, meters: Meterings) -> Iterator[RowDict]:
+        hashed = isinstance(node, HashAggregateNode)
+        group_by = node.group_by
+        groups: Dict[tuple, List[RowDict]] = {}
+        order: List[tuple] = []
+        hash_rows = 0
+        for row in self.iterate(node.child, meters):
+            hash_rows += 1
+            key = tuple(row[column] for column in group_by)
+            bucket = groups.get(key)
+            if bucket is None:
+                groups[key] = bucket = []
+                order.append(key)
+            bucket.append(row)
+        if hashed:
+            meters.hash_rows += hash_rows
+        if not groups and not node.group_by:
+            groups[()] = []
+            order.append(())
+        for key in order:
+            members = groups[key]
+            out: RowDict = dict(zip(node.group_by, key))
+            for aggregate in node.aggregates:
+                out[aggregate.label()] = compute_aggregate(aggregate, members)
+            yield out
+
+    def _iter_nl_join(
+        self, node: NestedLoopJoinNode, meters: Meterings
+    ) -> Iterator[RowDict]:
+        join = node.join
+        for outer_row in self.iterate(node.outer, meters):
+            bind_value = outer_row.get(join.left_column)
+            if bind_value is None:
+                continue
+            for inner_row in self.iterate(node.inner, meters, binding=bind_value):
+                yield {**inner_row, **outer_row}
+
+    def _iter_hash_join(
+        self, node: HashJoinNode, meters: Meterings
+    ) -> Iterator[RowDict]:
+        join = node.join
+        build: Dict[object, List[RowDict]] = {}
+        for inner_row in self.iterate(node.inner, meters):
+            meters.hash_rows += 1
+            build.setdefault(inner_row.get(join.right_column), []).append(inner_row)
+        for outer_row in self.iterate(node.outer, meters):
+            meters.hash_rows += 1
+            value = outer_row.get(join.left_column)
+            if value is None:
+                continue
+            for inner_row in build.get(value, ()):
+                yield {**inner_row, **outer_row}
+
+    # ------------------------------------------------------------------
+    # DML
+
+    def execute_insert(
+        self, plan: InsertPlanNode, query: InsertQuery, meters: Meterings
+    ) -> List[RowDict]:
+        table = self._table(plan.table)
+        for row in query.rows:
+            table.insert(row, meter=meters.page_meter)
+            meters.maintained_entries += 1 + len(table.indexes)
+            meters.rows_processed += 1
+        return []
+
+    def _collect_target_rows(
+        self, child: PlanNode, table: Table, meters: Meterings
+    ) -> List[tuple]:
+        names = table.schema.column_names
+        rows = []
+        for row_map in self.iterate(child, meters):
+            rows.append(tuple(row_map[name] for name in names))
+        return rows
+
+    def execute_update(
+        self, plan: UpdatePlanNode, query: UpdateQuery, meters: Meterings
+    ) -> List[RowDict]:
+        table = self._table(plan.table)
+        targets = self._collect_target_rows(plan.child, table, meters)
+        affected = [
+            name
+            for name, index in table.indexes.items()
+            if index.touches_columns(query.assigned_columns)
+        ]
+        for row in targets:
+            table.update_row(row, query.assignments, meter=meters.page_meter)
+            meters.maintained_entries += 1 + 2 * len(affected)
+            meters.rows_processed += 1
+        return []
+
+    def execute_delete(
+        self, plan: DeletePlanNode, query: DeleteQuery, meters: Meterings
+    ) -> List[RowDict]:
+        table = self._table(plan.table)
+        targets = self._collect_target_rows(plan.child, table, meters)
+        for row in targets:
+            table.delete_row(row, meter=meters.page_meter)
+            meters.maintained_entries += 1 + len(table.indexes)
+            meters.rows_processed += 1
+        return []
+
+
+# ----------------------------------------------------------------------
+# Sorting helpers (shared by both execution paths)
+
+
+class _DescKey:
+    """Inverts comparisons so ``heapq.nsmallest`` handles DESC columns."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: tuple) -> None:
+        self.key = key
+
+    def __lt__(self, other: "_DescKey") -> bool:
+        return other.key < self.key
+
+    def __le__(self, other: "_DescKey") -> bool:
+        return other.key <= self.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _DescKey) and other.key == self.key
+
+
+def _composite_sort_key(order_by):
+    def key(row: RowDict) -> tuple:
+        parts = []
+        for item in order_by:
+            part = sort_key(row.get(item.column))
+            parts.append(part if item.ascending else _DescKey(part))
+        return tuple(parts)
+
+    return key
+
+
+def sort_rows_inplace(rows: List[RowDict], order_by) -> None:
+    """Order rows by the ORDER BY list via repeated stable passes.
+
+    Equivalent to one stable sort on the composite key; kept as the
+    reference implementation because ties must preserve input order.
+    """
+    for item in reversed(order_by):
+        rows.sort(
+            key=lambda r: sort_key(r.get(item.column)),
+            reverse=not item.ascending,
+        )
+
+
+def topn_rows(rows: List[RowDict], order_by, limit: int) -> List[RowDict]:
+    """First ``limit`` rows of the fully sorted order, via a bounded heap.
+
+    ``heapq.nsmallest`` is documented equivalent to ``sorted(...)[:n]``
+    (stable), so the result matches :func:`sort_rows_inplace` + slice.
+    """
+    return heapq.nsmallest(limit, rows, key=_composite_sort_key(order_by))
+
+
+# ----------------------------------------------------------------------
+# Predicate compilation
+
+
+def compile_entry_predicates(predicates, sources, schema):
+    """Compile predicates into checks over raw (key, payload) entries."""
+    checks = []
+    for predicate in predicates:
+        in_key, i = sources[predicate.column]
+        sql_type = schema.column(predicate.column).sql_type
+        v = sql_type.coerce(predicate.value)
+        v2 = (
+            sql_type.coerce(predicate.value2)
+            if predicate.op is Op.BETWEEN
+            else None
+        )
+        op = predicate.op
+
+        def check(key, payload, in_key=in_key, i=i, op=op, v=v, v2=v2):
+            value = key[i] if in_key else payload[i]
+            if value is None:
+                return False
+            if op is Op.EQ:
+                return value == v
+            if op is Op.NEQ:
+                return value != v
+            if op is Op.LT:
+                return value < v
+            if op is Op.LE:
+                return value <= v
+            if op is Op.GT:
+                return value > v
+            if op is Op.GE:
+                return value >= v
+            return v <= value <= v2
+
+        checks.append(check)
+    return checks
+
+
+def compile_predicates(predicates, schema):
+    """Compile predicates into specialized row-tuple checks.
+
+    Values are coerced to the column type once here, so the per-row
+    closures can use native comparisons without type guards (SQL NULL is
+    the only special case: it never matches).
+    """
+    checks = []
+    for predicate in predicates:
+        i = schema.position(predicate.column)
+        sql_type = schema.column(predicate.column).sql_type
+        op = predicate.op
+        v = sql_type.coerce(predicate.value)
+        if op is Op.EQ:
+            checks.append(lambda row, i=i, v=v: row[i] == v and v is not None)
+        elif op is Op.NEQ:
+            checks.append(
+                lambda row, i=i, v=v: row[i] is not None and row[i] != v
+            )
+        elif op is Op.LT:
+            checks.append(
+                lambda row, i=i, v=v: row[i] is not None and row[i] < v
+            )
+        elif op is Op.LE:
+            checks.append(
+                lambda row, i=i, v=v: row[i] is not None and row[i] <= v
+            )
+        elif op is Op.GT:
+            checks.append(
+                lambda row, i=i, v=v: row[i] is not None and row[i] > v
+            )
+        elif op is Op.GE:
+            checks.append(
+                lambda row, i=i, v=v: row[i] is not None and row[i] >= v
+            )
+        elif op is Op.BETWEEN:
+            v2 = sql_type.coerce(predicate.value2)
+            checks.append(
+                lambda row, i=i, v=v, v2=v2: row[i] is not None
+                and v <= row[i] <= v2
+            )
+        else:  # pragma: no cover - exhaustive over Op
+            checks.append(lambda row, p=predicate, i=i: p.matches(row[i]))
+    return checks
+
+
+def index_entry_layout(table: Table, definition):
+    """Column -> (in_key, position) map for an index's (key, payload)."""
+    key_len = len(definition.key_columns)
+    sources: Dict[str, Tuple[bool, int]] = {}
+    for i, column in enumerate(definition.key_columns):
+        sources[column] = (True, i)
+    for i, column in enumerate(table.schema.primary_key):
+        sources.setdefault(column, (True, key_len + i))
+    for i, column in enumerate(definition.included_columns):
+        sources.setdefault(column, (False, i))
+    return sources
+
+
+def _bind(value: object, binding: Optional[object]) -> object:
+    if value is PARAM:
+        if binding is None:
+            raise ExecutionError("unbound join parameter in seek predicate")
+        return binding
+    return value
+
+
+def _seek_entries(
+    tree,
+    eq_predicates: Tuple[Predicate, ...],
+    range_predicate: Optional[Predicate],
+    meters: Meterings,
+    binding: Optional[object],
+):
+    """Iterate index entries matching an equality prefix + optional range."""
+    prefix = tuple(_bind(p.value, binding) for p in eq_predicates)
+    if range_predicate is None:
+        if not prefix:
+            return tree.scan(meter=meters.page_meter)
+        return tree.seek_prefix(prefix, meter=meters.page_meter)
+    low, high, low_inc, high_inc = range_predicate.range_bounds()
+    low_key = prefix + ((_bind(low, binding),) if low is not None else ())
+    high_key = prefix + ((_bind(high, binding),) if high is not None else ())
+    return tree.range_scan(
+        low=low_key if (low is not None or prefix) else None,
+        high=high_key if (high is not None or prefix) else None,
+        low_inclusive=low_inc if low is not None else True,
+        high_inclusive=high_inc if high is not None else True,
+        meter=meters.page_meter,
+    )
+
+
+# ----------------------------------------------------------------------
+# Aggregation (value semantics shared by both paths)
+
+
+def stable_sum(values):
+    """Order-independent sum: exact ``math.fsum`` whenever floats appear.
+
+    Different access paths feed aggregation in different row orders
+    (index order vs heap order), and naive float addition is not
+    associative — plans would return different SUM/AVG bits for the same
+    data.  ``fsum`` is exactly rounded, so every ordering agrees.
+    All-integer inputs keep ``sum()`` to preserve the ``int`` result type.
+    """
+    if any(isinstance(v, float) for v in values):
+        return math.fsum(values)
+    return sum(values)
+
+
+def aggregate_values(aggregate, values: List[object], count: int):
+    """Reduce one group given its non-NULL ``values`` and member ``count``.
+
+    ``values`` must exclude SQL NULLs; ``count`` includes them (COUNT(*)
+    semantics).  Both execution paths funnel through this function so
+    SUM/AVG/MIN/MAX bits agree regardless of how members were gathered.
+    """
+    if aggregate.func is AggFunc.COUNT:
+        return count if aggregate.column is None else len(values)
+    if not values:
+        return None
+    if aggregate.func is AggFunc.SUM:
+        return stable_sum(values)
+    if aggregate.func is AggFunc.AVG:
+        return stable_sum(values) / len(values)
+    if aggregate.func is AggFunc.MIN:
+        return min(values, key=sort_key)
+    if aggregate.func is AggFunc.MAX:
+        return max(values, key=sort_key)
+    raise ExecutionError(f"unhandled aggregate {aggregate.func}")
+
+
+def compute_aggregate(aggregate, rows: List[RowDict]):
+    """Reduce one group of row dictionaries (interpreter's view)."""
+    if aggregate.func is AggFunc.COUNT and aggregate.column is None:
+        return len(rows)
+    values = [
+        row.get(aggregate.column)
+        for row in rows
+        if row.get(aggregate.column) is not None
+    ]
+    return aggregate_values(aggregate, values, len(rows))

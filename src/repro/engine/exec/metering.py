@@ -1,0 +1,88 @@
+"""Shared metering: raw work counters and finished execution metrics.
+
+Both execution paths — the row-at-a-time interpreter and the vectorized
+batch operators — charge their work into the same :class:`Meterings`
+object using the same formulas.  That is the **metering-equivalence
+contract**: for any plan both paths must leave byte-identical counter
+values behind, so :class:`ExecutionMetrics` (and everything downstream
+of it: MI emission, Query Store intervals, validation verdicts, the
+deterministic parallel merge) cannot tell which path executed a
+statement.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Optional, Tuple
+
+from repro.engine.btree import PageMeter
+from repro.engine.table import Table
+
+
+@dataclasses.dataclass
+class ExecutionMetrics:
+    """Actual resource consumption of one statement execution."""
+
+    cpu_time_ms: float = 0.0
+    duration_ms: float = 0.0
+    logical_reads: int = 0
+    rows_returned: int = 0
+
+    def scaled(self, factor: float) -> "ExecutionMetrics":
+        return ExecutionMetrics(
+            cpu_time_ms=self.cpu_time_ms * factor,
+            duration_ms=self.duration_ms * factor,
+            logical_reads=int(self.logical_reads * factor),
+            rows_returned=self.rows_returned,
+        )
+
+
+class Meterings:
+    """Accumulates raw work counters during one execution."""
+
+    def __init__(self) -> None:
+        self.page_meter = PageMeter()
+        self.rows_processed = 0
+        self.sort_rows = 0
+        self.hash_rows = 0
+        self.maintained_entries = 0
+        #: Per-table column subset that row dictionaries must carry; None
+        #: means all columns (DML paths need full rows).
+        self.needed: Optional[Dict[str, Tuple[str, ...]]] = None
+
+    def reset_counters(self) -> None:
+        """Zero the work counters, keeping the column subsets.
+
+        Used when the vectorized path bails out mid-plan: the interpreter
+        re-executes from scratch, so any partial charges must be undone.
+        """
+        self.page_meter.reset()
+        self.rows_processed = 0
+        self.sort_rows = 0
+        self.hash_rows = 0
+        self.maintained_entries = 0
+
+    def columns_for(self, table: Table) -> Tuple[Tuple[str, ...], Tuple[int, ...]]:
+        """(names, positions) of the columns to materialize for a table."""
+        schema = table.schema
+        if self.needed is None or table.name not in self.needed:
+            names = tuple(schema.column_names)
+            return names, tuple(range(len(names)))
+        names = self.needed[table.name]
+        return names, tuple(schema.position(name) for name in names)
+
+
+def sort_meter_rows(rows: int, limit: Optional[int] = None) -> int:
+    """Sort-work charge for sorting ``rows`` input rows.
+
+    A full sort charges ``rows * log2(rows + 1)``.  With a TOP ``limit``
+    pushed into the sort, only a bounded heap (interpreter) or a
+    partition selection (vector path) is needed, so the charge drops to
+    ``rows * log2(limit + 1)``.  Both paths call this one helper so the
+    charge stays identical however the rows were actually ordered.
+    """
+    if rows <= 0:
+        return 0
+    effective = rows if limit is None else min(rows, max(0, limit))
+    return max(0, int(rows * math.log2(effective + 1)))

@@ -1,0 +1,391 @@
+"""Vectorized batch operators for hot read-only plan shapes.
+
+The vector path executes a whole plan subtree as array operations over
+the columnar projection cache: predicate masks for clustered/index
+scans, rank-code grouping for stream/hash aggregates, ``np.lexsort`` for
+ORDER BY, and ``argpartition`` TOP-N selection.  Key lookups, seeks,
+joins, and DML stay on the interpreter.
+
+Two invariants keep it indistinguishable from the interpreter:
+
+- **Values**: output values are gathered from the original Python entry
+  tuples and reduced through the shared helpers in
+  :mod:`repro.engine.exec.interp` (``aggregate_values`` etc.); NumPy
+  decides only *which* rows, in *what order*, in *which group*.
+- **Metering**: the same charges land on the same counters — a full
+  scan charges ``height + leaf_pages - 1`` pages (what the B+ tree's
+  leftmost descent plus leaf hops would have metered), per-entry
+  ``rows_processed``, ``sort_meter_rows`` for sorts, and ``hash_rows``
+  only for hash aggregates.
+
+Anything the path cannot reproduce exactly (NULL or parameterized
+predicate values, unsupported operators, columns outside a projection)
+raises :class:`VectorUnsupported` before any table state changes; the
+dispatcher resets the meters and re-runs the interpreter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.exec.columns import Projection, VectorUnsupported
+from repro.engine.exec.interp import (
+    RowDict,
+    aggregate_values,
+    sort_rows_inplace,
+    topn_rows,
+)
+from repro.engine.exec.metering import Meterings, sort_meter_rows
+from repro.engine.plans import (
+    PARAM,
+    ClusteredScanNode,
+    HashAggregateNode,
+    IndexScanNode,
+    PlanNode,
+    SortNode,
+    StreamAggregateNode,
+    TopNode,
+)
+from repro.engine.query import Op
+from repro.engine.table import Table
+from repro.observability.profiling import count
+
+_AGG_NODES = (StreamAggregateNode, HashAggregateNode)
+_SCAN_NODES = (ClusteredScanNode, IndexScanNode)
+
+
+def supports(plan: PlanNode) -> bool:
+    """Structural check: can this plan shape run vectorized?
+
+    The supported grammar (leaves must be full scans):
+
+    - ``Scan``
+    - ``[Top] -> Sort -> Scan``
+    - ``[Top] -> (Stream|Hash)Agg -> Scan``
+    - ``[Top] -> Sort -> (Stream|Hash)Agg -> Scan``
+
+    ``Top`` directly over a scan is excluded on purpose: the interpreter
+    stops pulling the scan after ``limit`` rows, so its early-exit page
+    and row charges depend on lazy consumption the batch path cannot
+    replicate.  Runtime obstacles (NULL predicate values, oversized
+    integers) are discovered later and raise ``VectorUnsupported``.
+    """
+    node = plan
+    if isinstance(node, TopNode):
+        node = node.child
+        if not isinstance(node, (SortNode,) + _AGG_NODES):
+            return False
+    if isinstance(node, SortNode):
+        node = node.child
+    if isinstance(node, _AGG_NODES):
+        node = node.child
+    return isinstance(node, _SCAN_NODES)
+
+
+def run(
+    plan: PlanNode,
+    tables: Dict[str, Table],
+    meters: Meterings,
+    project_columns: Optional[Tuple[str, ...]] = None,
+) -> Tuple[List[RowDict], int]:
+    """Execute a supported plan; return (rows, batch row count).
+
+    ``project_columns``, when given, is the query's final SELECT list:
+    scan and sort outputs are materialized directly in that shape
+    (missing columns as ``None``), sparing the dispatcher's per-row
+    re-projection.  Aggregate outputs ignore it — the aggregate
+    operators already shape their rows, exactly as in the interpreter.
+
+    Raises :class:`VectorUnsupported` when a runtime detail blocks the
+    batch path; the caller resets ``meters`` and re-interprets.
+    """
+    runner = _Runner(tables, meters, project_columns)
+    rows = runner.run(plan)
+    return rows, runner.batch_rows
+
+
+class _Runner:
+    def __init__(
+        self,
+        tables: Dict[str, Table],
+        meters: Meterings,
+        project_columns: Optional[Tuple[str, ...]] = None,
+    ) -> None:
+        self._tables = tables
+        self._meters = meters
+        self._project_columns = project_columns
+        #: Rows that flowed through vectorized batch operators.
+        self.batch_rows = 0
+
+    # -- plan walk ------------------------------------------------------
+
+    def run(self, plan: PlanNode) -> List[RowDict]:
+        node = plan
+        limit: Optional[int] = None
+        if isinstance(node, TopNode):
+            limit = node.limit
+            node = node.child
+        if isinstance(node, SortNode):
+            if isinstance(node.child, _AGG_NODES):
+                rows = self._run_aggregate(node.child)
+                return self._sort_dict_rows(rows, node.order_by, limit)
+            return self._run_scan_sort(node, limit)
+        if isinstance(node, _AGG_NODES):
+            rows = self._run_aggregate(node)
+            return rows if limit is None else rows[:limit]
+        if isinstance(node, _SCAN_NODES):
+            if limit is not None:
+                # Top over a lazy scan must keep early-exit metering.
+                raise VectorUnsupported("TOP over a bare scan stays interpreted")
+            return self._run_scan(node)
+        raise VectorUnsupported(f"unsupported node {type(node).__name__}")
+
+    # -- scans ----------------------------------------------------------
+
+    def _scan_batch(self, node) -> Tuple[Table, Projection, np.ndarray]:
+        table = self._tables.get(node.table)
+        if table is None:
+            raise VectorUnsupported(f"unknown table {node.table!r}")
+        if isinstance(node, IndexScanNode):
+            table.get_index(node.index_name)  # UnknownIndexError, as interp
+            projection = table.columnar().projection(node.index_name)
+        else:
+            projection = table.columnar().projection(None)
+        # Build every predicate mask before charging: a VectorUnsupported
+        # after this point would leak partial meters into the fallback.
+        masks = [
+            self._mask(projection, predicate, table.schema)
+            for predicate in node.residual
+        ]
+        self._meters.page_meter.charge(projection.scan_pages)
+        self._meters.rows_processed += projection.row_count
+        self.batch_rows += projection.row_count
+        count("vector_batch")
+        if masks:
+            mask = masks[0]
+            for extra in masks[1:]:
+                mask = mask & extra
+            selected = np.flatnonzero(mask)
+        else:
+            selected = np.arange(projection.row_count, dtype=np.int64)
+        return table, projection, selected
+
+    def _mask(
+        self, projection: Projection, predicate, schema
+    ) -> np.ndarray:
+        if not projection.has(predicate.column):
+            # The interpreter would raise (KeyError on the entry layout);
+            # keep that behavior by falling back.
+            raise VectorUnsupported(
+                f"column {predicate.column!r} not in projection"
+            )
+        sql_type = schema.column(predicate.column).sql_type
+        value = sql_type.coerce(predicate.value)
+        if value is None or predicate.value is PARAM:
+            raise VectorUnsupported("NULL/parameterized predicate value")
+        vector = projection.vector(predicate.column)
+        values, valid = vector.values, ~vector.nulls
+        op = predicate.op
+        if op is Op.EQ:
+            return (values == value) & valid
+        if op is Op.NEQ:
+            return (values != value) & valid
+        if op is Op.LT:
+            return (values < value) & valid
+        if op is Op.LE:
+            return (values <= value) & valid
+        if op is Op.GT:
+            return (values > value) & valid
+        if op is Op.GE:
+            return (values >= value) & valid
+        if op is Op.BETWEEN:
+            value2 = sql_type.coerce(predicate.value2)
+            if value2 is None:
+                raise VectorUnsupported("NULL BETWEEN bound")
+            return (values >= value) & (values <= value2) & valid
+        raise VectorUnsupported(f"unsupported operator {op}")
+
+    def _materialize(
+        self, table: Table, projection: Projection, selected: np.ndarray
+    ) -> List[RowDict]:
+        if self._project_columns is not None:
+            for name in self._project_columns:
+                if not projection.has(name):
+                    # Unknown columns must raise exactly as the
+                    # interpreter's columns_for does; known-but-absent
+                    # ones (non-covering projections) become None.
+                    table.schema.position(name)
+            return projection.materialize(
+                selected, self._project_columns, missing_as_none=True
+            )
+        names, _positions = self._meters.columns_for(table)
+        return projection.materialize(selected, names)
+
+    def _run_scan(self, node) -> List[RowDict]:
+        table, projection, selected = self._scan_batch(node)
+        return self._materialize(table, projection, selected)
+
+    # -- sort / TOP-N ---------------------------------------------------
+
+    def _run_scan_sort(
+        self, node: SortNode, limit: Optional[int]
+    ) -> List[RowDict]:
+        table, projection, selected = self._scan_batch(node.child)
+        n = len(selected)
+        self._meters.sort_rows += sort_meter_rows(n, limit)
+        keys = []
+        for item in node.order_by:
+            if projection.has(item.column):
+                codes = projection.vector(item.column).codes()[selected]
+            else:
+                # The interpreter keys a missing column as NULL for every
+                # row: a constant key, i.e. a stable no-op pass.
+                codes = np.zeros(n, dtype=np.int64)
+            keys.append(codes if item.ascending else -codes)
+        order = _ordering(keys, n, limit)
+        return self._materialize(table, projection, selected[order])
+
+    def _sort_dict_rows(
+        self, rows: List[RowDict], order_by, limit: Optional[int]
+    ) -> List[RowDict]:
+        """Sort aggregate output exactly as the interpreter's SortNode."""
+        self._meters.sort_rows += sort_meter_rows(len(rows), limit)
+        if limit is not None and limit < len(rows):
+            return topn_rows(rows, order_by, limit)
+        sort_rows_inplace(rows, order_by)
+        return rows
+
+    # -- aggregation ----------------------------------------------------
+
+    def _run_aggregate(self, node) -> List[RowDict]:
+        table, projection, selected = self._scan_batch(node.child)
+        n = len(selected)
+        group_by = node.group_by
+        for column in group_by:
+            if not projection.has(column):
+                # Interpreter raises KeyError building the group key.
+                raise VectorUnsupported(f"group column {column!r} missing")
+        if isinstance(node, HashAggregateNode):
+            self._meters.hash_rows += n
+        if not group_by:
+            groups = [selected] if n else [np.empty(0, dtype=np.int64)]
+        elif n == 0:
+            groups = []
+        else:
+            groups = self._group_members(projection, group_by, selected)
+        out_rows: List[RowDict] = []
+        raw_columns: Dict[str, List[object]] = {}
+        for column in group_by:
+            raw_columns[column] = projection.raw_column(column)
+        for aggregate in node.aggregates:
+            column = aggregate.column
+            if column is not None and column not in raw_columns:
+                # Missing aggregate columns read as NULL in the
+                # interpreter (row.get), yielding COUNT 0 / None.
+                raw_columns[column] = (
+                    projection.raw_column(column)
+                    if projection.has(column)
+                    else []
+                )
+        for members in groups:
+            positions = members.tolist()
+            out: RowDict = {}
+            if positions:
+                first = positions[0]
+                for column in group_by:
+                    out[column] = raw_columns[column][first]
+            for aggregate in node.aggregates:
+                if aggregate.column is None:
+                    out[aggregate.label()] = aggregate_values(
+                        aggregate, [], len(positions)
+                    )
+                    continue
+                raw = raw_columns[aggregate.column]
+                if raw:
+                    values = [raw[i] for i in positions]
+                    values = [v for v in values if v is not None]
+                else:
+                    values = []
+                out[aggregate.label()] = aggregate_values(
+                    aggregate, values, len(positions)
+                )
+            out_rows.append(out)
+        return out_rows
+
+    def _group_members(
+        self, projection: Projection, group_by, selected: np.ndarray
+    ) -> List[np.ndarray]:
+        """Member index arrays per group, groups in first-appearance
+        order and members in input order — the dict-insertion order the
+        interpreter produces."""
+        n = len(selected)
+        code_columns = [
+            projection.vector(column).codes()[selected] for column in group_by
+        ]
+        if len(code_columns) == 1:
+            _uniq, inverse = np.unique(code_columns[0], return_inverse=True)
+        else:
+            stacked = np.stack(code_columns, axis=1)
+            _uniq, inverse = np.unique(
+                stacked, axis=0, return_inverse=True
+            )
+        inverse = inverse.reshape(n)
+        group_count = int(inverse.max()) + 1
+        first_seen = np.full(group_count, n, dtype=np.int64)
+        np.minimum.at(first_seen, inverse, np.arange(n, dtype=np.int64))
+        appearance = np.argsort(first_seen, kind="stable")
+        by_input = np.argsort(inverse, kind="stable")
+        ordered_gids = inverse[by_input]
+        boundaries = np.flatnonzero(np.diff(ordered_gids)) + 1
+        chunks = np.split(by_input, boundaries)
+        members_by_gid = {int(inverse[c[0]]): c for c in chunks}
+        return [selected[members_by_gid[int(g)]] for g in appearance]
+
+
+def _ordering(
+    keys: List[np.ndarray], n: int, limit: Optional[int]
+) -> np.ndarray:
+    """Stable sort order over rank-code keys, optionally TOP-N limited.
+
+    ``np.lexsort`` (stable, last key primary) over the reversed key list
+    reproduces the interpreter's repeated stable passes.  With a limit, a
+    single composite int64 key (ranks chained, input index as the final
+    tie-break) allows ``argpartition`` selection; if the composite would
+    overflow int64 we fall back to slicing the full stable order.
+    """
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    if limit is not None and limit <= 0:
+        return np.empty(0, dtype=np.int64)
+    if limit is not None and limit < n:
+        composite = _composite_codes(keys, n)
+        if composite is not None:
+            partitioned = np.argpartition(composite, limit - 1)[:limit]
+            return partitioned[np.argsort(composite[partitioned])]
+    order = np.lexsort(tuple(reversed(keys)))
+    if limit is not None and limit < n:
+        order = order[:limit]
+    return order
+
+
+def _composite_codes(
+    keys: List[np.ndarray], n: int
+) -> Optional[np.ndarray]:
+    """Chain rank-code keys plus the input index into one int64 key.
+
+    Returns None when the combined range would overflow int64 (many
+    wide keys); the caller then uses the full lexsort instead.
+    """
+    composite = np.zeros(n, dtype=np.int64)
+    max_value = 0
+    for key in keys:
+        low = int(key.min())
+        span = int(key.max()) - low + 1
+        max_value = max_value * span + (span - 1)
+        if max_value >= (1 << 62) // max(n, 1):
+            return None
+        composite = composite * span + (key - low)
+    composite = composite * n + np.arange(n, dtype=np.int64)
+    return composite

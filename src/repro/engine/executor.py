@@ -1,638 +1,34 @@
-"""Plan execution with actual-cost metering.
+"""Import shim: the executor now lives in :mod:`repro.engine.exec`.
 
-The executor interprets plan trees against real table data, counting the
-pages and rows it genuinely touches.  The resulting
-:class:`ExecutionMetrics` — CPU time, logical reads, duration — are what
-Query Store records and what the paper's validator compares before/after
-an index change.  Estimated and actual costs are produced by *independent*
-mechanisms (histogram formulas vs. real pages), so optimizer mistakes have
-observable consequences.
-
-Row streams between operators are dictionaries keyed by column name; scans
-evaluate residual predicates on raw tuples first and only build the
-dictionary for qualifying rows.
+The single module grew an interpreted and a vectorized execution path
+and was split into a package (interpreter, vector ops, column cache,
+dispatch).  This module keeps the historical import path working.
 """
 
-from __future__ import annotations
-
-import dataclasses
-import math
-from typing import Dict, Iterator, List, Optional, Tuple
-
-import numpy as np
-
-from repro.engine.btree import PageMeter
-from repro.engine.cost_model import ExecutionCostSettings
-from repro.engine.plans import (
-    PARAM,
-    ClusteredScanNode,
-    ClusteredSeekNode,
-    DeletePlanNode,
-    HashAggregateNode,
-    HashJoinNode,
-    IndexScanNode,
-    IndexSeekNode,
-    InsertPlanNode,
-    KeyLookupNode,
-    NestedLoopJoinNode,
-    PlanNode,
-    SortNode,
-    StreamAggregateNode,
-    TopNode,
-    UpdatePlanNode,
+from repro.engine.exec import (  # noqa: F401
+    ColumnarCache,
+    ExecutionMetrics,
+    Executor,
+    InterpExecutor,
+    Meterings,
+    VectorUnsupported,
+    aggregate_values,
+    compute_aggregate,
+    resolve_executor_mode,
+    sort_meter_rows,
+    stable_sum,
 )
-from repro.engine.query import (
-    AggFunc,
-    DeleteQuery,
-    InsertQuery,
-    Op,
-    Predicate,
-    SelectQuery,
-    UpdateQuery,
-)
-from repro.engine.table import Table
-from repro.engine.types import sort_key
-from repro.errors import ExecutionError
 
-RowDict = Dict[str, object]
-
-
-@dataclasses.dataclass
-class ExecutionMetrics:
-    """Actual resource consumption of one statement execution."""
-
-    cpu_time_ms: float = 0.0
-    duration_ms: float = 0.0
-    logical_reads: int = 0
-    rows_returned: int = 0
-
-    def scaled(self, factor: float) -> "ExecutionMetrics":
-        return ExecutionMetrics(
-            cpu_time_ms=self.cpu_time_ms * factor,
-            duration_ms=self.duration_ms * factor,
-            logical_reads=int(self.logical_reads * factor),
-            rows_returned=self.rows_returned,
-        )
-
-
-class _Meterings:
-    """Accumulates raw work counters during one execution."""
-
-    def __init__(self) -> None:
-        self.page_meter = PageMeter()
-        self.rows_processed = 0
-        self.sort_rows = 0
-        self.hash_rows = 0
-        self.maintained_entries = 0
-        #: Per-table column subset that row dictionaries must carry; None
-        #: means all columns (DML paths need full rows).
-        self.needed: Optional[Dict[str, Tuple[str, ...]]] = None
-
-    def columns_for(self, table: Table) -> Tuple[Tuple[str, ...], Tuple[int, ...]]:
-        """(names, positions) of the columns to materialize for a table."""
-        schema = table.schema
-        if self.needed is None or table.name not in self.needed:
-            names = tuple(schema.column_names)
-            return names, tuple(range(len(names)))
-        names = self.needed[table.name]
-        return names, tuple(schema.position(name) for name in names)
-
-
-class Executor:
-    """Executes plans against tables, producing rows and actual metrics."""
-
-    def __init__(
-        self,
-        tables: Dict[str, Table],
-        settings: Optional[ExecutionCostSettings] = None,
-        rng: Optional[np.random.Generator] = None,
-    ) -> None:
-        self._tables = tables
-        self._settings = settings or ExecutionCostSettings()
-        self._rng = rng if rng is not None else np.random.default_rng(0)
-
-    # ------------------------------------------------------------------
-
-    def execute(
-        self, plan: PlanNode, query
-    ) -> Tuple[List[RowDict], ExecutionMetrics]:
-        """Run the plan; return projected output rows and actual metrics."""
-        meters = _Meterings()
-        meters.needed = self._needed_columns(query)
-        if isinstance(plan, InsertPlanNode):
-            rows = self._execute_insert(plan, query, meters)
-        elif isinstance(plan, UpdatePlanNode):
-            rows = self._execute_update(plan, query, meters)
-        elif isinstance(plan, DeletePlanNode):
-            rows = self._execute_delete(plan, query, meters)
-        else:
-            rows = self._project(list(self._iterate(plan, meters)), query)
-        metrics = self._finalize_metrics(meters, len(rows))
-        return rows, metrics
-
-    def _needed_columns(self, query) -> Optional[Dict[str, Tuple[str, ...]]]:
-        """Column subsets the row stream must carry, per table.
-
-        SELECT streams only need referenced columns plus the primary key
-        (for key lookups); DML needs full rows and returns None.
-        """
-        if not isinstance(query, SelectQuery):
-            return None
-        table = self._tables.get(query.table)
-        if table is None:
-            return None
-        names = dict.fromkeys(query.referenced_columns())
-        for pk_column in table.schema.primary_key:
-            names.setdefault(pk_column)
-        needed = {query.table: tuple(names)}
-        if query.join is not None:
-            right = self._tables.get(query.join.table)
-            if right is not None:
-                right_names = dict.fromkeys(
-                    (query.join.right_column,)
-                    + tuple(p.column for p in query.join.predicates)
-                    + tuple(query.join.select_columns)
-                )
-                for pk_column in right.schema.primary_key:
-                    right_names.setdefault(pk_column)
-                needed[query.join.table] = tuple(right_names)
-        return needed
-
-    def _finalize_metrics(
-        self, meters: _Meterings, rows_returned: int
-    ) -> ExecutionMetrics:
-        s = self._settings
-        pages = meters.page_meter.pages
-        cpu = (
-            meters.rows_processed * s.cpu_ms_per_row
-            + pages * s.cpu_ms_per_page
-            + meters.sort_rows * s.cpu_ms_per_sort_row
-            + meters.hash_rows * s.cpu_ms_per_hash_row
-            + meters.maintained_entries * s.cpu_ms_per_maintained_entry
-        )
-        if s.noise_sigma > 0:
-            cpu *= math.exp(self._rng.normal(0.0, s.noise_sigma))
-        duration = cpu + pages * s.io_wait_ms_per_page
-        if s.noise_sigma > 0:
-            duration *= math.exp(self._rng.normal(0.0, 2.5 * s.noise_sigma))
-        return ExecutionMetrics(
-            cpu_time_ms=cpu,
-            duration_ms=duration,
-            logical_reads=pages,
-            rows_returned=rows_returned,
-        )
-
-    # ------------------------------------------------------------------
-    # Row-stream interpretation
-
-    def _iterate(
-        self,
-        node: PlanNode,
-        meters: _Meterings,
-        binding: Optional[object] = None,
-    ) -> Iterator[RowDict]:
-        if isinstance(node, ClusteredScanNode):
-            yield from self._iter_clustered_scan(node, meters)
-        elif isinstance(node, ClusteredSeekNode):
-            yield from self._iter_clustered_seek(node, meters, binding)
-        elif isinstance(node, IndexSeekNode):
-            yield from self._iter_index_seek(node, meters, binding)
-        elif isinstance(node, IndexScanNode):
-            yield from self._iter_index_scan(node, meters)
-        elif isinstance(node, KeyLookupNode):
-            yield from self._iter_key_lookup(node, meters, binding)
-        elif isinstance(node, SortNode):
-            yield from self._iter_sort(node, meters)
-        elif isinstance(node, TopNode):
-            yield from self._iter_top(node, meters)
-        elif isinstance(node, (StreamAggregateNode, HashAggregateNode)):
-            yield from self._iter_aggregate(node, meters)
-        elif isinstance(node, NestedLoopJoinNode):
-            yield from self._iter_nl_join(node, meters)
-        elif isinstance(node, HashJoinNode):
-            yield from self._iter_hash_join(node, meters)
-        else:
-            raise ExecutionError(f"cannot execute node {type(node).__name__}")
-
-    def _table(self, name: str) -> Table:
-        return self._tables[name]
-
-    def _iter_clustered_scan(
-        self, node: ClusteredScanNode, meters: _Meterings
-    ) -> Iterator[RowDict]:
-        table = self._table(node.table)
-        schema = table.schema
-        checks = _compile_predicates(node.residual, schema)
-        names, positions = meters.columns_for(table)
-        columns = tuple(zip(names, positions))
-        processed = 0
-        try:
-            for _key, row in table.clustered.scan(meter=meters.page_meter):
-                processed += 1
-                for check in checks:
-                    if not check(row):
-                        break
-                else:
-                    yield {name: row[pos] for name, pos in columns}
-        finally:
-            meters.rows_processed += processed
-
-    def _iter_clustered_seek(
-        self,
-        node: ClusteredSeekNode,
-        meters: _Meterings,
-        binding: Optional[object],
-    ) -> Iterator[RowDict]:
-        table = self._table(node.table)
-        schema = table.schema
-        names, positions = meters.columns_for(table)
-        checks = _compile_predicates(node.residual, schema)
-        entries = _seek_entries(
-            table.clustered,
-            node.eq_predicates,
-            node.range_predicate,
-            meters,
-            binding,
-        )
-        for _key, row in entries:
-            meters.rows_processed += 1
-            if all(check(row) for check in checks):
-                yield {name: row[pos] for name, pos in zip(names, positions)}
-
-    def _index_entry_layout(self, table: Table, definition):
-        """Column -> (in_key, position) map for an index's (key, payload)."""
-        key_len = len(definition.key_columns)
-        sources: Dict[str, Tuple[bool, int]] = {}
-        for i, column in enumerate(definition.key_columns):
-            sources[column] = (True, i)
-        for i, column in enumerate(table.schema.primary_key):
-            sources.setdefault(column, (True, key_len + i))
-        for i, column in enumerate(definition.included_columns):
-            sources.setdefault(column, (False, i))
-        return sources
-
-    def _iter_index_entries(
-        self, node, meters: _Meterings, entries
-    ) -> Iterator[RowDict]:
-        """Shared seek/scan entry pipeline: residual-check raw entries,
-        then materialize only the needed columns."""
-        table = self._table(node.table)
-        index = table.get_index(node.index_name)
-        sources = self._index_entry_layout(table, index.definition)
-        names, _positions = meters.columns_for(table)
-        out_columns = [
-            (name,) + sources[name] for name in names if name in sources
-        ]
-        checks = _compile_entry_predicates(
-            node.residual, sources, table.schema
-        )
-        processed = 0
-        try:
-            for key, payload in entries:
-                processed += 1
-                for check in checks:
-                    if not check(key, payload):
-                        break
-                else:
-                    yield {
-                        name: (key[i] if in_key else payload[i])
-                        for name, in_key, i in out_columns
-                    }
-        finally:
-            meters.rows_processed += processed
-
-    def _iter_index_seek(
-        self,
-        node: IndexSeekNode,
-        meters: _Meterings,
-        binding: Optional[object],
-    ) -> Iterator[RowDict]:
-        table = self._table(node.table)
-        index = table.get_index(node.index_name)
-        entries = _seek_entries(
-            index.tree, node.eq_predicates, node.range_predicate, meters, binding
-        )
-        return self._iter_index_entries(node, meters, entries)
-
-    def _iter_index_scan(
-        self, node: IndexScanNode, meters: _Meterings
-    ) -> Iterator[RowDict]:
-        table = self._table(node.table)
-        index = table.get_index(node.index_name)
-        entries = index.tree.scan(meter=meters.page_meter)
-        return self._iter_index_entries(node, meters, entries)
-
-    def _iter_key_lookup(
-        self,
-        node: KeyLookupNode,
-        meters: _Meterings,
-        binding: Optional[object],
-    ) -> Iterator[RowDict]:
-        table = self._table(node.table)
-        schema = table.schema
-        names, positions = meters.columns_for(table)
-        pk = schema.primary_key
-        checks = _compile_predicates(node.residual, schema)
-        for partial in self._iterate(node.child, meters, binding):
-            pk_values = tuple(partial[column] for column in pk)
-            row = table.fetch_by_pk(pk_values, meter=meters.page_meter)
-            if row is None:
-                continue
-            meters.rows_processed += 1
-            if all(check(row) for check in checks):
-                yield {name: row[pos] for name, pos in zip(names, positions)}
-
-    def _iter_sort(self, node: SortNode, meters: _Meterings) -> Iterator[RowDict]:
-        rows = list(self._iterate(node.child, meters))
-        meters.sort_rows += max(
-            0, int(len(rows) * math.log2(len(rows) + 1))
-        )
-        for item in reversed(node.order_by):
-            rows.sort(
-                key=lambda r: sort_key(r.get(item.column)),
-                reverse=not item.ascending,
-            )
-        yield from rows
-
-    def _iter_top(self, node: TopNode, meters: _Meterings) -> Iterator[RowDict]:
-        produced = 0
-        for row in self._iterate(node.child, meters):
-            if produced >= node.limit:
-                return
-            produced += 1
-            yield row
-
-    def _iter_aggregate(self, node, meters: _Meterings) -> Iterator[RowDict]:
-        hashed = isinstance(node, HashAggregateNode)
-        group_by = node.group_by
-        groups: Dict[tuple, List[RowDict]] = {}
-        order: List[tuple] = []
-        hash_rows = 0
-        for row in self._iterate(node.child, meters):
-            hash_rows += 1
-            key = tuple(row[column] for column in group_by)
-            bucket = groups.get(key)
-            if bucket is None:
-                groups[key] = bucket = []
-                order.append(key)
-            bucket.append(row)
-        if hashed:
-            meters.hash_rows += hash_rows
-        if not groups and not node.group_by:
-            groups[()] = []
-            order.append(())
-        for key in order:
-            members = groups[key]
-            out: RowDict = dict(zip(node.group_by, key))
-            for aggregate in node.aggregates:
-                out[aggregate.label()] = _compute_aggregate(aggregate, members)
-            yield out
-
-    def _iter_nl_join(
-        self, node: NestedLoopJoinNode, meters: _Meterings
-    ) -> Iterator[RowDict]:
-        join = node.join
-        for outer_row in self._iterate(node.outer, meters):
-            bind_value = outer_row.get(join.left_column)
-            if bind_value is None:
-                continue
-            for inner_row in self._iterate(node.inner, meters, binding=bind_value):
-                yield {**inner_row, **outer_row}
-
-    def _iter_hash_join(
-        self, node: HashJoinNode, meters: _Meterings
-    ) -> Iterator[RowDict]:
-        join = node.join
-        build: Dict[object, List[RowDict]] = {}
-        for inner_row in self._iterate(node.inner, meters):
-            meters.hash_rows += 1
-            build.setdefault(inner_row.get(join.right_column), []).append(inner_row)
-        for outer_row in self._iterate(node.outer, meters):
-            meters.hash_rows += 1
-            value = outer_row.get(join.left_column)
-            if value is None:
-                continue
-            for inner_row in build.get(value, ()):
-                yield {**inner_row, **outer_row}
-
-    # ------------------------------------------------------------------
-    # Projection
-
-    def _project(self, rows: List[RowDict], query) -> List[RowDict]:
-        if not isinstance(query, SelectQuery):
-            return rows
-        if query.is_aggregate:
-            return rows  # aggregate operators already shaped the output
-        columns = list(query.select_columns)
-        if query.join is not None:
-            columns.extend(query.join.select_columns)
-        if not columns:
-            return rows
-        return [
-            {column: row.get(column) for column in columns} for row in rows
-        ]
-
-    # ------------------------------------------------------------------
-    # DML
-
-    def _execute_insert(
-        self, plan: InsertPlanNode, query: InsertQuery, meters: _Meterings
-    ) -> List[RowDict]:
-        table = self._table(plan.table)
-        for row in query.rows:
-            table.insert(row, meter=meters.page_meter)
-            meters.maintained_entries += 1 + len(table.indexes)
-            meters.rows_processed += 1
-        return []
-
-    def _collect_target_rows(
-        self, child: PlanNode, table: Table, meters: _Meterings
-    ) -> List[tuple]:
-        names = table.schema.column_names
-        rows = []
-        for row_map in self._iterate(child, meters):
-            rows.append(tuple(row_map[name] for name in names))
-        return rows
-
-    def _execute_update(
-        self, plan: UpdatePlanNode, query: UpdateQuery, meters: _Meterings
-    ) -> List[RowDict]:
-        table = self._table(plan.table)
-        targets = self._collect_target_rows(plan.child, table, meters)
-        affected = [
-            name
-            for name, index in table.indexes.items()
-            if index.touches_columns(query.assigned_columns)
-        ]
-        for row in targets:
-            table.update_row(row, query.assignments, meter=meters.page_meter)
-            meters.maintained_entries += 1 + 2 * len(affected)
-            meters.rows_processed += 1
-        return []
-
-    def _execute_delete(
-        self, plan: DeletePlanNode, query: DeleteQuery, meters: _Meterings
-    ) -> List[RowDict]:
-        table = self._table(plan.table)
-        targets = self._collect_target_rows(plan.child, table, meters)
-        for row in targets:
-            table.delete_row(row, meter=meters.page_meter)
-            meters.maintained_entries += 1 + len(table.indexes)
-            meters.rows_processed += 1
-        return []
-
-
-# ----------------------------------------------------------------------
-# Helpers
-
-
-def _compile_entry_predicates(predicates, sources, schema):
-    """Compile predicates into checks over raw (key, payload) entries."""
-    checks = []
-    for predicate in predicates:
-        in_key, i = sources[predicate.column]
-        sql_type = schema.column(predicate.column).sql_type
-        v = sql_type.coerce(predicate.value)
-        v2 = (
-            sql_type.coerce(predicate.value2)
-            if predicate.op is Op.BETWEEN
-            else None
-        )
-        op = predicate.op
-
-        def check(key, payload, in_key=in_key, i=i, op=op, v=v, v2=v2):
-            value = key[i] if in_key else payload[i]
-            if value is None:
-                return False
-            if op is Op.EQ:
-                return value == v
-            if op is Op.NEQ:
-                return value != v
-            if op is Op.LT:
-                return value < v
-            if op is Op.LE:
-                return value <= v
-            if op is Op.GT:
-                return value > v
-            if op is Op.GE:
-                return value >= v
-            return v <= value <= v2
-
-        checks.append(check)
-    return checks
-
-
-def _compile_predicates(predicates, schema):
-    """Compile predicates into specialized row-tuple checks.
-
-    Values are coerced to the column type once here, so the per-row
-    closures can use native comparisons without type guards (SQL NULL is
-    the only special case: it never matches).
-    """
-    checks = []
-    for predicate in predicates:
-        i = schema.position(predicate.column)
-        sql_type = schema.column(predicate.column).sql_type
-        op = predicate.op
-        v = sql_type.coerce(predicate.value)
-        if op is Op.EQ:
-            checks.append(lambda row, i=i, v=v: row[i] == v and v is not None)
-        elif op is Op.NEQ:
-            checks.append(
-                lambda row, i=i, v=v: row[i] is not None and row[i] != v
-            )
-        elif op is Op.LT:
-            checks.append(
-                lambda row, i=i, v=v: row[i] is not None and row[i] < v
-            )
-        elif op is Op.LE:
-            checks.append(
-                lambda row, i=i, v=v: row[i] is not None and row[i] <= v
-            )
-        elif op is Op.GT:
-            checks.append(
-                lambda row, i=i, v=v: row[i] is not None and row[i] > v
-            )
-        elif op is Op.GE:
-            checks.append(
-                lambda row, i=i, v=v: row[i] is not None and row[i] >= v
-            )
-        elif op is Op.BETWEEN:
-            v2 = sql_type.coerce(predicate.value2)
-            checks.append(
-                lambda row, i=i, v=v, v2=v2: row[i] is not None
-                and v <= row[i] <= v2
-            )
-        else:  # pragma: no cover - exhaustive over Op
-            checks.append(lambda row, p=predicate, i=i: p.matches(row[i]))
-    return checks
-
-
-def _bind(value: object, binding: Optional[object]) -> object:
-    if value is PARAM:
-        if binding is None:
-            raise ExecutionError("unbound join parameter in seek predicate")
-        return binding
-    return value
-
-
-def _seek_entries(
-    tree,
-    eq_predicates: Tuple[Predicate, ...],
-    range_predicate: Optional[Predicate],
-    meters: _Meterings,
-    binding: Optional[object],
-):
-    """Iterate index entries matching an equality prefix + optional range."""
-    prefix = tuple(_bind(p.value, binding) for p in eq_predicates)
-    if range_predicate is None:
-        if not prefix:
-            return tree.scan(meter=meters.page_meter)
-        return tree.seek_prefix(prefix, meter=meters.page_meter)
-    low, high, low_inc, high_inc = range_predicate.range_bounds()
-    low_key = prefix + ((_bind(low, binding),) if low is not None else ())
-    high_key = prefix + ((_bind(high, binding),) if high is not None else ())
-    return tree.range_scan(
-        low=low_key if (low is not None or prefix) else None,
-        high=high_key if (high is not None or prefix) else None,
-        low_inclusive=low_inc if low is not None else True,
-        high_inclusive=high_inc if high is not None else True,
-        meter=meters.page_meter,
-    )
-
-
-def stable_sum(values):
-    """Order-independent sum: exact ``math.fsum`` whenever floats appear.
-
-    Different access paths feed aggregation in different row orders
-    (index order vs heap order), and naive float addition is not
-    associative — plans would return different SUM/AVG bits for the same
-    data.  ``fsum`` is exactly rounded, so every ordering agrees.
-    All-integer inputs keep ``sum()`` to preserve the ``int`` result type.
-    """
-    if any(isinstance(v, float) for v in values):
-        return math.fsum(values)
-    return sum(values)
-
-
-def _compute_aggregate(aggregate, rows: List[RowDict]):
-    if aggregate.func is AggFunc.COUNT:
-        if aggregate.column is None:
-            return len(rows)
-        return sum(1 for row in rows if row.get(aggregate.column) is not None)
-    values = [
-        row.get(aggregate.column)
-        for row in rows
-        if row.get(aggregate.column) is not None
-    ]
-    if not values:
-        return None
-    if aggregate.func is AggFunc.SUM:
-        return stable_sum(values)
-    if aggregate.func is AggFunc.AVG:
-        return stable_sum(values) / len(values)
-    if aggregate.func is AggFunc.MIN:
-        return min(values, key=sort_key)
-    if aggregate.func is AggFunc.MAX:
-        return max(values, key=sort_key)
-    raise ExecutionError(f"unhandled aggregate {aggregate.func}")
+__all__ = [
+    "ColumnarCache",
+    "ExecutionMetrics",
+    "Executor",
+    "InterpExecutor",
+    "Meterings",
+    "VectorUnsupported",
+    "aggregate_values",
+    "compute_aggregate",
+    "resolve_executor_mode",
+    "sort_meter_rows",
+    "stable_sum",
+]

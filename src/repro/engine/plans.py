@@ -308,6 +308,23 @@ class DeletePlanNode(PlanNode):
         return tuple(dict.fromkeys(child_refs + self.maintained_indexes))
 
 
+def scan_leaf(plan: PlanNode) -> Optional[PlanNode]:
+    """The full-scan leaf of a linear plan chain, if it ends in one.
+
+    Follows single-``child`` links (Top, Sort, aggregates) down to the
+    access path and returns it when it is a
+    :class:`ClusteredScanNode`/:class:`IndexScanNode`; ``None`` for
+    seeks, lookups, joins, and DML.  The vectorized executor uses this
+    both to test plan eligibility and to find the table to project.
+    """
+    node: Optional[PlanNode] = plan
+    while node is not None:
+        if isinstance(node, (ClusteredScanNode, IndexScanNode)):
+            return node
+        node = getattr(node, "child", None)
+    return None
+
+
 def access_nodes(plan: PlanNode) -> List[PlanNode]:
     """All access-path nodes (scans/seeks) in a plan."""
     kinds = (

@@ -139,6 +139,10 @@ class Table:
         #: Bumped on every DML mutation; cost estimates depend on live tree
         #: shape and row count, so cached plans go stale on data change.
         self.data_version = 0
+        #: Columnar projection cache for the vectorized executor, created
+        #: lazily on first vectorized scan.  ``clone()`` builds a fresh
+        #: Table, so B-instance forks never share projections.
+        self._columnar = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -173,6 +177,27 @@ class Table:
 
     def index_definitions(self) -> List[IndexDefinition]:
         return [index.definition for index in self.indexes.values()]
+
+    def columnar(self):
+        """The table's columnar projection cache (created on first use).
+
+        Validity is checked lazily inside the cache against the
+        ``(data_version, schema_version)`` token, so DML and index DDL
+        invalidate it without any hook in the mutation paths.
+        """
+        if self._columnar is None:
+            from repro.engine.exec.columns import ColumnarCache
+
+            self._columnar = ColumnarCache(self)
+        return self._columnar
+
+    @property
+    def columnar_stats(self) -> Tuple[int, int, int]:
+        """(hits, misses, invalidations) of the cache; zeros if unused."""
+        cache = self._columnar
+        if cache is None:
+            return (0, 0, 0)
+        return (cache.hits, cache.misses, cache.invalidations)
 
     def hypothetical_stats_view(self, definition: IndexDefinition) -> IndexStatsView:
         """Estimated shape for an index that does not exist."""

@@ -120,6 +120,36 @@ def render_dashboard(
         )
         lines.append(f"  evictions:       {int(evictions)}")
 
+    # --- vectorized executor (present once any statement dispatched) -
+    vector_stmts = registry.total(
+        "executor_vector_dispatch_total", path="vector"
+    )
+    interp_stmts = registry.total(
+        "executor_vector_dispatch_total", path="interp"
+    )
+    dispatched = vector_stmts + interp_stmts
+    if dispatched:
+        vector_share = vector_stmts / dispatched
+        batch_rows = registry.total("executor_batch_rows")
+        cache_hits = registry.total("executor_column_cache_hits")
+        cache_misses = registry.total("executor_column_cache_misses")
+        cache_invalidations = registry.total(
+            "executor_column_cache_invalidations"
+        )
+        cache_lookups = cache_hits + cache_misses
+        lines.append("vectorized executor:")
+        lines.append(
+            f"  statements:      {int(dispatched)} "
+            f"(vectorized {vector_share:.1%}, batch rows {int(batch_rows)})"
+        )
+        if cache_lookups:
+            cache_hit_rate = cache_hits / cache_lookups
+            lines.append(
+                f"  column cache:    {int(cache_lookups)} lookups "
+                f"(hit rate {cache_hit_rate:.1%}, "
+                f"invalidations {int(cache_invalidations)})"
+            )
+
     # --- fleet execution (only present on sharded parallel runs) -----
     databases = registry.total("fleet_databases")
     if databases:

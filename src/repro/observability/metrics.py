@@ -98,6 +98,19 @@ CATALOG: Dict[str, MetricSpec] = dict(
               "at the start of the most recent merge pass."),
         _spec("fleet_ticks_total", "counter", "ticks",
               "Fleet-parallel ticks executed (dispatch + merge rounds)."),
+        _spec("executor_vector_dispatch_total", "gauge", "statements",
+              "Statements executed per database, by path (vector/interp); "
+              "monotone engine counter published as a gauge."),
+        _spec("executor_batch_rows", "gauge", "rows",
+              "Rows that flowed through vectorized batch operators per "
+              "database (monotone engine counter)."),
+        _spec("executor_column_cache_hits", "gauge", "projections",
+              "Columnar projection cache hits per database (monotone)."),
+        _spec("executor_column_cache_misses", "gauge", "projections",
+              "Columnar projection builds per database (monotone)."),
+        _spec("executor_column_cache_invalidations", "gauge", "projections",
+              "Columnar cache invalidations per database after data or "
+              "schema version bumps (monotone)."),
         _spec("bench_duration_ms", "gauge", "milliseconds",
               "Micro-benchmark wall-clock duration, by benchmark name."),
         _spec("bench_pages_touched", "gauge", "pages",

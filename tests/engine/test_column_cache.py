@@ -1,0 +1,166 @@
+"""Columnar projection cache: invalidation, isolation, and no stale reads.
+
+The cache is validity-keyed on ``(data_version, schema_version)``, so
+every DML statement and every index create/drop must discard cached
+projections, and cloned tables (the what-if B instances) must never
+share a cache with their origin.
+"""
+
+from __future__ import annotations
+
+from repro.engine import (
+    DeleteQuery,
+    IndexDefinition,
+    InsertQuery,
+    Op,
+    Predicate,
+    SelectQuery,
+    UpdateQuery,
+)
+from tests.engine.test_optimizer import perfect_engine
+
+
+def orders(eng):
+    return eng.database.table("orders")
+
+
+class TestProjectionLifecycle:
+    def test_miss_then_hit(self):
+        table = orders(perfect_engine(seed=31))
+        cache = table.columnar()
+        first = cache.projection()
+        second = cache.projection()
+        assert first is second
+        assert (cache.hits, cache.misses, cache.invalidations) == (1, 1, 0)
+
+    def test_insert_invalidates(self):
+        eng = perfect_engine(seed=31)
+        table = orders(eng)
+        cache = table.columnar()
+        before = cache.projection()
+        eng.execute(InsertQuery("orders", ((50_000, 1, 1, 2.5, 7, "new"),)))
+        after = cache.projection()
+        assert after is not before
+        assert after.row_count == before.row_count + 1
+        assert cache.invalidations == 1
+
+    def test_update_invalidates(self):
+        eng = perfect_engine(seed=31)
+        cache = orders(eng).columnar()
+        cache.projection()
+        eng.execute(
+            UpdateQuery(
+                "orders", (("o_amount", -1.0),), (Predicate("o_id", Op.EQ, 3),)
+            )
+        )
+        fresh = cache.projection()
+        amounts = fresh.raw_column("o_amount")
+        ids = fresh.raw_column("o_id")
+        assert amounts[ids.index(3)] == -1.0
+        assert cache.invalidations == 1
+
+    def test_delete_invalidates(self):
+        eng = perfect_engine(seed=31)
+        cache = orders(eng).columnar()
+        before = cache.projection()
+        eng.execute(
+            DeleteQuery("orders", (Predicate("o_id", Op.BETWEEN, 0, 9),))
+        )
+        after = cache.projection()
+        assert after.row_count == before.row_count - 10
+        assert 3 not in after.raw_column("o_id")
+        assert cache.invalidations == 1
+
+    def test_create_and_drop_index_invalidate(self):
+        eng = perfect_engine(seed=31)
+        cache = orders(eng).columnar()
+        cache.projection()
+        eng.create_index(IndexDefinition("ix_cc", "orders", ("o_cust",)))
+        cache.projection("ix_cc")  # index projection now buildable
+        assert cache.invalidations == 1
+        eng.drop_index("orders", "ix_cc")
+        cache.projection()
+        assert cache.invalidations == 2
+
+    def test_index_projection_reads_entry_layout(self):
+        eng = perfect_engine(seed=31)
+        eng.create_index(
+            IndexDefinition("ix_ca", "orders", ("o_cust",), ("o_amount",))
+        )
+        projection = orders(eng).columnar().projection("ix_ca")
+        # Key columns, primary-key suffix, and included payload columns
+        # are all addressable; unrelated columns are not.
+        assert projection.has("o_cust")
+        assert projection.has("o_id")
+        assert projection.has("o_amount")
+        assert not projection.has("o_note")
+        cust = projection.raw_column("o_cust")
+        assert cust == sorted(cust, key=lambda v: (v is None, v))
+
+    def test_untouched_table_never_invalidates(self):
+        eng = perfect_engine(seed=31)
+        cache = orders(eng).columnar()
+        for _ in range(5):
+            cache.projection()
+        assert (cache.hits, cache.misses, cache.invalidations) == (4, 1, 0)
+
+
+class TestCloneIsolation:
+    def test_clone_has_fresh_cache(self):
+        eng = perfect_engine(seed=31)
+        table = orders(eng)
+        original = table.columnar().projection()
+        clone = table.clone()
+        assert clone.columnar() is not table.columnar()
+        assert clone.columnar_stats == (0, 0, 0)
+        cloned_projection = clone.columnar().projection()
+        assert cloned_projection is not original
+
+    def test_origin_mutation_invisible_to_clone_cache(self):
+        eng = perfect_engine(seed=31)
+        table = orders(eng)
+        clone = table.clone()
+        before = clone.columnar().projection()
+        eng.execute(InsertQuery("orders", ((60_000, 1, 1, 1.0, 1, "x"),)))
+        after = clone.columnar().projection()
+        assert after is before  # clone's version token never moved
+        assert 60_000 in table.columnar().projection().raw_column("o_id")
+        assert 60_000 not in after.raw_column("o_id")
+
+
+class TestNoStaleReadsThroughExecution:
+    def test_vector_query_sees_every_dml(self):
+        eng = perfect_engine(seed=31)
+        eng.settings.execution.executor_mode = "vector"
+        # Filter on a non-key column so the plan stays a clustered scan
+        # (PK predicates become seeks, which always interpret).
+        count = SelectQuery(
+            "orders", ("o_id",), (Predicate("o_note", Op.EQ, "probe"),)
+        )
+        assert eng.execute(count).rows == []
+        eng.execute(InsertQuery("orders", ((70_001, 1, 1, 1.0, 1, "probe"),)))
+        assert eng.execute(count).rows == [{"o_id": 70_001}]
+        eng.execute(
+            DeleteQuery("orders", (Predicate("o_id", Op.EQ, 70_001),))
+        )
+        assert eng.execute(count).rows == []
+        assert eng.executor.vector_statements >= 3
+
+    def test_stats_monotone_and_summed(self):
+        eng = perfect_engine(seed=31)
+        eng.settings.execution.executor_mode = "vector"
+        query = SelectQuery("orders", ("o_id",))
+        seen = (0, 0, 0)
+        for i in range(4):
+            eng.execute(query)
+            if i == 1:
+                eng.execute(
+                    InsertQuery("orders", ((80_000 + i, 1, 1, 1.0, 1, "m"),))
+                )
+            stats = eng.executor.column_cache_stats()
+            assert all(a >= b for a, b in zip(stats, seen))
+            seen = stats
+        hits, misses, invalidations = seen
+        assert misses >= 2  # initial build + post-insert rebuild
+        assert invalidations >= 1
+        assert hits >= 1

@@ -184,6 +184,38 @@ class TestSpecsAndSettings:
         )
 
 
+class TestExecutorModeDeterminism:
+    """The execution path must not perturb any determinism stream.
+
+    The vectorized executor charges the same meters and draws the same
+    RNG values as the interpreter, so the merged audit stream — hashed,
+    the repo's determinism gate — must be byte-identical (a) between
+    serial and sharded runs under ``REPRO_EXECUTOR=vector`` and (b)
+    between the two executor modes on the same fleet seed.
+    """
+
+    @staticmethod
+    def _audit_sha256(streams) -> str:
+        import hashlib
+
+        return hashlib.sha256(streams["jsonl"].encode("utf-8")).hexdigest()
+
+    def test_vector_serial_matches_sharded(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "vector")
+        serial = run_fleet("serial", 1, n_databases=2, hours=24.0, seed=7)
+        sharded = run_fleet("thread", WORKERS, n_databases=2, hours=24.0, seed=7)
+        assert self._audit_sha256(sharded) == self._audit_sha256(serial)
+        assert sharded == serial  # every stream, not just the audit hash
+
+    def test_vector_and_interp_streams_identical(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "interp")
+        interp = run_fleet("serial", 1, n_databases=2, hours=24.0, seed=7)
+        monkeypatch.setenv("REPRO_EXECUTOR", "vector")
+        vector = run_fleet("serial", 1, n_databases=2, hours=24.0, seed=7)
+        assert self._audit_sha256(vector) == self._audit_sha256(interp)
+        assert vector == interp
+
+
 class TestCli:
     def test_repro_run_smoke(self, tmp_path):
         out = tmp_path / "audit.jsonl"
