@@ -12,7 +12,17 @@ Sweeps fleet size x worker count over the fleet-parallel service
   merge tick;
 - **audit_sha256** — digest of the merged audit JSONL, asserted
   identical across worker counts (the determinism guarantee is part of
-  the benchmark's contract, not just the test suite's).
+  the benchmark's contract, not just the test suite's);
+- **attribution** — per-phase wall-clock totals from the tick phase
+  timers (where the time went: build/dispatch/wait/merge/finalize plus
+  worker-side run/drain) and the coverage figure (share of tick
+  wall-clock the parent phases explain).
+
+The sweep ends with an **overhead gate**: the largest configuration is
+re-run with instrumentation off (``instrument=False``, the CLI's
+``--no-profile``) and the gate fails — exit code 1 — if profiling costs
+more than 5% of tick wall-clock.  The measured overhead is recorded in
+the JSON either way.
 
 Results land in ``BENCH_fleet_scale.json`` (committed at the repo root
 as the baseline).  ``cpu_count`` is recorded because speedup is bounded
@@ -50,12 +60,19 @@ def percentile(values, q: float) -> float:
     return ordered[index]
 
 
-def run_config(n_databases: int, workers: int, hours: float, seed: int) -> dict:
+def run_config(
+    n_databases: int,
+    workers: int,
+    hours: float,
+    seed: int,
+    instrument: bool = True,
+) -> dict:
     backend = "serial" if workers <= 1 else "process"
     service = build_fleet_service(
         n_databases,
         workers=workers,
         backend=backend,
+        instrument=instrument,
         seed=seed,
         service_settings=ServiceSettings(max_statements_per_step=80),
     )
@@ -64,11 +81,12 @@ def run_config(n_databases: int, workers: int, hours: float, seed: int) -> dict:
         service.run(hours)
         wall = time.perf_counter() - started
         jsonl = service.telemetry.audit.to_jsonl()
-        return {
+        row = {
             "databases": n_databases,
             "workers": workers,
             "backend": backend,
             "shards": len(service.payloads),
+            "instrument": instrument,
             "simulated_hours": hours,
             "wall_seconds": round(wall, 3),
             "db_hours_per_sec": round(n_databases * hours / wall, 2),
@@ -79,8 +97,50 @@ def run_config(n_databases: int, workers: int, hours: float, seed: int) -> dict:
             "audit_events": len(service.telemetry.audit.events()),
             "audit_sha256": hashlib.sha256(jsonl.encode()).hexdigest(),
         }
+        if instrument:
+            summary = service.attribution()
+            row["attribution"] = {
+                "coverage": round(summary["coverage"], 4),
+                "serial_fraction": round(summary["serial_fraction"], 4),
+                "amdahl_max_speedup": (
+                    round(summary["amdahl_max_speedup"], 2)
+                    if summary["amdahl_max_speedup"] != float("inf")
+                    else None
+                ),
+                "phase_seconds": {
+                    phase: round(seconds, 4)
+                    for phase, seconds in summary["phase_totals"].items()
+                },
+            }
+        return row
     finally:
         service.close()
+
+
+def overhead_gate(
+    n_databases: int, workers: int, hours: float, seed: int,
+    threshold: float = 0.05,
+) -> dict:
+    """A/B the largest configuration with instrumentation on vs off.
+
+    The profiled run must not cost more than ``threshold`` of the
+    uninstrumented run's wall-clock.  Both runs must stay byte-identical
+    (instrumentation can never leak into merged output).
+    """
+    on = run_config(n_databases, workers, hours, seed, instrument=True)
+    off = run_config(n_databases, workers, hours, seed, instrument=False)
+    overhead = on["wall_seconds"] / off["wall_seconds"] - 1.0
+    return {
+        "databases": n_databases,
+        "workers": workers,
+        "simulated_hours": hours,
+        "instrumented_wall_seconds": on["wall_seconds"],
+        "baseline_wall_seconds": off["wall_seconds"],
+        "overhead_fraction": round(overhead, 4),
+        "threshold": threshold,
+        "passed": overhead <= threshold,
+        "deterministic": on["audit_sha256"] == off["audit_sha256"],
+    }
 
 
 def main(argv=None) -> int:
@@ -119,13 +179,33 @@ def main(argv=None) -> int:
                 )
                 return 1
             results.append(row)
+            attribution = row.get("attribution", {})
             print(
                 f"dbs={n_databases:>3} workers={workers} "
                 f"backend={row['backend']:<7} wall={row['wall_seconds']:>7.2f}s "
                 f"db-h/s={row['db_hours_per_sec']:>7.2f} "
                 f"speedup={row['speedup_vs_serial']} "
-                f"p95-tick={row['p95_tick_seconds']:.3f}s"
+                f"p95-tick={row['p95_tick_seconds']:.3f}s "
+                f"coverage={attribution.get('coverage', 0.0):.1%}"
             )
+
+    gate = overhead_gate(
+        max(fleet_sizes), max(worker_counts), hours, args.seed
+    )
+    print(
+        f"overhead gate: instrumented={gate['instrumented_wall_seconds']:.2f}s "
+        f"baseline={gate['baseline_wall_seconds']:.2f}s "
+        f"overhead={gate['overhead_fraction']:+.1%} "
+        f"(threshold {gate['threshold']:.0%}) "
+        f"{'PASS' if gate['passed'] else 'FAIL'}"
+    )
+    if not gate["deterministic"]:
+        print(
+            "DETERMINISM VIOLATION: instrumented and uninstrumented runs "
+            "diverged",
+            file=sys.stderr,
+        )
+        return 1
 
     payload = {
         "benchmark": "fleet-scale",
@@ -141,12 +221,21 @@ def main(argv=None) -> int:
             "on a single-core host the sweep measures dispatch+merge "
             "overhead and the determinism guarantee, not parallel speedup"
         ),
+        "overhead_gate": gate,
         "results": results,
     }
     with open(args.out, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"wrote {args.out}")
+    if not gate["passed"]:
+        print(
+            f"OVERHEAD GATE FAILED: profiling costs "
+            f"{gate['overhead_fraction']:.1%} of tick wall-clock "
+            f"(threshold {gate['threshold']:.0%})",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -12,7 +12,12 @@ One static check over the whole observability taxonomy:
   :data:`repro.observability.audit.AUDIT_CATALOG`;
 - **Alert rules** — ``AlertRule(name="...")`` construction sites must
   use rule names declared in
-  :data:`repro.observability.alerts.ALERT_CATALOG`.
+  :data:`repro.observability.alerts.ALERT_CATALOG`;
+- **Tick phases** — ``timer.phase("...")`` / ``trace.observe_phase("...")``
+  call sites must use phase names declared in
+  :data:`repro.parallel.timing.PHASE_CATALOG`;
+- **Span kinds** — ``tracer.start("...", ...)`` call sites must use span
+  kinds declared in :data:`repro.observability.spans.SPAN_KIND_CATALOG`.
 
 Call sites whose name argument is not a string literal are flagged too,
 because the lint (and the exporters'/explain renderers' help text) can
@@ -72,6 +77,20 @@ LITERAL_RULE = re.compile(
 )
 #: Any ``"fleet_..."`` string literal (reserved metric namespace).
 FLEET_LITERAL = re.compile(r"([\"'])(?P<name>fleet_[a-z0-9_]*)\1")
+#: A tick-phase bracket with a string-literal phase name.
+LITERAL_PHASE = re.compile(
+    r"\.(?:phase|observe_phase)\(\s*[rbu]*([\"'])(?P<name>[^\"']*)\1"
+)
+#: Any tick-phase bracket call (to flag dynamic phase names).
+ANY_PHASE = re.compile(
+    r"\.(?:phase|observe_phase)\(\s*(?P<arg>[^)\s,]*)"
+)
+#: ``tracer.start("kind", ...)`` with a literal span kind.
+LITERAL_SPAN = re.compile(
+    r"\btracer\.start\(\s*[rbu]*([\"'])(?P<name>[^\"']*)\1"
+)
+#: Any ``tracer.start`` call (to flag dynamic span kinds).
+ANY_SPAN = re.compile(r"\btracer\.start\(\s*(?P<arg>[^)\s,]*)")
 
 
 def load_catalogs() -> tuple:
@@ -79,8 +98,16 @@ def load_catalogs() -> tuple:
     from repro.observability.alerts import ALERT_CATALOG
     from repro.observability.audit import AUDIT_CATALOG
     from repro.observability.metrics import CATALOG
+    from repro.observability.spans import SPAN_KIND_CATALOG
+    from repro.parallel.timing import PHASE_CATALOG
 
-    return set(CATALOG), set(AUDIT_CATALOG), set(ALERT_CATALOG)
+    return (
+        set(CATALOG),
+        set(AUDIT_CATALOG),
+        set(ALERT_CATALOG),
+        set(PHASE_CATALOG),
+        set(SPAN_KIND_CATALOG),
+    )
 
 
 def iter_py_files(paths):
@@ -92,15 +119,24 @@ def iter_py_files(paths):
             yield from sorted(path.rglob("*.py"))
 
 
-def check_file(path: pathlib.Path, metrics: set, events: set, rules: set) -> list:
+def check_file(
+    path: pathlib.Path,
+    metrics: set,
+    events: set,
+    rules: set,
+    phases: set,
+    span_kinds: set,
+) -> list:
     errors = []
     # The defining modules validate their own names at runtime; skip
     # their internals so catalog declarations don't self-flag.  The lint
     # itself is also skipped: its docstring and regexes are full of
     # example names.
-    if path.name in ("metrics.py", "audit.py", "alerts.py") and (
+    if path.name in ("metrics.py", "audit.py", "alerts.py", "spans.py") and (
         "observability" in path.parts
     ):
+        return errors
+    if path.name == "timing.py" and "parallel" in path.parts:
         return errors
     if path.resolve() == pathlib.Path(__file__).resolve():
         return errors
@@ -182,17 +218,63 @@ def check_file(path: pathlib.Path, metrics: set, events: set, rules: set) -> lis
                 "taxonomy (src/repro/observability/metrics.py) — declare it "
                 "before use"
             )
+    phase_starts = set()
+    for match in LITERAL_PHASE.finditer(text):
+        phase_starts.add(match.start())
+        name = match.group("name")
+        if name not in phases:
+            errors.append(
+                f"{path}:{lineno(match.start())}: phase name {name!r} is "
+                "not in the PHASE_CATALOG taxonomy "
+                "(src/repro/parallel/timing.py)"
+            )
+    for match in ANY_PHASE.finditer(text):
+        if match.start() in phase_starts:
+            continue
+        arg = match.group("arg")
+        if arg.startswith(("'", '"')) or arg == "":
+            continue
+        if allows_dynamic(match.start()):
+            continue
+        errors.append(
+            f"{path}:{lineno(match.start())}: phase name is not a string "
+            f"literal ({arg!r}); the lint cannot verify it"
+        )
+    span_starts = set()
+    for match in LITERAL_SPAN.finditer(text):
+        span_starts.add(match.start())
+        name = match.group("name")
+        if name not in span_kinds:
+            errors.append(
+                f"{path}:{lineno(match.start())}: span kind {name!r} is "
+                "not in the SPAN_KIND_CATALOG taxonomy "
+                "(src/repro/observability/spans.py)"
+            )
+    for match in ANY_SPAN.finditer(text):
+        if match.start() in span_starts:
+            continue
+        arg = match.group("arg")
+        if arg.startswith(("'", '"')) or arg == "":
+            continue
+        if allows_dynamic(match.start()):
+            continue
+        errors.append(
+            f"{path}:{lineno(match.start())}: span kind is not a string "
+            f"literal ({arg!r}); the lint cannot verify it"
+        )
     return errors
 
 
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     paths = argv or DEFAULT_PATHS
-    metrics, events, rules = load_catalogs()
+    metrics, events, rules, phases, span_kinds = load_catalogs()
     errors = []
     checked = 0
     for path in iter_py_files(paths):
-        errors.extend(check_file(path, metrics, events, rules))
+        errors.extend(
+            check_file(path, metrics, events, rules, phases, span_kinds)
+        )
         checked += 1
     for error in errors:
         print(error)
@@ -200,7 +282,8 @@ def main(argv=None) -> int:
         f"check_observability_names: {checked} files checked, "
         f"{len(errors)} violation(s); catalog entries: "
         f"{len(metrics)} metrics, {len(events)} audit events, "
-        f"{len(rules)} alert rules"
+        f"{len(rules)} alert rules, {len(phases)} tick phases, "
+        f"{len(span_kinds)} span kinds"
     )
     return 1 if errors else 0
 

@@ -18,7 +18,13 @@ Six subcommands mirror the repo's main entry points:
 - ``repro explain <db> [rec-id]`` — the decision-provenance timeline for
   one recommendation (audit events + spans + state-store journal), from
   a fresh closed-loop run, a replayed ``--audit`` JSONL dump, or the
-  seeded ``--regression-demo`` create->validate->revert scenario.
+  seeded ``--regression-demo`` create->validate->revert scenario;
+- ``repro profile --dbs K --workers N`` — a short fleet-parallel run
+  with per-tick phase timing on both sides of the process pipe,
+  printing the critical-path table (where the wall-clock goes, the
+  attribution-coverage figure, a serial-fraction/Amdahl estimate) and
+  optionally writing a Chrome/Perfetto ``trace_event`` JSON timeline
+  (``--trace-out``).
 
 ``repro ops`` and ``repro telemetry`` accept ``--audit-out FILE`` to dump
 the run's audit stream as JSONL for later ``repro explain --audit``.
@@ -134,6 +140,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         n_databases=args.dbs,
         workers=args.workers,
         backend=args.backend,
+        instrument=not args.no_profile,
         tier=args.tier,
         seed=args.seed,
         control_settings=ControlPlaneSettings(
@@ -181,6 +188,82 @@ def cmd_run(args: argparse.Namespace) -> int:
         if getattr(args, "audit_out", None):
             count = service.telemetry.audit.dump(args.audit_out)
             print(f"wrote {count} audit events to {args.audit_out}")
+    finally:
+        service.close()
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Short fleet-parallel run with full critical-path attribution."""
+    import json
+
+    from repro.observability.trace_export import (
+        render_critical_path,
+        trace_event_json,
+    )
+    from repro.parallel import build_fleet_service
+
+    service = build_fleet_service(
+        n_databases=args.dbs,
+        workers=args.workers,
+        backend=args.backend,
+        instrument=not args.no_profile,
+        tier=args.tier,
+        seed=args.seed,
+        control_settings=ControlPlaneSettings(
+            snapshot_period=2 * HOURS,
+            analysis_period=8 * HOURS,
+            validation_window=6 * HOURS,
+        ),
+        service_settings=ServiceSettings(
+            max_statements_per_step=args.max_statements
+        ),
+        default_config=AutoIndexingConfig(create_mode=AutoMode.AUTO),
+    )
+    hours = args.ticks * service.settings.step_hours
+    print(
+        f"profiling the fleet-parallel loop: {args.dbs} {args.tier} "
+        f"databases across {len(service.payloads)} {service.backend} "
+        f"worker(s), {args.ticks} tick(s) ({hours:.0f} simulated hours)"
+    )
+    try:
+        service.run(hours=hours)
+        if args.no_profile:
+            wall = sum(service.tick_wall_seconds)
+            print(f"profiling disabled (--no-profile): "
+                  f"{len(service.tick_wall_seconds)} tick(s), "
+                  f"{wall:.2f}s wall")
+            return 0
+        print()
+        summary = service.attribution()
+        for line in render_critical_path(
+            summary,
+            service.profiler.rows(),
+            top_n=args.top,
+            backend=service.backend,
+            workers=len(service.payloads),
+        ):
+            print(line)
+        dropped = service.phase_timer.dropped_events
+        if dropped:
+            print(f"  (trace buffer full: {dropped} event(s) dropped)")
+        if args.trace_out:
+            doc = trace_event_json(
+                service.trace_events(),
+                service.track_names(),
+                metadata={
+                    "databases": args.dbs,
+                    "workers": len(service.payloads),
+                    "backend": service.backend,
+                    "ticks": summary["ticks"],
+                    "seed": args.seed,
+                    "attribution_coverage": summary["coverage"],
+                },
+            )
+            with open(args.trace_out, "w") as fh:
+                json.dump(doc, fh)
+            print(f"  wrote {len(doc['traceEvents'])} trace events to "
+                  f"{args.trace_out} (load in Perfetto / chrome://tracing)")
     finally:
         service.close()
     return 0
@@ -365,7 +448,51 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--audit-out", help="dump the run's audit stream to this JSONL file"
     )
+    run.add_argument(
+        "--no-profile",
+        action="store_true",
+        help="disable per-tick phase timing and trace collection",
+    )
     run.set_defaults(func=cmd_run)
+    prof = sub.add_parser(
+        "profile",
+        help="fleet critical-path profile (phase timing + Perfetto trace)",
+    )
+    _add_common(prof)
+    prof.add_argument(
+        "--ticks", type=int, default=8, help="fleet ticks to profile"
+    )
+    prof.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="shard workers (0 = serial in-process execution)",
+    )
+    prof.add_argument(
+        "--backend",
+        choices=("auto", "serial", "thread", "process"),
+        default="auto",
+        help="execution backend (auto = process when --workers > 1)",
+    )
+    prof.add_argument(
+        "--max-statements",
+        type=int,
+        default=80,
+        help="statement cap per database per step",
+    )
+    prof.add_argument(
+        "--top", type=int, default=10, help="hot paths to list"
+    )
+    prof.add_argument(
+        "--trace-out",
+        help="write the Chrome/Perfetto trace_event JSON timeline here",
+    )
+    prof.add_argument(
+        "--no-profile",
+        action="store_true",
+        help="run with instrumentation off (overhead A/B baseline)",
+    )
+    prof.set_defaults(func=cmd_profile)
     fig6 = sub.add_parser("fig6", help="the Figure 6 recommender comparison")
     _add_common(fig6)
     fig6.set_defaults(func=cmd_fig6)

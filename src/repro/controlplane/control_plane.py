@@ -223,7 +223,7 @@ class ControlPlane:
             source=recommendation.source or "unknown",
         )
         self._record_spans[record.rec_id] = root
-        self._phase_spans[record.rec_id] = self.telemetry.tracer.start(
+        self._phase_spans[record.rec_id] = self.telemetry.tracer.start(  # observability-names: allow-dynamic
             self._PHASE_KINDS[record.state],
             record.database,
             at,
@@ -285,7 +285,7 @@ class ControlPlane:
                 tracer.end(root, at, outcome=new_state.value)
             self._record_spans.pop(record.rec_id, None)
         else:
-            self._phase_spans[record.rec_id] = tracer.start(
+            self._phase_spans[record.rec_id] = tracer.start(  # observability-names: allow-dynamic
                 self._PHASE_KINDS[new_state],
                 record.database,
                 at,

@@ -52,7 +52,20 @@ from repro.observability.profiling import (
     profile,
     use_profiler,
 )
-from repro.observability.spans import Span, SpanRecorder, Tracer
+from repro.observability.spans import (
+    SPAN_KIND_CATALOG,
+    Span,
+    SpanRecorder,
+    Tracer,
+)
+from repro.observability.trace_export import (
+    PARENT_TRACK,
+    TraceEvent,
+    attribution_summary,
+    render_critical_path,
+    span_trace_events,
+    trace_event_json,
+)
 
 
 class Telemetry:
@@ -82,12 +95,16 @@ __all__ = [
     "Histogram",
     "MetricSpec",
     "MetricsRegistry",
+    "PARENT_TRACK",
     "Profiler",
+    "SPAN_KIND_CATALOG",
     "Span",
     "SpanRecorder",
     "Telemetry",
+    "TraceEvent",
     "Tracer",
     "active",
+    "attribution_summary",
     "build_timeline",
     "count",
     "decision_index",
@@ -98,7 +115,10 @@ __all__ = [
     "json_text",
     "profile",
     "prometheus_text",
+    "render_critical_path",
     "render_dashboard",
     "render_explain",
+    "span_trace_events",
+    "trace_event_json",
     "use_profiler",
 ]

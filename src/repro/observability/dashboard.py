@@ -169,6 +169,24 @@ def render_dashboard(
                 f"  shard busy:      {sum(busy):.2f}s total "
                 f"(max {max(busy):.2f}s, last-tick skew {skew:.2f}s)"
             )
+        phase_series = registry.series_for("fleet_phase_seconds")
+        if phase_series:
+            coverage = registry.total("fleet_tick_attribution_ratio")
+            lines.append(
+                f"  tick phases (attribution {coverage:.0%} of last tick):"
+            )
+            ranked = sorted(
+                phase_series,
+                key=lambda s: (-s.metric.sum, s.labels),
+            )
+            for series in ranked:
+                phase = dict(series.labels).get("phase", "?")
+                metric = series.metric
+                mean = metric.sum / metric.count if metric.count else 0.0
+                lines.append(
+                    f"    {phase:<14} {metric.sum:>9.3f}s total "
+                    f"{mean:>8.3f}s mean"
+                )
 
     # --- slowest tuning sessions -------------------------------------
     lines.append(f"slowest tuning sessions (top {top_n}):")

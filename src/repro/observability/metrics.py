@@ -98,6 +98,16 @@ CATALOG: Dict[str, MetricSpec] = dict(
               "at the start of the most recent merge pass."),
         _spec("fleet_ticks_total", "counter", "ticks",
               "Fleet-parallel ticks executed (dispatch + merge rounds)."),
+        _spec("fleet_phase_seconds", "histogram", "seconds",
+              "Wall-clock seconds one tick spent in each critical-path "
+              "phase (labeled by phase; see repro.parallel.timing "
+              "PHASE_CATALOG for the taxonomy)."),
+        _spec("fleet_tick_attribution_ratio", "gauge", "ratio",
+              "Fraction of the most recent tick's wall-clock explained "
+              "by the parent-side phase timers (1.0 = fully attributed)."),
+        _spec("fleet_profile_events_dropped_total", "counter", "events",
+              "Phase/trace events discarded after the profiler's "
+              "in-memory event cap was reached (long unprofiled runs)."),
         _spec("executor_vector_dispatch_total", "gauge", "statements",
               "Statements executed per database, by path (vector/interp); "
               "monotone engine counter published as a gauge."),

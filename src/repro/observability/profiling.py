@@ -12,15 +12,19 @@ table shows both the model's cost and the host's.
 
 Profilers form a stack: the default global profiler aggregates across
 every engine in the process (exactly what the fleet dashboard wants),
-and tests swap in a fresh one with :func:`use_profiler`.
+and tests swap in a fresh one with :func:`use_profiler`.  The stack is
+**thread-local** so shard workers running on the thread backend can each
+install their own profiler without racing: every thread starts from the
+shared default profiler and pushes/pops independently.
 """
 
 from __future__ import annotations
 
 import contextlib
 import dataclasses
+import threading
 import time
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Tuple
 
 
 @dataclasses.dataclass
@@ -70,6 +74,23 @@ class Profiler:
         stat.calls += 1
         stat.sim_ms += sim_ms
 
+    def absorb(
+        self,
+        name: str,
+        calls: int,
+        real_seconds: float,
+        sim_ms: float = 0.0,
+    ) -> None:
+        """Fold a pre-aggregated row (e.g. a shipped shard row) in.
+
+        Unlike :meth:`record` this adds ``calls`` invocations at once —
+        the merge path for hot-path rows that crossed a process pipe.
+        """
+        stat = self._stat(name)
+        stat.calls += calls
+        stat.real_seconds += real_seconds
+        stat.sim_ms += sim_ms
+
     def stats(self) -> Dict[str, HotPathStat]:
         return dict(self._stats)
 
@@ -79,26 +100,51 @@ class Profiler:
             self._stats.values(), key=lambda s: (-s.real_seconds, s.name)
         )
 
+    def drain_rows(self) -> List[Tuple[str, int, float, float]]:
+        """Picklable ``(name, calls, real_seconds, sim_ms)`` rows in
+        **name order** (a deterministic order, unlike :meth:`rows`' wall
+        -clock order), then reset.  Shard workers ship these per tick."""
+        rows = [
+            (stat.name, stat.calls, stat.real_seconds, stat.sim_ms)
+            for stat in sorted(self._stats.values(), key=lambda s: s.name)
+        ]
+        self._stats.clear()
+        return rows
+
     def reset(self) -> None:
         self._stats.clear()
 
 
-_stack: List[Profiler] = [Profiler()]
+#: The process-wide default profiler every thread's stack starts from.
+_default_profiler = Profiler()
+
+
+class _ThreadStack(threading.local):
+    """Per-thread profiler stack, rooted at the shared default."""
+
+    def __init__(self) -> None:
+        self.frames: List[Profiler] = [_default_profiler]
+
+
+_stack = _ThreadStack()
 
 
 def active() -> Profiler:
-    """The profiler hot-path hooks currently record into."""
-    return _stack[-1]
+    """The profiler hot-path hooks currently record into (this thread)."""
+    return _stack.frames[-1]
 
 
 @contextlib.contextmanager
 def use_profiler(profiler: Profiler) -> Iterator[Profiler]:
-    """Temporarily make ``profiler`` the active one (tests, CLI runs)."""
-    _stack.append(profiler)
+    """Temporarily make ``profiler`` the active one (tests, CLI runs).
+
+    Scoped to the calling thread: worker threads that never call this
+    still record into the shared default profiler."""
+    _stack.frames.append(profiler)
     try:
         yield profiler
     finally:
-        _stack.pop()
+        _stack.frames.pop()
 
 
 @contextlib.contextmanager
@@ -113,9 +159,11 @@ def profile(name: str) -> Iterator[_ProfileHandle]:
     try:
         yield handle
     finally:
-        _stack[-1].record(name, time.perf_counter() - start, handle.sim_ms)
+        _stack.frames[-1].record(
+            name, time.perf_counter() - start, handle.sim_ms
+        )
 
 
 def count(name: str, sim_ms: float = 0.0) -> None:
     """Tick ``name`` on the active profiler without timing."""
-    _stack[-1].count(name, sim_ms)
+    _stack.frames[-1].count(name, sim_ms)

@@ -17,15 +17,40 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
+import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import TelemetryError
 from repro.observability.compliance import ensure_compliant
 
+#: Every span kind the repo emits, linted by
+#: ``scripts/check_observability_names.py`` the same way metric names
+#: are: a ``tracer.start("...")`` call site with a literal kind must use
+#: a name declared here.
+SPAN_KIND_CATALOG: Dict[str, str] = {
+    "recommendation": "Root span: one recommendation's full lifecycle.",
+    "recommend": "The record's stay in the ACTIVE (recommended) state.",
+    "implement": "The record's stay in the IMPLEMENTING state.",
+    "validate": "The record's stay in the VALIDATING state.",
+    "revert": "The record's stay in the REVERTING state.",
+    "retry": "The record's stay in the RETRY state.",
+    "dta_session": "One DTA tuning session over a managed database.",
+    "analysis": "One recommender analysis pass (MI or DTA source).",
+}
+
 
 @dataclasses.dataclass
 class Span:
-    """One timed unit of state-machine or tuning work."""
+    """One timed unit of state-machine or tuning work.
+
+    Spans carry **dual clocks**: ``start``/``end`` are simulated minutes
+    (deterministic, what the state-machine assertions and the merge
+    compare), while ``wall_start``/``wall_end`` are real
+    ``perf_counter`` seconds captured as a side channel so the trace
+    exporter and :meth:`SpanRecorder.slowest` can rank by the host's
+    actual time.  Wall values never participate in determinism checks —
+    they differ run to run by construction.
+    """
 
     span_id: int
     kind: str
@@ -35,6 +60,8 @@ class Span:
     end: Optional[float] = None
     outcome: str = ""
     attributes: Dict[str, object] = dataclasses.field(default_factory=dict)
+    wall_start: Optional[float] = None  # perf_counter seconds
+    wall_end: Optional[float] = None
 
     @property
     def open(self) -> bool:
@@ -44,6 +71,13 @@ class Span:
     def duration(self) -> Optional[float]:
         """Simulated minutes from start to end; None while still open."""
         return None if self.end is None else self.end - self.start
+
+    @property
+    def wall_duration(self) -> Optional[float]:
+        """Real seconds from start to end; None unless both were captured."""
+        if self.wall_start is None or self.wall_end is None:
+            return None
+        return self.wall_end - self.wall_start
 
 
 class SpanRecorder:
@@ -141,9 +175,20 @@ class SpanRecorder:
         return span, [self.tree(child) for child in self._children.get(span_id, ())]
 
     def slowest(
-        self, kinds: Tuple[str, ...], n: int = 5, database: Optional[str] = None
+        self,
+        kinds: Tuple[str, ...],
+        n: int = 5,
+        database: Optional[str] = None,
+        clock: str = "sim",
     ) -> List[Span]:
-        """Top-``n`` closed spans of the given kinds by simulated duration."""
+        """Top-``n`` closed spans of the given kinds by duration.
+
+        ``clock="sim"`` ranks by simulated minutes (deterministic, the
+        default); ``clock="wall"`` ranks by captured real seconds —
+        spans without wall timestamps rank last.
+        """
+        if clock not in ("sim", "wall"):
+            raise TelemetryError(f"clock must be 'sim' or 'wall', not {clock!r}")
         closed = [
             s
             for s in self._spans
@@ -151,7 +196,10 @@ class SpanRecorder:
             and s.end is not None
             and (database is None or s.database == database)
         ]
-        closed.sort(key=lambda s: (-(s.duration or 0.0), s.span_id))
+        if clock == "wall":
+            closed.sort(key=lambda s: (-(s.wall_duration or 0.0), s.span_id))
+        else:
+            closed.sort(key=lambda s: (-(s.duration or 0.0), s.span_id))
         return closed[:n]
 
     def __len__(self) -> int:
@@ -186,6 +234,7 @@ class Tracer:
             start=at,
             parent_id=parent.span_id if parent is not None else None,
             attributes=dict(attributes),
+            wall_start=time.perf_counter(),
         )
         self.recorder.record(span)
         return span
@@ -202,5 +251,6 @@ class Tracer:
         ensure_compliant(attributes, f"attributes of span {span.kind!r}")
         span.end = at
         span.outcome = outcome
+        span.wall_end = time.perf_counter()
         span.attributes.update(attributes)
         return span

@@ -32,22 +32,36 @@ from repro.parallel.pool import make_pool
 from repro.parallel.service import ShardedFleetService, build_fleet_service
 from repro.parallel.settings import ParallelSettings
 from repro.parallel.spec import DatabaseSpec, SharedSettings, ShardPayload
+from repro.parallel.timing import (
+    PARENT_PHASES,
+    PHASE_CATALOG,
+    WORKER_PHASES,
+    ShardTickTrace,
+    TickPhaseTimer,
+    rebase_span_ops,
+)
 from repro.parallel.worker import DatabaseWorker, RecordingTracer, ShardRunner
 
 __all__ = [
     "DatabaseSpec",
     "DatabaseWorker",
     "DeterministicMerger",
+    "PARENT_PHASES",
+    "PHASE_CATALOG",
     "ParallelSettings",
     "RecordingTracer",
     "ShardPayload",
     "ShardRunner",
+    "ShardTickTrace",
     "SharedSettings",
     "ShardedFleetService",
     "TickDelta",
+    "TickPhaseTimer",
+    "WORKER_PHASES",
     "apply_metric_diff",
     "build_fleet_service",
     "diff_snapshots",
     "make_pool",
+    "rebase_span_ops",
     "registry_snapshot",
 ]

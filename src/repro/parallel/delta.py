@@ -58,6 +58,11 @@ class TickDelta:
     validation_history: List[dict]
     #: New incidents (``rec_id`` is local).
     incidents: List[Incident]
+    #: Drained hot-path profiler rows ``(name, calls, real_seconds,
+    #: sim_ms)`` in name order — this database's engine work this tick.
+    #: Merged (in the same stable db order as everything else) into the
+    #: region-level profiler so shard-side work is visible at the parent.
+    hot_paths: List[tuple] = dataclasses.field(default_factory=list)
 
 
 # ----------------------------------------------------------------------

@@ -29,6 +29,7 @@ from repro.controlplane.store import StateStore
 from repro.errors import TelemetryError
 from repro.observability.audit import AuditLog
 from repro.observability.metrics import MetricsRegistry
+from repro.observability.profiling import Profiler
 from repro.observability.spans import Span, SpanRecorder
 from repro.parallel.delta import (
     TickDelta,
@@ -49,6 +50,7 @@ class DeterministicMerger:
         bus: EventBus,
         incidents: List[Incident],
         validation_history: List[dict],
+        profiler: Optional[Profiler] = None,
     ) -> None:
         self.store = store
         self.audit = audit
@@ -57,6 +59,11 @@ class DeterministicMerger:
         self.bus = bus
         self.incidents = incidents
         self.validation_history = validation_history
+        #: Region-level profiler that absorbs worker hot-path rows.  The
+        #: rows arrive pre-sorted by name and deltas merge in stable db
+        #: order, so the float accumulation order — hence the aggregate —
+        #: is identical across backends and worker counts.
+        self.profiler = profiler
         #: (database, local rec_id) -> global rec_id, stable for the run.
         self.rec_ids: Dict[Tuple[str, int], int] = {}
         #: (database, local span_id) -> the merged Span object, while open.
@@ -109,6 +116,12 @@ class DeterministicMerger:
                 )
             )
         apply_metric_diff(self.registry, delta.metrics)
+        if self.profiler is not None:
+            for row in delta.hot_paths:
+                name, calls, real_seconds, sim_ms = row
+                self.profiler.absorb(
+                    name, calls, real_seconds, sim_ms=sim_ms
+                )
         self.validation_history.extend(delta.validation_history)
         for incident in delta.incidents:
             self.incidents.append(
@@ -134,8 +147,13 @@ class DeterministicMerger:
         return mapped
 
     def _apply_span_op(self, database: str, op: tuple) -> None:
+        # Wall-clock elements are optional trailing fields: older dumps
+        # (and unit-test fixtures) ship the bare 7/5-tuples, live workers
+        # append a rebased ``perf_counter`` reading.  Wall values never
+        # participate in determinism comparisons — sim-time fields do.
         if op[0] == "start":
-            _kind, local_id, kind, span_db, at, local_parent, attributes = op
+            _kind, local_id, kind, span_db, at, local_parent, attributes = op[:7]
+            wall_start = op[7] if len(op) > 7 else None
             parent_id: Optional[int] = None
             if local_parent is not None:
                 parent_id = self._span_ids.get((database, local_parent))
@@ -155,11 +173,13 @@ class DeterministicMerger:
                 attributes=remap_payload_rec_id(
                     dict(attributes), self.rec_ids, database
                 ),
+                wall_start=wall_start,
             )
             self._open_spans[(database, local_id)] = span
             self.recorder.record(span)
         else:
-            _kind, local_id, at, outcome, attributes = op
+            _kind, local_id, at, outcome, attributes = op[:5]
+            wall_end = op[5] if len(op) > 5 else None
             span = self._open_spans.pop((database, local_id), None)
             if span is None:
                 raise TelemetryError(
@@ -168,6 +188,7 @@ class DeterministicMerger:
                 )
             span.end = at
             span.outcome = outcome
+            span.wall_end = wall_end
             span.attributes.update(
                 remap_payload_rec_id(dict(attributes), self.rec_ids, database)
             )

@@ -7,6 +7,12 @@ seed; only wall-clock behaviour differs.  The process backend keeps one
 long-lived OS process per shard: shard state is built inside the child
 from the picklable payload at startup, and only commands / per-tick
 deltas cross the pipe afterwards.
+
+Every backend brackets its ``dispatch`` (pushing the tick command out)
+and ``wait`` (blocking on shard results) segments on the service's
+shared :class:`~repro.parallel.timing.TickPhaseTimer`, so ``repro
+profile`` attributes IPC cost per backend without the backends having
+to know anything else about profiling.
 """
 
 from __future__ import annotations
@@ -16,15 +22,26 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional
 
 from repro.parallel.spec import ShardPayload
+from repro.parallel.timing import TickPhaseTimer
 from repro.parallel.worker import ShardResult, ShardRunner, shard_worker_main
 
 
 class SerialPool:
-    """Shards executed inline, one after another (the baseline)."""
+    """Shards executed inline, one after another (the baseline).
+
+    Inline execution has no dispatch/wait split: the whole loop counts
+    as ``wait`` (the parent is "blocked on shard work" for all of it),
+    keeping phase semantics comparable across backends.
+    """
 
     backend = "serial"
 
-    def __init__(self, payloads: List[ShardPayload]) -> None:
+    def __init__(
+        self,
+        payloads: List[ShardPayload],
+        timer: Optional[TickPhaseTimer] = None,
+    ) -> None:
+        self.timer = timer if timer is not None else TickPhaseTimer(enabled=False)
         self.runners = [ShardRunner(payload) for payload in payloads]
 
     def tick(
@@ -33,10 +50,13 @@ class SerialPool:
         max_statements: Optional[int],
         classifier_state: Optional[dict],
     ) -> List[ShardResult]:
-        return [
-            runner.tick(end, max_statements, classifier_state)
-            for runner in self.runners
-        ]
+        with self.timer.phase("dispatch"):
+            pass
+        with self.timer.phase("wait"):
+            return [
+                runner.tick(end, max_statements, classifier_state)
+                for runner in self.runners
+            ]
 
     def close(self) -> None:
         pass
@@ -53,7 +73,12 @@ class ThreadPool:
 
     backend = "thread"
 
-    def __init__(self, payloads: List[ShardPayload]) -> None:
+    def __init__(
+        self,
+        payloads: List[ShardPayload],
+        timer: Optional[TickPhaseTimer] = None,
+    ) -> None:
+        self.timer = timer if timer is not None else TickPhaseTimer(enabled=False)
         self.runners = [ShardRunner(payload) for payload in payloads]
         self._executor = ThreadPoolExecutor(
             max_workers=max(1, len(self.runners)),
@@ -66,13 +91,15 @@ class ThreadPool:
         max_statements: Optional[int],
         classifier_state: Optional[dict],
     ) -> List[ShardResult]:
-        futures = [
-            self._executor.submit(
-                runner.tick, end, max_statements, classifier_state
-            )
-            for runner in self.runners
-        ]
-        return [future.result() for future in futures]
+        with self.timer.phase("dispatch"):
+            futures = [
+                self._executor.submit(
+                    runner.tick, end, max_statements, classifier_state
+                )
+                for runner in self.runners
+            ]
+        with self.timer.phase("wait"):
+            return [future.result() for future in futures]
 
     def close(self) -> None:
         self._executor.shutdown(wait=True)
@@ -84,8 +111,12 @@ class ProcessPool:
     backend = "process"
 
     def __init__(
-        self, payloads: List[ShardPayload], mp_context: str = ""
+        self,
+        payloads: List[ShardPayload],
+        mp_context: str = "",
+        timer: Optional[TickPhaseTimer] = None,
     ) -> None:
+        self.timer = timer if timer is not None else TickPhaseTimer(enabled=False)
         method = mp_context or (
             "fork"
             if "fork" in multiprocessing.get_all_start_methods()
@@ -116,16 +147,18 @@ class ProcessPool:
         max_statements: Optional[int],
         classifier_state: Optional[dict],
     ) -> List[ShardResult]:
-        for conn in self._connections:
-            conn.send(("tick", end, max_statements, classifier_state))
-        results = []
-        for conn in self._connections:
-            reply = conn.recv()
-            if reply[0] != "ok":
-                self.close()
-                raise RuntimeError(f"shard worker failed:\n{reply[1]}")
-            results.append(reply[1])
-        return results
+        with self.timer.phase("dispatch"):
+            for conn in self._connections:
+                conn.send(("tick", end, max_statements, classifier_state))
+        with self.timer.phase("wait"):
+            results = []
+            for conn in self._connections:
+                reply = conn.recv()
+                if reply[0] != "ok":
+                    self.close()
+                    raise RuntimeError(f"shard worker failed:\n{reply[1]}")
+                results.append(reply[1])
+            return results
 
     def close(self) -> None:
         for conn in self._connections:
@@ -145,13 +178,16 @@ class ProcessPool:
 
 
 def make_pool(
-    backend: str, payloads: List[ShardPayload], mp_context: str = ""
+    backend: str,
+    payloads: List[ShardPayload],
+    mp_context: str = "",
+    timer: Optional[TickPhaseTimer] = None,
 ):
     """Build the pool for an *effective* (already auto-resolved) backend."""
     if backend == "serial":
-        return SerialPool(payloads)
+        return SerialPool(payloads, timer=timer)
     if backend == "thread":
-        return ThreadPool(payloads)
+        return ThreadPool(payloads, timer=timer)
     if backend == "process":
-        return ProcessPool(payloads, mp_context=mp_context)
+        return ProcessPool(payloads, mp_context=mp_context, timer=timer)
     raise ValueError(f"unknown backend {backend!r}")

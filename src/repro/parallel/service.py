@@ -34,6 +34,12 @@ from repro.controlplane.events import EventBus
 from repro.controlplane.store import StateStore
 from repro.engine.engine import EngineSettings
 from repro.observability import AlertWatchdog, Telemetry
+from repro.observability.profiling import Profiler
+from repro.observability.trace_export import (
+    TraceEvent,
+    attribution_summary,
+    span_trace_events,
+)
 from repro.recommender import MiRecommenderSettings
 from repro.recommender.classifier import (
     LowImpactClassifier,
@@ -48,6 +54,11 @@ from repro.parallel.spec import (
     SharedSettings,
     database_specs,
     shard_payloads,
+)
+from repro.parallel.timing import (
+    PARENT_PHASES,
+    TickPhaseTimer,
+    rebase_span_ops,
 )
 from repro.validation import ValidationSettings
 
@@ -85,6 +96,9 @@ class ShardedFleetService:
         self.watchdog = AlertWatchdog(
             self.telemetry.registry, audit=self.telemetry.audit
         )
+        #: Region-level hot-path aggregate, merged from worker profilers
+        #: in stable db order each tick (``repro profile`` ranks these).
+        self.profiler = Profiler()
         self.merger = DeterministicMerger(
             store=self.store,
             audit=self.telemetry.audit,
@@ -93,6 +107,7 @@ class ShardedFleetService:
             bus=self.events,
             incidents=self.incidents,
             validation_history=self.validation_history,
+            profiler=self.profiler,
         )
         self.specs = database_specs(
             n_databases,
@@ -109,14 +124,31 @@ class ShardedFleetService:
             mi_settings=mi_settings,
             policy=policy,
             engine_settings=engine_settings,
+            instrument=self.parallel.instrument,
         )
         self.payloads = shard_payloads(
             self.specs, self.parallel.effective_workers, shared
         )
         self.backend = self.parallel.effective_backend
-        self.pool = make_pool(
-            self.backend, self.payloads, mp_context=self.parallel.mp_context
+        #: One timer for the whole service: the pool brackets
+        #: dispatch/wait on it, ``_tick`` brackets build/merge/finalize.
+        self.phase_timer = TickPhaseTimer(
+            registry=self.telemetry.registry,
+            enabled=self.parallel.instrument,
         )
+        self.pool = make_pool(
+            self.backend,
+            self.payloads,
+            mp_context=self.parallel.mp_context,
+            timer=self.phase_timer,
+        )
+        #: Database name -> export track (1 + shard index): spans from a
+        #: database render on the worker track that executed it.
+        self._db_track = {
+            spec.name: payload.shard_index + 1
+            for payload in self.payloads
+            for spec in payload.databases
+        }
         registry = self.telemetry.registry
         registry.gauge("fleet_databases").set(len(self.specs))
         registry.gauge("fleet_workers").set(len(self.payloads))
@@ -140,29 +172,53 @@ class ShardedFleetService:
 
     def _tick(self, end: float) -> None:
         started = time.perf_counter()
-        classifier_state = self._pending_classifier_state
-        self._pending_classifier_state = None
-        results = self.pool.tick(
-            end, self.settings.max_statements_per_step, classifier_state
-        )
-        deltas = [delta for result in results for delta in result.deltas]
+        timer = self.phase_timer
+        timer.begin_tick()
+        # The five parent phases (build / dispatch / wait / merge /
+        # finalize) partition this method with only context-manager
+        # transitions between them, which is what makes the >= 95%
+        # attribution-coverage gate structurally achievable.
+        with timer.phase("build"):
+            classifier_state = self._pending_classifier_state
+            self._pending_classifier_state = None
+            max_statements = self.settings.max_statements_per_step
+        # The pool brackets "dispatch" and "wait" internally.
+        results = self.pool.tick(end, max_statements, classifier_state)
         registry = self.telemetry.registry
-        registry.gauge("fleet_merge_queue_depth").set(len(deltas))
-        self.merger.merge(deltas)
-        busy = [result.busy_seconds for result in results]
-        for i, seconds in enumerate(busy):
-            self._shard_busy[i] += seconds
-            registry.gauge("fleet_shard_busy", shard=str(i)).set(
-                self._shard_busy[i]
+        with timer.phase("merge"):
+            anchor = timer.wait_anchor
+            deltas = []
+            for result in results:
+                timer.absorb_shard(result)
+                for delta in result.deltas:
+                    if timer.enabled and delta.spans:
+                        # Shift span wall clocks from the shard's
+                        # perf_counter base onto the parent timeline so
+                        # the export shares one epoch.  Sim-time fields
+                        # are untouched — determinism is unaffected.
+                        delta.spans = rebase_span_ops(
+                            delta.spans, result.started_wall, anchor
+                        )
+                    deltas.append(delta)
+            registry.gauge("fleet_merge_queue_depth").set(len(deltas))
+            self.merger.merge(deltas)
+        with timer.phase("finalize"):
+            busy = [result.busy_seconds for result in results]
+            for i, seconds in enumerate(busy):
+                self._shard_busy[i] += seconds
+                registry.gauge("fleet_shard_busy", shard=str(i)).set(
+                    self._shard_busy[i]
+                )
+            registry.gauge("fleet_tick_skew_seconds").set(
+                max(busy) - min(busy) if busy else 0.0
             )
-        registry.gauge("fleet_tick_skew_seconds").set(
-            max(busy) - min(busy) if busy else 0.0
-        )
-        registry.counter("fleet_ticks_total").inc()
-        self.clock.advance_to(end)
-        self.watchdog.evaluate(end)
-        self._maybe_retrain()
-        self.tick_wall_seconds.append(time.perf_counter() - started)
+            registry.counter("fleet_ticks_total").inc()
+            self.clock.advance_to(end)
+            self.watchdog.evaluate(end)
+            self._maybe_retrain()
+        wall = time.perf_counter() - started
+        timer.end_tick(wall)
+        self.tick_wall_seconds.append(wall)
 
     def _maybe_retrain(self) -> None:
         now = self.clock.now
@@ -190,6 +246,26 @@ class ShardedFleetService:
         """The merged decision-provenance stream."""
         return self.telemetry.audit
 
+    def attribution(self) -> dict:
+        """Where the wall-clock went: per-phase totals and coverage."""
+        return attribution_summary(self.phase_timer.ticks, PARENT_PHASES)
+
+    def trace_events(self) -> List[TraceEvent]:
+        """Phase brackets plus merged-span events for the trace export."""
+        return list(self.phase_timer.events) + span_trace_events(
+            self.telemetry.recorder.spans(), self._db_track
+        )
+
+    def track_names(self) -> dict:
+        """Export track index -> human-readable label."""
+        names = {0: "control plane (parent)"}
+        for payload in self.payloads:
+            names[payload.shard_index + 1] = (
+                f"shard-{payload.shard_index} "
+                f"({len(payload.databases)} db, {self.backend})"
+            )
+        return names
+
     def close(self) -> None:
         if not self._closed:
             self._closed = True
@@ -206,8 +282,11 @@ def build_fleet_service(
     n_databases: int,
     workers: int = 0,
     backend: str = "auto",
+    instrument: bool = True,
     **kwargs,
 ) -> ShardedFleetService:
     """Convenience constructor mirroring :func:`repro.service.build_service`."""
-    parallel = ParallelSettings(workers=workers, backend=backend)
+    parallel = ParallelSettings(
+        workers=workers, backend=backend, instrument=instrument
+    )
     return ShardedFleetService(n_databases, parallel=parallel, **kwargs)

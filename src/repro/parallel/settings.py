@@ -35,6 +35,10 @@ class ParallelSettings:
     #: Multiprocessing start method; None picks ``fork`` when available
     #: (cheap on Linux) and ``spawn`` otherwise.
     mp_context: str = ""
+    #: Collect per-tick phase timings and trace events (the ``repro
+    #: profile`` data source).  Off is the ``--no-profile`` escape hatch
+    #: the overhead benchmark gate compares against.
+    instrument: bool = True
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:

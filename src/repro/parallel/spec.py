@@ -50,6 +50,9 @@ class SharedSettings:
     mi_settings: Optional[MiRecommenderSettings] = None
     policy: Optional[RecommenderPolicy] = None
     engine_settings: Optional[EngineSettings] = None
+    #: Collect worker-side phase traces each tick (the profiling layer's
+    #: worker half; hot-path rows ship regardless of this flag).
+    instrument: bool = True
 
 
 @dataclasses.dataclass(frozen=True)

@@ -22,9 +22,11 @@ import traceback
 from typing import Dict, List, Optional
 
 from repro.controlplane import ControlPlane
+from repro.observability.profiling import Profiler, use_profiler
 from repro.observability.spans import Span, Tracer
 from repro.parallel.delta import TickDelta, diff_snapshots, registry_snapshot
 from repro.parallel.spec import DatabaseSpec, ShardPayload, SharedSettings
+from repro.parallel.timing import ShardTickTrace
 from repro.workload.app_profiles import make_profile
 
 
@@ -33,7 +35,10 @@ class RecordingTracer(Tracer):
 
     The ops (not the span objects) cross the process pipe; the merger
     replays them against the region service's recorder with globally
-    remapped span ids.
+    remapped span ids.  Each op's final element is the span's wall-clock
+    ``perf_counter`` reading in *this* process's clock — the service
+    rebases it onto the parent timeline before the merge (see
+    :func:`repro.parallel.timing.rebase_span_ops`).
     """
 
     def __init__(self, recorder) -> None:
@@ -58,13 +63,16 @@ class RecordingTracer(Tracer):
                 at,
                 span.parent_id,
                 dict(attributes),
+                span.wall_start,
             )
         )
         return span
 
     def end(self, span: Span, at: float, outcome: str = "ok", **attributes) -> Span:
         super().end(span, at, outcome, **attributes)
-        self.ops.append(("end", span.span_id, at, outcome, dict(attributes)))
+        self.ops.append(
+            ("end", span.span_id, at, outcome, dict(attributes), span.wall_end)
+        )
         return span
 
     def drain(self) -> List[tuple]:
@@ -77,6 +85,14 @@ class DatabaseWorker:
 
     def __init__(self, spec: DatabaseSpec, shared: SharedSettings) -> None:
         self.spec = spec
+        #: Process-local hot-path stats for *this database only*.  Every
+        #: backend installs it around its engine work via
+        #: :func:`~repro.observability.profiling.use_profiler`, so
+        #: shard-side profiling neither leaks into the parent's global
+        #: profiler (the old thread/serial double count) nor dies with a
+        #: worker process (the old process-backend data loss): rows are
+        #: drained into every tick delta and merged at the parent.
+        self.profiler = Profiler()
         self.profile = make_profile(
             spec.name,
             seed=spec.profile_seed,
@@ -111,19 +127,36 @@ class DatabaseWorker:
     def _on_bus_event(self, event) -> None:
         self._bus_buffer.append(event)
 
-    def tick(self, end: float, max_statements: Optional[int]) -> TickDelta:
+    def tick(
+        self,
+        end: float,
+        max_statements: Optional[int],
+        trace: Optional[ShardTickTrace] = None,
+    ) -> TickDelta:
         """Advance the workload to ``end`` (simulated minutes), process
         the plane once, and drain everything emitted."""
-        engine = self.profile.engine
-        remaining_hours = (end - engine.clock.now) / 60.0
-        if remaining_hours > 0:
-            self.profile.workload.run(
-                engine, remaining_hours, max_statements=max_statements
+        run_started = time.perf_counter()
+        with use_profiler(self.profiler):
+            engine = self.profile.engine
+            remaining_hours = (end - engine.clock.now) / 60.0
+            if remaining_hours > 0:
+                self.profile.workload.run(
+                    engine, remaining_hours, max_statements=max_statements
+                )
+            if engine.clock.now < end:
+                engine.clock.advance_to(end)
+            self.plane.process(end)
+        drain_started = time.perf_counter()
+        delta = self._drain()
+        drained = time.perf_counter()
+        if trace is not None:
+            trace.observe_phase(
+                "worker_run", self.spec.name, run_started, drain_started
             )
-        if engine.clock.now < end:
-            engine.clock.advance_to(end)
-        self.plane.process(end)
-        return self._drain()
+            trace.observe_phase(
+                "worker_drain", self.spec.name, drain_started, drained
+            )
+        return delta
 
     def _drain(self) -> TickDelta:
         plane = self.plane
@@ -149,6 +182,7 @@ class DatabaseWorker:
             metrics=metrics,
             validation_history=list(history),
             incidents=list(incidents),
+            hot_paths=self.profiler.drain_rows(),
         )
 
     def load_classifier(self, state: Optional[dict]) -> None:
@@ -157,10 +191,23 @@ class DatabaseWorker:
 
 @dataclasses.dataclass
 class ShardResult:
-    """One shard's tick output plus its wall-clock cost."""
+    """One shard's tick output plus its wall-clock cost.
+
+    ``started_wall`` and the ``events`` offsets are in the *shard
+    process's* ``perf_counter`` clock; the parent re-anchors them on its
+    own timeline (see :meth:`repro.parallel.timing.TickPhaseTimer
+    .absorb_shard`) rather than comparing clock bases across processes.
+    """
 
     deltas: List[TickDelta]
     busy_seconds: float
+    shard_index: int = 0
+    #: The shard clock's reading at tick start (anchor for offsets).
+    started_wall: float = 0.0
+    #: Seconds per worker-side phase, summed over this shard's databases.
+    phase_seconds: Dict[str, float] = dataclasses.field(default_factory=dict)
+    #: ``(phase, database, start_offset_s, duration_s)`` trace rows.
+    events: List[tuple] = dataclasses.field(default_factory=list)
 
 
 class ShardRunner:
@@ -168,6 +215,7 @@ class ShardRunner:
 
     def __init__(self, payload: ShardPayload) -> None:
         self.shard_index = payload.shard_index
+        self.instrument = payload.shared.instrument
         self.workers = [
             DatabaseWorker(spec, payload.shared) for spec in payload.databases
         ]
@@ -178,13 +226,21 @@ class ShardRunner:
         max_statements: Optional[int],
         classifier_state: Optional[dict],
     ) -> ShardResult:
-        started = time.perf_counter()
+        trace = ShardTickTrace() if self.instrument else None
+        started = trace.started if trace is not None else time.perf_counter()
         if classifier_state is not None:
             for worker in self.workers:
                 worker.load_classifier(classifier_state)
-        deltas = [worker.tick(end, max_statements) for worker in self.workers]
+        deltas = [
+            worker.tick(end, max_statements, trace) for worker in self.workers
+        ]
         return ShardResult(
-            deltas=deltas, busy_seconds=time.perf_counter() - started
+            deltas=deltas,
+            busy_seconds=time.perf_counter() - started,
+            shard_index=self.shard_index,
+            started_wall=started,
+            phase_seconds=trace.totals() if trace is not None else {},
+            events=trace.events if trace is not None else [],
         )
 
 

@@ -70,6 +70,13 @@ def run_fleet(
                 (e.at, e.kind, e.database, json.dumps(e.payload, sort_keys=True, default=str))
                 for e in service.events.history()
             ],
+            # Deterministic projection of the merged hot-path rows:
+            # calls and simulated cost must match across backends
+            # (wall-clock real_seconds, by nature, cannot).
+            "hot_paths": sorted(
+                (s.name, s.calls, s.sim_ms)
+                for s in service.profiler.rows()
+            ),
         }
     finally:
         service.close()
@@ -90,6 +97,7 @@ class TestBackendEquivalence:
         assert threaded["spans"] == serial["spans"]
         assert threaded["history"] == serial["history"]
         assert threaded["bus"] == serial["bus"]
+        assert threaded["hot_paths"] == serial["hot_paths"]
 
     def test_process_backend_matches_serial(self, serial):
         processed = run_fleet("process", WORKERS)
@@ -97,6 +105,11 @@ class TestBackendEquivalence:
         assert processed["journal"] == serial["journal"]
         assert processed["recovered"] == serial["recovered"]
         assert processed["spans"] == serial["spans"]
+        assert processed["hot_paths"] == serial["hot_paths"]
+
+    def test_profiler_saw_engine_work(self, serial):
+        names = [name for name, _calls, _sim in serial["hot_paths"]]
+        assert "engine_execute" in names
 
     def test_run_produced_real_work(self, serial):
         assert serial["recovered"], "no recommendations were generated"
@@ -113,6 +126,7 @@ def test_property_serial_vs_parallel_identical(seed):
     parallel = run_fleet("thread", WORKERS, n_databases=2, hours=12.0, seed=seed)
     assert parallel["jsonl"] == serial["jsonl"]
     assert parallel["recovered"] == serial["recovered"]
+    assert parallel["hot_paths"] == serial["hot_paths"]
 
 
 class TestFleetGauges:
@@ -213,6 +227,11 @@ class TestExecutorModeDeterminism:
         monkeypatch.setenv("REPRO_EXECUTOR", "vector")
         vector = run_fleet("serial", 1, n_databases=2, hours=24.0, seed=7)
         assert self._audit_sha256(vector) == self._audit_sha256(interp)
+        # Hot-path profiles describe *how* the host executed (the vector
+        # path ticks vector_batch, skips interpreter counters), so they
+        # are the one stream allowed to differ across executor modes.
+        interp.pop("hot_paths")
+        vector.pop("hot_paths")
         assert vector == interp
 
 
