@@ -1,8 +1,9 @@
 #!/usr/bin/env python
 """Fleet-scale benchmark: throughput of the sharded control plane.
 
-Sweeps fleet size x worker count over the fleet-parallel service
-(``repro.parallel``) and records, per configuration:
+Sweeps fleet size x worker count x pipeline depth (``batch_ticks``)
+over the fleet-parallel service (``repro.parallel``) and records, per
+configuration:
 
 - **db_hours_per_sec** — simulated database-hours advanced per
   wall-clock second (the service's unit of work);
@@ -17,6 +18,12 @@ Sweeps fleet size x worker count over the fleet-parallel service
   timers (where the time went: build/dispatch/wait/merge/finalize plus
   worker-side run/drain) and the coverage figure (share of tick
   wall-clock the parent phases explain).
+
+Configurations that differ only in ``batch_ticks`` are paired into a
+**pipelining** comparison block: per-tick dispatch seconds at depth 1
+vs depth K, and the reduction fraction — the amortization pipelined
+dispatch buys.  Every batched row must hash identically to its serial
+one-tick baseline (determinism gate).
 
 The sweep ends with an **overhead gate**: the largest configuration is
 re-run with instrumentation off (``instrument=False``, the CLI's
@@ -65,6 +72,7 @@ def run_config(
     workers: int,
     hours: float,
     seed: int,
+    batch_ticks: int = 1,
     instrument: bool = True,
 ) -> dict:
     backend = "serial" if workers <= 1 else "process"
@@ -72,6 +80,7 @@ def run_config(
         n_databases,
         workers=workers,
         backend=backend,
+        batch_ticks=batch_ticks,
         instrument=instrument,
         seed=seed,
         service_settings=ServiceSettings(max_statements_per_step=80),
@@ -86,6 +95,7 @@ def run_config(
             "workers": workers,
             "backend": backend,
             "shards": len(service.payloads),
+            "batch_ticks": batch_ticks,
             "instrument": instrument,
             "simulated_hours": hours,
             "wall_seconds": round(wall, 3),
@@ -93,7 +103,7 @@ def run_config(
             "p95_tick_seconds": round(
                 percentile(service.tick_wall_seconds, 0.95), 4
             ),
-            "ticks": len(service.tick_wall_seconds),
+            "ticks": service.ticks_completed,
             "audit_events": len(service.telemetry.audit.events()),
             "audit_sha256": hashlib.sha256(jsonl.encode()).hexdigest(),
         }
@@ -117,8 +127,49 @@ def run_config(
         service.close()
 
 
+def pipelining_comparison(results) -> list:
+    """Pair each batched row with its one-tick twin and compare the
+    per-tick dispatch cost — the overhead pipelined dispatch amortizes
+    across the ``batch_ticks`` ticks of one pool round-trip."""
+
+    def dispatch_per_tick(row) -> float:
+        phase = row.get("attribution", {}).get("phase_seconds", {})
+        return phase.get("dispatch", 0.0) / max(1, row["ticks"])
+
+    by_key = {
+        (r["databases"], r["workers"], r["simulated_hours"], r["batch_ticks"]):
+            r
+        for r in results
+    }
+    pairs = []
+    for (databases, workers, hours, batch_ticks), row in sorted(
+        by_key.items()
+    ):
+        if batch_ticks <= 1 or workers <= 1:
+            continue
+        base = by_key.get((databases, workers, hours, 1))
+        if base is None:
+            continue
+        before = dispatch_per_tick(base)
+        after = dispatch_per_tick(row)
+        pairs.append({
+            "databases": databases,
+            "workers": workers,
+            "batch_ticks": batch_ticks,
+            "dispatch_per_tick_batch1": round(before, 6),
+            "dispatch_per_tick_batched": round(after, 6),
+            "dispatch_reduction": round(
+                after / before - 1.0 if before > 0 else 0.0, 4
+            ),
+            "wall_seconds_batch1": base["wall_seconds"],
+            "wall_seconds_batched": row["wall_seconds"],
+        })
+    return pairs
+
+
 def overhead_gate(
     n_databases: int, workers: int, hours: float, seed: int,
+    batch_ticks: int = 1,
     threshold: float = 0.05,
 ) -> dict:
     """A/B the largest configuration with instrumentation on vs off.
@@ -127,12 +178,17 @@ def overhead_gate(
     uninstrumented run's wall-clock.  Both runs must stay byte-identical
     (instrumentation can never leak into merged output).
     """
-    on = run_config(n_databases, workers, hours, seed, instrument=True)
-    off = run_config(n_databases, workers, hours, seed, instrument=False)
+    on = run_config(
+        n_databases, workers, hours, seed, batch_ticks, instrument=True
+    )
+    off = run_config(
+        n_databases, workers, hours, seed, batch_ticks, instrument=False
+    )
     overhead = on["wall_seconds"] / off["wall_seconds"] - 1.0
     return {
         "databases": n_databases,
         "workers": workers,
+        "batch_ticks": batch_ticks,
         "simulated_hours": hours,
         "instrumented_wall_seconds": on["wall_seconds"],
         "baseline_wall_seconds": off["wall_seconds"],
@@ -154,43 +210,78 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
 
+    # (databases, workers, batch_ticks, simulated_hours).  Each fleet
+    # size leads with its serial one-tick baseline; batched variants of
+    # the same (databases, workers) pair feed the pipelining block.
+    # The 100-database tier runs fewer simulated hours so the full
+    # sweep stays tractable on a laptop-class host.
     if args.smoke:
-        fleet_sizes, worker_counts, hours = [4], [1, 2], 24.0
+        configs = [
+            (4, 1, 1, 24.0),
+            (4, 2, 1, 24.0),
+            (4, 2, 4, 24.0),
+        ]
     else:
-        fleet_sizes, worker_counts, hours = [6, 12], [1, 2, 4], 48.0
+        configs = []
+        for n_databases in (6, 12):
+            configs += [
+                (n_databases, 1, 1, 48.0),
+                (n_databases, 4, 1, 48.0),
+                (n_databases, 4, 4, 48.0),
+            ]
+        configs += [
+            (100, 1, 1, 12.0),
+            (100, 4, 1, 12.0),
+            (100, 4, 4, 12.0),
+        ]
 
     results = []
-    for n_databases in fleet_sizes:
-        baseline = None
-        for workers in worker_counts:
-            row = run_config(n_databases, workers, hours, args.seed)
-            if workers <= 1:
-                baseline = row
-            row["speedup_vs_serial"] = (
-                round(baseline["wall_seconds"] / row["wall_seconds"], 2)
-                if baseline
-                else None
-            )
-            if baseline and row["audit_sha256"] != baseline["audit_sha256"]:
-                print(
-                    f"DETERMINISM VIOLATION: {n_databases} dbs x "
-                    f"{workers} workers diverged from serial",
-                    file=sys.stderr,
-                )
-                return 1
-            results.append(row)
-            attribution = row.get("attribution", {})
+    baselines = {}
+    for n_databases, workers, batch_ticks, hours in configs:
+        row = run_config(
+            n_databases, workers, hours, args.seed, batch_ticks
+        )
+        if workers <= 1 and batch_ticks <= 1:
+            baselines[(n_databases, hours)] = row
+        baseline = baselines.get((n_databases, hours))
+        row["speedup_vs_serial"] = (
+            round(baseline["wall_seconds"] / row["wall_seconds"], 2)
+            if baseline
+            else None
+        )
+        if baseline and row["audit_sha256"] != baseline["audit_sha256"]:
             print(
-                f"dbs={n_databases:>3} workers={workers} "
-                f"backend={row['backend']:<7} wall={row['wall_seconds']:>7.2f}s "
-                f"db-h/s={row['db_hours_per_sec']:>7.2f} "
-                f"speedup={row['speedup_vs_serial']} "
-                f"p95-tick={row['p95_tick_seconds']:.3f}s "
-                f"coverage={attribution.get('coverage', 0.0):.1%}"
+                f"DETERMINISM VIOLATION: {n_databases} dbs x "
+                f"{workers} workers x batch {batch_ticks} diverged "
+                f"from serial",
+                file=sys.stderr,
             )
+            return 1
+        results.append(row)
+        attribution = row.get("attribution", {})
+        print(
+            f"dbs={n_databases:>3} workers={workers} batch={batch_ticks} "
+            f"backend={row['backend']:<7} wall={row['wall_seconds']:>7.2f}s "
+            f"db-h/s={row['db_hours_per_sec']:>7.2f} "
+            f"speedup={row['speedup_vs_serial']} "
+            f"p95-tick={row['p95_tick_seconds']:.3f}s "
+            f"coverage={attribution.get('coverage', 0.0):.1%}"
+        )
 
+    pipelining = pipelining_comparison(results)
+    for pair in pipelining:
+        print(
+            f"pipelining: dbs={pair['databases']:>3} "
+            f"workers={pair['workers']} "
+            f"dispatch/tick {pair['dispatch_per_tick_batch1']:.4f}s -> "
+            f"{pair['dispatch_per_tick_batched']:.4f}s "
+            f"at batch={pair['batch_ticks']} "
+            f"({pair['dispatch_reduction']:+.1%})"
+        )
+
+    largest = max(configs, key=lambda c: (c[0], c[1], c[2]))
     gate = overhead_gate(
-        max(fleet_sizes), max(worker_counts), hours, args.seed
+        largest[0], largest[1], largest[3], args.seed, largest[2]
     )
     print(
         f"overhead gate: instrumented={gate['instrumented_wall_seconds']:.2f}s "
@@ -214,14 +305,19 @@ def main(argv=None) -> int:
         "cpu_count": os.cpu_count(),
         "platform": platform.platform(),
         "python": platform.python_version(),
-        "determinism": "audit sha256 identical across worker counts",
+        "determinism": (
+            "audit sha256 identical across worker counts and batch_ticks"
+        ),
         "note": (
             f"speedup_vs_serial is bounded by cpu_count={os.cpu_count()}: "
             "process workers only beat serial with real cores to run on; "
             "on a single-core host the sweep measures dispatch+merge "
-            "overhead and the determinism guarantee, not parallel speedup"
+            "overhead and the determinism guarantee, not parallel speedup. "
+            "The pipelining block isolates what batching does buy "
+            "everywhere: fewer pool round-trips per simulated tick."
         ),
         "overhead_gate": gate,
+        "pipelining": pipelining,
         "results": results,
     }
     with open(args.out, "w") as handle:

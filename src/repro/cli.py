@@ -141,6 +141,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         workers=args.workers,
         backend=args.backend,
         instrument=not args.no_profile,
+        batch_ticks=args.batch_ticks,
         tier=args.tier,
         seed=args.seed,
         control_settings=ControlPlaneSettings(
@@ -153,10 +154,15 @@ def cmd_run(args: argparse.Namespace) -> int:
         ),
         default_config=AutoIndexingConfig(create_mode=AutoMode.AUTO),
     )
+    batched = (
+        f", {args.batch_ticks} ticks per dispatch"
+        if args.batch_ticks > 1
+        else ""
+    )
     print(
         f"running the fleet-parallel loop: {args.dbs} {args.tier} databases "
-        f"across {len(service.payloads)} {service.backend} worker(s), "
-        f"{args.days} simulated days"
+        f"across {len(service.payloads)} {service.backend} worker(s)"
+        f"{batched}, {args.days} simulated days"
     )
     try:
         for day in range(args.days):
@@ -171,7 +177,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             print(f"  day {day + 1}: {summary or '(quiet)'}")
         print()
         registry = service.telemetry.registry
-        wall = sum(service.tick_wall_seconds)
+        wall = service.tick_wall_total
         busy = sum(
             series.metric.value
             for series in registry.series_for("fleet_shard_busy")
@@ -208,6 +214,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
         workers=args.workers,
         backend=args.backend,
         instrument=not args.no_profile,
+        batch_ticks=args.batch_ticks,
         tier=args.tier,
         seed=args.seed,
         control_settings=ControlPlaneSettings(
@@ -229,10 +236,9 @@ def cmd_profile(args: argparse.Namespace) -> int:
     try:
         service.run(hours=hours)
         if args.no_profile:
-            wall = sum(service.tick_wall_seconds)
             print(f"profiling disabled (--no-profile): "
-                  f"{len(service.tick_wall_seconds)} tick(s), "
-                  f"{wall:.2f}s wall")
+                  f"{service.ticks_completed} tick(s), "
+                  f"{service.tick_wall_total:.2f}s wall")
             return 0
         print()
         summary = service.attribution()
@@ -446,6 +452,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="statement cap per database per step",
     )
     run.add_argument(
+        "--batch-ticks",
+        type=int,
+        default=1,
+        help="ticks dispatched per pool round-trip (pipelined dispatch: "
+        "workers stay hot across the batch; output stays byte-identical)",
+    )
+    run.add_argument(
         "--audit-out", help="dump the run's audit stream to this JSONL file"
     )
     run.add_argument(
@@ -479,6 +492,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=80,
         help="statement cap per database per step",
+    )
+    prof.add_argument(
+        "--batch-ticks",
+        type=int,
+        default=1,
+        help="ticks dispatched per pool round-trip (profile the "
+        "pipelined dispatch path)",
     )
     prof.add_argument(
         "--top", type=int, default=10, help="hot paths to list"

@@ -88,6 +88,25 @@ class TelemetryError(ReproError):
     raise ``ValueError`` at the emission boundary."""
 
 
+class ShardCrashError(ReproError):
+    """A fleet shard worker process died mid-protocol.
+
+    Raised by the process-backed worker pool when a shard's pipe hits
+    EOF (the worker was killed or crashed hard enough to skip its own
+    error report).  Carries which shard died and the last command the
+    parent sent it, so operators can tell a startup death from a
+    mid-batch one; the pool closes its remaining workers before raising.
+    """
+
+    def __init__(self, shard_index: int, last_command: str) -> None:
+        super().__init__(
+            f"shard {shard_index} worker process died "
+            f"(last command sent: {last_command!r})"
+        )
+        self.shard_index = shard_index
+        self.last_command = last_command
+
+
 class WorkflowError(ReproError):
     """An experiment workflow step failed."""
 

@@ -96,6 +96,14 @@ CATALOG: Dict[str, MetricSpec] = dict(
         _spec("fleet_merge_queue_depth", "gauge", "deltas",
               "Per-database tick deltas awaiting the deterministic merge "
               "at the start of the most recent merge pass."),
+        _spec("fleet_pipeline_buffered_results", "gauge", "results",
+              "Streamed shard results parked in the completion buffer "
+              "awaiting their tick's stragglers (pipelined dispatch "
+              "depth at the most recent release)."),
+        _spec("fleet_tick_wall_seconds", "histogram", "seconds",
+              "Wall-clock seconds per fleet tick (dispatch through "
+              "finalize); the streaming whole-run complement of the "
+              "capped tick_wall_seconds window."),
         _spec("fleet_ticks_total", "counter", "ticks",
               "Fleet-parallel ticks executed (dispatch + merge rounds)."),
         _spec("fleet_phase_seconds", "histogram", "seconds",

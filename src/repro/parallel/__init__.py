@@ -27,7 +27,7 @@ from repro.parallel.delta import (
     diff_snapshots,
     registry_snapshot,
 )
-from repro.parallel.merge import DeterministicMerger
+from repro.parallel.merge import CompletionBuffer, DeterministicMerger
 from repro.parallel.pool import make_pool
 from repro.parallel.service import ShardedFleetService, build_fleet_service
 from repro.parallel.settings import ParallelSettings
@@ -43,6 +43,7 @@ from repro.parallel.timing import (
 from repro.parallel.worker import DatabaseWorker, RecordingTracer, ShardRunner
 
 __all__ = [
+    "CompletionBuffer",
     "DatabaseSpec",
     "DatabaseWorker",
     "DeterministicMerger",

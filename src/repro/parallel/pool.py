@@ -1,29 +1,57 @@
 """Worker pools: serial, thread, and process execution of shard ticks.
 
-All three backends expose the same surface — ``tick(end,
-max_statements, classifier_state) -> List[ShardResult]`` plus
-``close()`` — and all three produce identical deltas for the same
-seed; only wall-clock behaviour differs.  The process backend keeps one
-long-lived OS process per shard: shard state is built inside the child
-from the picklable payload at startup, and only commands / per-tick
-deltas cross the pipe afterwards.
+All three backends expose the same surface — ``tick_batch(ends,
+max_statements, classifier_state) -> Iterator[ShardResult]`` (plus the
+one-tick ``tick`` convenience wrapper and ``close()``) — and all three
+produce identical deltas for the same seed; only wall-clock behaviour
+differs.  The process backend keeps one long-lived OS process per
+shard: shard state is built inside the child from the picklable payload
+at startup, and only commands / per-tick deltas cross the pipe
+afterwards.
 
-Every backend brackets its ``dispatch`` (pushing the tick command out)
+``tick_batch`` is the pipelined protocol: the parent pushes a batch of
+K tick commands in one round-trip, workers run all K ticks back-to-back
+while staying hot, and results stream back **in completion order** —
+shard 2 may deliver its tick 3 before shard 1 delivers its tick 0.  The
+service buffers the stream and releases it to the merger in stable
+``(tick_index, shard_index)`` order, so arrival order never reaches
+merged output.
+
+Every backend brackets its ``dispatch`` (pushing the tick commands out)
 and ``wait`` (blocking on shard results) segments on the service's
 shared :class:`~repro.parallel.timing.TickPhaseTimer`, so ``repro
 profile`` attributes IPC cost per backend without the backends having
-to know anything else about profiling.
+to know anything else about profiling.  Under pipelining each blocking
+receive is bracketed individually, so ``wait`` accrues to whichever
+tick the parent is currently assembling.
+
+A shard process that dies mid-protocol (killed, OOMed, segfaulted —
+anything that skips its own ``("error", ...)`` report) surfaces as a
+:class:`~repro.errors.ShardCrashError` naming the shard and the last
+command it was sent; the pool closes its surviving workers before
+raising.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import queue
 from concurrent.futures import ThreadPoolExecutor
-from typing import List, Optional
+from multiprocessing import connection as mp_connection
+from typing import Iterator, List, Optional, Sequence
 
+from repro.errors import ShardCrashError
 from repro.parallel.spec import ShardPayload
 from repro.parallel.timing import TickPhaseTimer
 from repro.parallel.worker import ShardResult, ShardRunner, shard_worker_main
+
+
+def _collect_one_tick(pool, end, max_statements, classifier_state):
+    """The one-tick wrapper every backend shares: batch of 1, results
+    gathered and returned in shard order (the pre-pipelining contract)."""
+    results = list(pool.tick_batch([end], max_statements, classifier_state))
+    results.sort(key=lambda result: result.shard_index)
+    return results
 
 
 class SerialPool:
@@ -31,7 +59,10 @@ class SerialPool:
 
     Inline execution has no dispatch/wait split: the whole loop counts
     as ``wait`` (the parent is "blocked on shard work" for all of it),
-    keeping phase semantics comparable across backends.
+    keeping phase semantics comparable across backends.  ``tick_batch``
+    runs tick-major — every shard finishes tick T before any starts
+    T+1 — mirroring the synchronous baseline; batching buys nothing
+    inline, but the protocol (and its determinism) is still exercised.
     """
 
     backend = "serial"
@@ -50,13 +81,28 @@ class SerialPool:
         max_statements: Optional[int],
         classifier_state: Optional[dict],
     ) -> List[ShardResult]:
+        return _collect_one_tick(self, end, max_statements, classifier_state)
+
+    def tick_batch(
+        self,
+        ends: Sequence[float],
+        max_statements: Optional[int],
+        classifier_state: Optional[dict],
+    ) -> Iterator[ShardResult]:
         with self.timer.phase("dispatch"):
             pass
-        with self.timer.phase("wait"):
-            return [
-                runner.tick(end, max_statements, classifier_state)
-                for runner in self.runners
-            ]
+
+        def stream() -> Iterator[ShardResult]:
+            for index, end in enumerate(ends):
+                state = classifier_state if index == 0 else None
+                for runner in self.runners:
+                    with self.timer.phase("wait"):
+                        result = runner.tick(
+                            end, max_statements, state, tick_index=index
+                        )
+                    yield result
+
+        return stream()
 
     def close(self) -> None:
         pass
@@ -68,7 +114,9 @@ class ThreadPool:
     CPython's GIL serializes the pure-Python engine work, so this is not
     a speedup backend — it exercises the exact pool/merge machinery of
     the process backend without process startup cost, which is what the
-    determinism tests and the ``workers=2`` CI variant lean on.
+    determinism tests and the ``workers=2`` CI variant lean on.  Batched
+    ticks run back-to-back inside each shard thread and stream home
+    through a queue in completion order, exactly like the process pipe.
     """
 
     backend = "thread"
@@ -91,15 +139,39 @@ class ThreadPool:
         max_statements: Optional[int],
         classifier_state: Optional[dict],
     ) -> List[ShardResult]:
+        return _collect_one_tick(self, end, max_statements, classifier_state)
+
+    def tick_batch(
+        self,
+        ends: Sequence[float],
+        max_statements: Optional[int],
+        classifier_state: Optional[dict],
+    ) -> Iterator[ShardResult]:
+        results: "queue.Queue[tuple]" = queue.Queue()
+
+        def run_shard(runner: ShardRunner) -> None:
+            try:
+                for result in runner.tick_batch(
+                    list(ends), max_statements, classifier_state
+                ):
+                    results.put(("ok", result))
+            except BaseException as exc:  # propagated to the parent pull
+                results.put(("error", exc))
+
         with self.timer.phase("dispatch"):
-            futures = [
-                self._executor.submit(
-                    runner.tick, end, max_statements, classifier_state
-                )
-                for runner in self.runners
-            ]
-        with self.timer.phase("wait"):
-            return [future.result() for future in futures]
+            for runner in self.runners:
+                self._executor.submit(run_shard, runner)
+
+        def stream() -> Iterator[ShardResult]:
+            expected = len(self.runners) * len(ends)
+            for _ in range(expected):
+                with self.timer.phase("wait"):
+                    kind, payload = results.get()
+                if kind == "error":
+                    raise payload
+                yield payload
+
+        return stream()
 
     def close(self) -> None:
         self._executor.shutdown(wait=True)
@@ -125,21 +197,34 @@ class ProcessPool:
         ctx = multiprocessing.get_context(method)
         self._connections = []
         self._processes = []
-        for payload in payloads:
-            parent_conn, child_conn = ctx.Pipe()
-            process = ctx.Process(
-                target=shard_worker_main,
-                args=(child_conn, payload),
-                daemon=True,
-            )
-            process.start()
-            child_conn.close()
-            self._connections.append(parent_conn)
-            self._processes.append(process)
-        for conn in self._connections:
-            reply = conn.recv()
-            if reply[0] != "ready":
-                raise RuntimeError(f"shard worker failed to start: {reply[1]}")
+        self._shard_indices = [payload.shard_index for payload in payloads]
+        self._last_command = "start"
+        # Construction is all-or-nothing: a failure after some children
+        # have already been spawned must not leak them.
+        try:
+            for payload in payloads:
+                parent_conn, child_conn = ctx.Pipe()
+                process = ctx.Process(
+                    target=shard_worker_main,
+                    args=(child_conn, payload),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._connections.append(parent_conn)
+                self._processes.append(process)
+            for shard_index, conn in zip(self._shard_indices, self._connections):
+                try:
+                    reply = conn.recv()
+                except (EOFError, ConnectionError, OSError):
+                    raise ShardCrashError(shard_index, self._last_command)
+                if reply[0] != "ready":
+                    raise RuntimeError(
+                        f"shard worker failed to start: {reply[1]}"
+                    )
+        except BaseException:
+            self._reap()
+            raise
 
     def tick(
         self,
@@ -147,24 +232,79 @@ class ProcessPool:
         max_statements: Optional[int],
         classifier_state: Optional[dict],
     ) -> List[ShardResult]:
+        return _collect_one_tick(self, end, max_statements, classifier_state)
+
+    def tick_batch(
+        self,
+        ends: Sequence[float],
+        max_statements: Optional[int],
+        classifier_state: Optional[dict],
+    ) -> Iterator[ShardResult]:
+        command = ("tick_batch", list(ends), max_statements, classifier_state)
+        self._last_command = "tick_batch"
         with self.timer.phase("dispatch"):
-            for conn in self._connections:
-                conn.send(("tick", end, max_statements, classifier_state))
-        with self.timer.phase("wait"):
-            results = []
-            for conn in self._connections:
-                reply = conn.recv()
-                if reply[0] != "ok":
+            for shard_index, conn in zip(self._shard_indices, self._connections):
+                try:
+                    conn.send(command)
+                except (BrokenPipeError, ConnectionError, OSError):
+                    crash = ShardCrashError(shard_index, self._last_command)
                     self.close()
-                    raise RuntimeError(f"shard worker failed:\n{reply[1]}")
-                results.append(reply[1])
-            return results
+                    raise crash
+        return self._stream_results(len(ends))
+
+    def _stream_results(self, n_ticks: int) -> Iterator[ShardResult]:
+        """Yield ShardResults in completion order across all shards.
+
+        ``multiprocessing.connection.wait`` multiplexes the pipes, so a
+        fast shard's later ticks are drained while a slow shard still
+        computes its first — the parent never head-of-line blocks on one
+        pipe, and pipe buffers stay drained (workers block on ``send``
+        only when the parent is genuinely busier than every shard).
+        """
+        shard_of = dict(zip(self._connections, self._shard_indices))
+        pending = {conn: n_ticks for conn in self._connections}
+        ready: List = []
+        while pending:
+            if not ready:
+                with self.timer.phase("wait"):
+                    ready = list(mp_connection.wait(list(pending)))
+            conn = ready.pop()
+            with self.timer.phase("wait"):
+                try:
+                    reply = conn.recv()
+                except (EOFError, ConnectionError, OSError):
+                    crash = ShardCrashError(shard_of[conn], self._last_command)
+                    self.close()
+                    raise crash
+            if reply[0] != "ok":
+                self.close()
+                raise RuntimeError(f"shard worker failed:\n{reply[1]}")
+            pending[conn] -= 1
+            if pending[conn] == 0:
+                del pending[conn]
+            yield reply[1]
+
+    def _reap(self) -> None:
+        """Terminate and join every spawned child, then drop the pipes."""
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+        for process in self._processes:
+            process.join(timeout=5.0)
+        for conn in self._connections:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+        self._connections = []
+        self._processes = []
 
     def close(self) -> None:
+        self._last_command = "stop"
         for conn in self._connections:
             try:
                 conn.send(("stop",))
-            except (BrokenPipeError, OSError):
+            except (BrokenPipeError, ConnectionError, OSError):
                 pass
         for process in self._processes:
             process.join(timeout=5.0)

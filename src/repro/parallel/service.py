@@ -12,7 +12,16 @@ region-level store/audit/registry/span/event history.
 Because global ordering is assigned at merge time in stable
 ``(db_name, seq)`` order, a run's audit JSONL, recovered store state,
 and span trees are byte-identical across backends and worker counts for
-the same seed.  Cross-database services stay at the parent, where they
+the same seed.
+
+With ``ParallelSettings.batch_ticks > 1`` the loop is **pipelined**:
+the parent dispatches a batch of K tick commands in one round-trip,
+workers run them back-to-back while staying hot and stream one result
+per tick, and the parent merges finished ticks while later ones still
+compute.  Results are released to the merger in stable ``(tick,
+shard)`` order via a :class:`~repro.parallel.merge.CompletionBuffer`,
+and batches flush at classifier-retrain boundaries, so batched runs
+stay byte-identical to ``batch_ticks=1`` runs too.  Cross-database services stay at the parent, where they
 see the same merged state at the same virtual time in every backend:
 the alert watchdog evaluates over the merged registry, and the
 low-impact classifier retrains on the merged validation history (the
@@ -21,8 +30,9 @@ new state is broadcast to workers with the *next* tick command).
 
 from __future__ import annotations
 
+import collections
 import time
-from typing import List, Optional
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.clock import HOURS, SimClock
 from repro.controlplane import (
@@ -47,7 +57,7 @@ from repro.recommender.classifier import (
 )
 from repro.recommender.policy import RecommenderPolicy
 from repro.service import ServiceSettings
-from repro.parallel.merge import DeterministicMerger
+from repro.parallel.merge import CompletionBuffer, DeterministicMerger
 from repro.parallel.pool import make_pool
 from repro.parallel.settings import ParallelSettings
 from repro.parallel.spec import (
@@ -57,10 +67,17 @@ from repro.parallel.spec import (
 )
 from repro.parallel.timing import (
     PARENT_PHASES,
+    PHASE_BOUNDS,
     TickPhaseTimer,
     rebase_span_ops,
 )
 from repro.validation import ValidationSettings
+
+#: Per-tick wall times kept in memory for p95 derivation.  Long runs
+#: used to grow ``tick_wall_seconds`` without bound; the ring buffer
+#: keeps the recent window while ``tick_wall_total``/``ticks_completed``
+#: and the ``fleet_tick_wall_seconds`` histogram carry whole-run truth.
+TICK_WALL_WINDOW = 4096
 
 
 class ShardedFleetService:
@@ -142,6 +159,18 @@ class ShardedFleetService:
             mp_context=self.parallel.mp_context,
             timer=self.phase_timer,
         )
+        self._closed = False
+        # The pool has live worker processes from here on: any failure
+        # in the rest of construction must reap them, or ``close()``
+        # semantics never get a chance to hold.
+        try:
+            self._finish_init()
+        except BaseException:
+            self.close()
+            raise
+
+    def _finish_init(self) -> None:
+        """Construction after the pool exists (reaped on failure)."""
         #: Database name -> export track (1 + shard index): spans from a
         #: database render on the worker track that executed it.
         self._db_track = {
@@ -149,76 +178,172 @@ class ShardedFleetService:
             for payload in self.payloads
             for spec in payload.databases
         }
+        self._shard_indices = [payload.shard_index for payload in self.payloads]
         registry = self.telemetry.registry
         registry.gauge("fleet_databases").set(len(self.specs))
         registry.gauge("fleet_workers").set(len(self.payloads))
-        self._shard_busy = [0.0] * len(self.payloads)
-        #: Wall-clock seconds per tick (dispatch + merge); the fleet
-        #: benchmark derives p95 tick latency from this.
-        self.tick_wall_seconds: List[float] = []
+        #: Cumulative busy seconds keyed by shard index (results arrive
+        #: in completion order under pipelining, so positional indexing
+        #: would misattribute).
+        self._shard_busy: Dict[int, float] = {
+            index: 0.0 for index in self._shard_indices
+        }
+        #: Recent per-tick wall-clock seconds (dispatch + merge); the
+        #: fleet benchmark derives p95 tick latency from this window.
+        self.tick_wall_seconds: Deque[float] = collections.deque(
+            maxlen=TICK_WALL_WINDOW
+        )
+        #: Whole-run totals (the window above is capped).
+        self.tick_wall_total = 0.0
+        self.ticks_completed = 0
         self._pending_classifier_state: Optional[dict] = None
         self._last_retrain = 0.0
-        self._closed = False
 
     # ------------------------------------------------------------------
 
     def run(self, hours: float) -> None:
-        """Advance the closed loop by ``hours`` of virtual time."""
+        """Advance the closed loop by ``hours`` of virtual time.
+
+        Tick ends are planned up front and dispatched in batches of up
+        to ``ParallelSettings.batch_ticks`` per pool round-trip; each
+        batch is flushed at classifier-retrain boundaries so broadcast
+        state lands at the same virtual time a one-tick run applies it.
+        """
+        ends: List[float] = []
+        now = self.clock.now
         remaining = hours
         while remaining > 0:
             step = min(self.settings.step_hours, remaining)
-            self._tick(self.clock.now + step * HOURS)
+            now = now + step * HOURS
+            ends.append(now)
             remaining -= step
+        cursor = 0
+        while cursor < len(ends):
+            batch = self._plan_batch(ends[cursor:])
+            self._run_batch(batch)
+            cursor += len(batch)
 
-    def _tick(self, end: float) -> None:
-        started = time.perf_counter()
+    def _plan_batch(self, ends: Sequence[float]) -> List[float]:
+        """Up to ``batch_ticks`` tick ends, cut at a retrain boundary.
+
+        The classifier retrain check fires on virtual time alone
+        (``end - _last_retrain >= retrain period``), so the boundary is
+        predictable at planning time: the batch ends *with* the first
+        tick whose finalize will run the check.  Any state the retrain
+        broadcasts then rides the next batch's dispatch — the exact
+        "new model at the next tick" semantics of the serial loop.
+        """
+        period = self.settings.classifier_retrain_hours * HOURS
+        batch: List[float] = []
+        for end in ends[: self.parallel.batch_ticks]:
+            batch.append(end)
+            if end - self._last_retrain >= period:
+                break
+        return batch
+
+    def _run_batch(self, ends: Sequence[float]) -> None:
+        """Dispatch one batch of ticks; overlap merging with compute.
+
+        The pool streams ShardResults in completion order; arrivals are
+        parked in a :class:`CompletionBuffer` and each tick is merged —
+        in stable ``(tick, shard)`` order — as soon as every shard has
+        delivered it, while workers keep computing the batch's later
+        ticks.  Per tick, the parent phases (build/dispatch on the
+        batch's first tick, then wait/merge/finalize) still partition
+        the loop body, which keeps the >= 95% attribution-coverage gate
+        structurally achievable under pipelining.
+        """
         timer = self.phase_timer
-        timer.begin_tick()
-        # The five parent phases (build / dispatch / wait / merge /
-        # finalize) partition this method with only context-manager
-        # transitions between them, which is what makes the >= 95%
-        # attribution-coverage gate structurally achievable.
-        with timer.phase("build"):
-            classifier_state = self._pending_classifier_state
-            self._pending_classifier_state = None
-            max_statements = self.settings.max_statements_per_step
-        # The pool brackets "dispatch" and "wait" internally.
-        results = self.pool.tick(end, max_statements, classifier_state)
         registry = self.telemetry.registry
-        with timer.phase("merge"):
-            anchor = timer.wait_anchor
-            deltas = []
-            for result in results:
-                timer.absorb_shard(result)
-                for delta in result.deltas:
-                    if timer.enabled and delta.spans:
-                        # Shift span wall clocks from the shard's
-                        # perf_counter base onto the parent timeline so
-                        # the export shares one epoch.  Sim-time fields
-                        # are untouched — determinism is unaffected.
-                        delta.spans = rebase_span_ops(
-                            delta.spans, result.started_wall, anchor
-                        )
-                    deltas.append(delta)
-            registry.gauge("fleet_merge_queue_depth").set(len(deltas))
-            self.merger.merge(deltas)
-        with timer.phase("finalize"):
-            busy = [result.busy_seconds for result in results]
-            for i, seconds in enumerate(busy):
-                self._shard_busy[i] += seconds
-                registry.gauge("fleet_shard_busy", shard=str(i)).set(
-                    self._shard_busy[i]
+        buffer = CompletionBuffer(self._shard_indices, len(ends))
+        #: shard index -> (shard-clock wall of its first arrival, that
+        #: arrival's parent anchor).  Later ticks are anchored by the
+        #: shard clock's own delta, so a batch renders back-to-back on
+        #: its worker track instead of bunching at parent receipt times.
+        bases: Dict[int, Tuple[float, float]] = {}
+        stream = None
+        for tick_index, end in enumerate(ends):
+            tick_started = time.perf_counter()
+            timer.begin_tick()
+            if stream is None:
+                with timer.phase("build"):
+                    classifier_state = self._pending_classifier_state
+                    self._pending_classifier_state = None
+                    max_statements = self.settings.max_statements_per_step
+                # The pool brackets "dispatch" here and each blocking
+                # pull below as "wait", so IPC cost lands on whichever
+                # tick the parent is currently assembling.
+                stream = self.pool.tick_batch(
+                    ends, max_statements, classifier_state
                 )
-            registry.gauge("fleet_tick_skew_seconds").set(
-                max(busy) - min(busy) if busy else 0.0
+            while not buffer.complete(tick_index):
+                result = next(stream)
+                received = timer.now()
+                base_wall, base_anchor = bases.setdefault(
+                    result.shard_index, (result.started_wall, received)
+                )
+                buffer.add(
+                    result, base_anchor + (result.started_wall - base_wall)
+                )
+            with timer.phase("merge"):
+                released = buffer.release(tick_index)
+                registry.gauge("fleet_pipeline_buffered_results").set(
+                    buffer.buffered
+                )
+                deltas = []
+                for result, anchor in released:
+                    timer.absorb_shard(result, anchor=anchor)
+                    for delta in result.deltas:
+                        if timer.enabled and delta.spans:
+                            # Shift span wall clocks from the shard's
+                            # perf_counter base onto the parent timeline
+                            # so the export shares one epoch.  Sim-time
+                            # fields are untouched — determinism is
+                            # unaffected.
+                            delta.spans = rebase_span_ops(
+                                delta.spans, result.started_wall, anchor
+                            )
+                        deltas.append(delta)
+                registry.gauge("fleet_merge_queue_depth").set(len(deltas))
+                self.merger.merge(deltas)
+            with timer.phase("finalize"):
+                self._account_busy([result for result, _anchor in released])
+                registry.counter("fleet_ticks_total").inc()
+                self.clock.advance_to(end)
+                self.watchdog.evaluate(end)
+                self._maybe_retrain()
+            wall = time.perf_counter() - tick_started
+            timer.end_tick(wall)
+            self._observe_tick_wall(wall)
+
+    def _account_busy(self, results) -> None:
+        """Accumulate per-shard busy seconds keyed by ``shard_index``.
+
+        Keyed by each result's own shard index — never by arrival
+        position, which is meaningless once results stream home in
+        completion order.
+        """
+        registry = self.telemetry.registry
+        busy = []
+        for result in results:
+            index = result.shard_index
+            self._shard_busy[index] += result.busy_seconds
+            registry.gauge("fleet_shard_busy", shard=str(index)).set(
+                self._shard_busy[index]
             )
-            registry.counter("fleet_ticks_total").inc()
-            self.clock.advance_to(end)
-            self.watchdog.evaluate(end)
-            self._maybe_retrain()
-        wall = time.perf_counter() - started
-        timer.end_tick(wall)
+            busy.append(result.busy_seconds)
+        registry.gauge("fleet_tick_skew_seconds").set(
+            max(busy) - min(busy) if busy else 0.0
+        )
+
+    def _observe_tick_wall(self, wall: float) -> None:
+        """Record one tick's wall time: capped window + running totals."""
         self.tick_wall_seconds.append(wall)
+        self.tick_wall_total += wall
+        self.ticks_completed += 1
+        self.telemetry.registry.histogram(
+            "fleet_tick_wall_seconds", bounds=PHASE_BOUNDS
+        ).observe(wall)
 
     def _maybe_retrain(self) -> None:
         now = self.clock.now
@@ -283,10 +408,14 @@ def build_fleet_service(
     workers: int = 0,
     backend: str = "auto",
     instrument: bool = True,
+    batch_ticks: int = 1,
     **kwargs,
 ) -> ShardedFleetService:
     """Convenience constructor mirroring :func:`repro.service.build_service`."""
     parallel = ParallelSettings(
-        workers=workers, backend=backend, instrument=instrument
+        workers=workers,
+        backend=backend,
+        instrument=instrument,
+        batch_ticks=batch_ticks,
     )
     return ShardedFleetService(n_databases, parallel=parallel, **kwargs)

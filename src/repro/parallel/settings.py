@@ -39,6 +39,15 @@ class ParallelSettings:
     #: profile`` data source).  Off is the ``--no-profile`` escape hatch
     #: the overhead benchmark gate compares against.
     instrument: bool = True
+    #: Ticks dispatched to the pool per round-trip (``--batch-ticks``).
+    #: At 1 the parent runs the classic synchronous loop; above 1 it
+    #: sends K tick commands at once, workers run them back-to-back
+    #: while staying hot, and the parent overlaps merging finished ticks
+    #: with the workers' compute of later ones.  Merged output is
+    #: byte-identical for every value — a batch is always flushed at a
+    #: classifier-retrain boundary so broadcast state still lands at the
+    #: same virtual time it would serially.
+    batch_ticks: int = 1
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -47,6 +56,8 @@ class ParallelSettings:
             )
         if self.workers < 0:
             raise ValueError("workers must be >= 0")
+        if self.batch_ticks < 1:
+            raise ValueError("batch_ticks must be >= 1")
 
     @property
     def effective_backend(self) -> str:

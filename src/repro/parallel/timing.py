@@ -203,10 +203,29 @@ class TickPhaseTimer:
         is anchored (the start of the ``wait`` phase)."""
         return self._wait_anchor
 
-    def absorb_shard(self, result) -> None:
-        """Fold one :class:`ShardResult`'s worker-side phase events in."""
+    def now(self) -> float:
+        """Parent-timeline seconds since the profiling epoch.
+
+        The service stamps each streamed ShardResult with this at
+        receipt; per-shard deltas of the shard's own ``started_wall``
+        readings then place every tick of a batch on the parent timeline
+        without ever comparing clock bases across processes.
+        """
+        return time.perf_counter() - self.epoch
+
+    def absorb_shard(self, result, anchor: Optional[float] = None) -> None:
+        """Fold one :class:`ShardResult`'s worker-side phase events in.
+
+        ``anchor`` is where the shard's tick start lands on the parent
+        timeline.  Pipelined dispatch passes an explicit per-result
+        anchor (results for several ticks can arrive while one parent
+        ``wait`` phase is open); the default is the classic behaviour —
+        anchor at the current tick's wait-phase start.
+        """
         if not self.enabled:
             return
+        if anchor is None:
+            anchor = self._wait_anchor
         track = result.shard_index + 1
         for phase, database, offset, duration in result.events:
             self._current[phase] = self._current.get(phase, 0.0) + duration
@@ -214,7 +233,7 @@ class TickPhaseTimer:
                 TraceEvent(
                     track=track,
                     name=phase,
-                    ts=self._wait_anchor + offset,
+                    ts=anchor + offset,
                     dur=duration,
                     category="phase",
                     args={"tick": self._tick_index, "database": database},

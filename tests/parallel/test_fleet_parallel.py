@@ -29,6 +29,12 @@ from repro.service import ServiceSettings
 #: exercised at more than one sharding width.
 WORKERS = max(2, int(os.environ.get("REPRO_TEST_WORKERS", "4")))
 
+#: Pipeline depth for multi-worker runs.  The CI matrix includes a
+#: ``REPRO_TEST_BATCH_TICKS=4`` variant so every backend-equivalence
+#: test also gates the pipelined dispatch path against the serial
+#: baseline (which always runs one tick per dispatch).
+BATCH_TICKS = max(1, int(os.environ.get("REPRO_TEST_BATCH_TICKS", "1")))
+
 
 def run_fleet(
     backend: str,
@@ -36,11 +42,19 @@ def run_fleet(
     n_databases: int = 3,
     hours: float = 48.0,
     seed: int = 11,
+    batch_ticks: int | None = None,
+    prepare=None,
 ):
+    if batch_ticks is None:
+        # The serial single-worker baseline anchors every equivalence
+        # test; keep it at one tick per dispatch so the env knob gates
+        # pipelined runs *against* the unpipelined reference.
+        batch_ticks = 1 if workers <= 1 else BATCH_TICKS
     service = build_fleet_service(
         n_databases,
         workers=workers,
         backend=backend,
+        batch_ticks=batch_ticks,
         seed=seed,
         control_settings=ControlPlaneSettings(
             snapshot_period=2 * HOURS,
@@ -50,6 +64,8 @@ def run_fleet(
         service_settings=ServiceSettings(max_statements_per_step=60),
     )
     try:
+        if prepare is not None:
+            prepare(service)
         service.run(hours)
         return {
             "jsonl": service.telemetry.audit.to_jsonl(),

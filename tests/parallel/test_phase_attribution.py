@@ -46,11 +46,18 @@ from repro.service import ServiceSettings
 WORKERS = max(2, int(os.environ.get("REPRO_TEST_WORKERS", "4")))
 
 
-def profiled_run(backend: str, workers: int, hours: float = 8.0, seed: int = 3):
+def profiled_run(
+    backend: str,
+    workers: int,
+    hours: float = 8.0,
+    seed: int = 3,
+    batch_ticks: int = 1,
+):
     service = build_fleet_service(
         3,
         workers=workers,
         backend=backend,
+        batch_ticks=batch_ticks,
         seed=seed,
         control_settings=ControlPlaneSettings(
             snapshot_period=2 * HOURS,
@@ -128,6 +135,28 @@ class TestAttributionCoverage:
             assert row["coverage"] >= 0.95, (
                 f"tick {row['tick']} attribution {row['coverage']:.1%}"
             )
+
+    def test_batched_dispatch_keeps_coverage_and_amortizes(self):
+        # Pipelined dispatch must not orphan wall-clock: the parent
+        # phases still partition each tick, and the dispatch phase only
+        # accrues to batch-leading ticks (that is the amortization).
+        run = profiled_run("process", WORKERS, hours=12.0, batch_ticks=3)
+        assert run["summary"]["coverage"] >= 0.95
+        dispatching = [
+            row for row in run["ticks"]
+            if row["phases"].get("dispatch", 0.0) > 0.0
+        ]
+        assert dispatching, "no tick carried a dispatch phase"
+        assert len(dispatching) < len(run["ticks"]), (
+            "every tick paid dispatch: batching did not amortize"
+        )
+        doc = json.loads(json.dumps(run["doc"]))
+        per_track = {}
+        for event in doc["traceEvents"]:
+            if event["ph"] == "X":
+                per_track.setdefault(event["tid"], []).append(event["ts"])
+        for tid, stamps in per_track.items():
+            assert stamps == sorted(stamps), f"track {tid} ts not monotonic"
 
     def test_worker_phases_do_not_inflate_coverage(self):
         # Coverage counts parent phases only: a summary computed with
