@@ -28,8 +28,11 @@ one-tick baseline (determinism gate).
 The sweep ends with an **overhead gate**: the largest configuration is
 re-run with instrumentation off (``instrument=False``, the CLI's
 ``--no-profile``) and the gate fails — exit code 1 — if profiling costs
-more than 5% of tick wall-clock.  The measured overhead is recorded in
-the JSON either way.
+more than 5% of tick wall-clock.  A matching **history gate** A/Bs the
+telemetry-history layer (per-tick sampling + rollups + anomaly
+detection + SLO burn-rate rules, ``history=False``) against the same
+5% budget.  The measured overheads are recorded in the JSON either
+way.
 
 Results land in ``BENCH_fleet_scale.json`` (committed at the repo root
 as the baseline).  ``cpu_count`` is recorded because speedup is bounded
@@ -74,6 +77,7 @@ def run_config(
     seed: int,
     batch_ticks: int = 1,
     instrument: bool = True,
+    history: bool = True,
 ) -> dict:
     backend = "serial" if workers <= 1 else "process"
     service = build_fleet_service(
@@ -82,6 +86,7 @@ def run_config(
         backend=backend,
         batch_ticks=batch_ticks,
         instrument=instrument,
+        history=history,
         seed=seed,
         service_settings=ServiceSettings(max_statements_per_step=80),
     )
@@ -106,6 +111,12 @@ def run_config(
             "ticks": service.ticks_completed,
             "audit_events": len(service.telemetry.audit.events()),
             "audit_sha256": hashlib.sha256(jsonl.encode()).hexdigest(),
+            "history": history,
+            "history_samples": (
+                service.history.store.retained_samples()
+                if service.history is not None
+                else 0
+            ),
         }
         if instrument:
             summary = service.attribution()
@@ -196,6 +207,42 @@ def overhead_gate(
         "threshold": threshold,
         "passed": overhead <= threshold,
         "deterministic": on["audit_sha256"] == off["audit_sha256"],
+    }
+
+
+def history_gate(
+    n_databases: int, workers: int, hours: float, seed: int,
+    batch_ticks: int = 1,
+    threshold: float = 0.05,
+) -> dict:
+    """A/B the largest configuration with telemetry history on vs off.
+
+    Per-tick sampling, rollups, anomaly detection, and burn-rate rules
+    together must not cost more than ``threshold`` of the history-off
+    run's wall-clock.  No audit-sha comparison here: anomaly detection
+    *intends* to add ``telemetry_anomaly`` audit events, so the two
+    streams legitimately differ (the determinism contract is that
+    history-on runs match *each other* across backends, which the main
+    sweep and the test suite assert).
+    """
+    on = run_config(
+        n_databases, workers, hours, seed, batch_ticks, history=True
+    )
+    off = run_config(
+        n_databases, workers, hours, seed, batch_ticks, history=False
+    )
+    overhead = on["wall_seconds"] / off["wall_seconds"] - 1.0
+    return {
+        "databases": n_databases,
+        "workers": workers,
+        "batch_ticks": batch_ticks,
+        "simulated_hours": hours,
+        "history_wall_seconds": on["wall_seconds"],
+        "baseline_wall_seconds": off["wall_seconds"],
+        "history_samples": on["history_samples"],
+        "overhead_fraction": round(overhead, 4),
+        "threshold": threshold,
+        "passed": overhead <= threshold,
     }
 
 
@@ -298,6 +345,18 @@ def main(argv=None) -> int:
         )
         return 1
 
+    hgate = history_gate(
+        largest[0], largest[1], largest[3], args.seed, largest[2]
+    )
+    print(
+        f"history gate: sampled={hgate['history_wall_seconds']:.2f}s "
+        f"baseline={hgate['baseline_wall_seconds']:.2f}s "
+        f"({hgate['history_samples']} retained samples) "
+        f"overhead={hgate['overhead_fraction']:+.1%} "
+        f"(threshold {hgate['threshold']:.0%}) "
+        f"{'PASS' if hgate['passed'] else 'FAIL'}"
+    )
+
     payload = {
         "benchmark": "fleet-scale",
         "smoke": args.smoke,
@@ -317,6 +376,7 @@ def main(argv=None) -> int:
             "everywhere: fewer pool round-trips per simulated tick."
         ),
         "overhead_gate": gate,
+        "history_gate": hgate,
         "pipelining": pipelining,
         "results": results,
     }
@@ -329,6 +389,14 @@ def main(argv=None) -> int:
             f"OVERHEAD GATE FAILED: profiling costs "
             f"{gate['overhead_fraction']:.1%} of tick wall-clock "
             f"(threshold {gate['threshold']:.0%})",
+            file=sys.stderr,
+        )
+        return 1
+    if not hgate["passed"]:
+        print(
+            f"HISTORY GATE FAILED: telemetry history costs "
+            f"{hgate['overhead_fraction']:.1%} of tick wall-clock "
+            f"(threshold {hgate['threshold']:.0%})",
             file=sys.stderr,
         )
         return 1

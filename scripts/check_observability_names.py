@@ -17,7 +17,17 @@ One static check over the whole observability taxonomy:
   call sites must use phase names declared in
   :data:`repro.parallel.timing.PHASE_CATALOG`;
 - **Span kinds** — ``tracer.start("...", ...)`` call sites must use span
-  kinds declared in :data:`repro.observability.spans.SPAN_KIND_CATALOG`.
+  kinds declared in :data:`repro.observability.spans.SPAN_KIND_CATALOG`;
+- **Sampled series** — history query calls with a literal series name
+  (``.range("...")``, ``.rate("...")``, ``.delta("...")``,
+  ``.quantile("...")``, ``.latest("...")``, ``.window_stats("...")``)
+  must use names declared in
+  :data:`repro.observability.timeseries.SAMPLE_CATALOG`;
+- **SLOs** — **any** string literal starting with ``slo_`` must name an
+  :data:`repro.observability.slo.SLO_CATALOG` entry (the namespace is
+  reserved, like ``fleet_*`` below), and every non-advisory SLO must
+  also appear in ALERT_CATALOG so its burn-rate alert passes AlertRule
+  validation.
 
 Call sites whose name argument is not a string literal are flagged too,
 because the lint (and the exporters'/explain renderers' help text) can
@@ -91,6 +101,16 @@ LITERAL_SPAN = re.compile(
 )
 #: Any ``tracer.start`` call (to flag dynamic span kinds).
 ANY_SPAN = re.compile(r"\btracer\.start\(\s*(?P<arg>[^)\s,]*)")
+#: A history-store query call with a string-literal series name.  Only
+#: literal sites are checked: these verbs (``.rate``, ``.observe``...)
+#: are common method names on other objects, so dynamic-argument sites
+#: cannot be attributed to the store statically.
+LITERAL_SERIES = re.compile(
+    r"\.(?:range|rate|delta|quantile|latest|window_stats|observe)\(\s*"
+    r"[rbu]*([\"'])(?P<name>[^\"']*)\1"
+)
+#: Any ``"slo_..."`` string literal (reserved SLO namespace).
+SLO_LITERAL = re.compile(r"([\"'])(?P<name>slo_[a-z0-9_]*)\1")
 
 
 def load_catalogs() -> tuple:
@@ -98,7 +118,9 @@ def load_catalogs() -> tuple:
     from repro.observability.alerts import ALERT_CATALOG
     from repro.observability.audit import AUDIT_CATALOG
     from repro.observability.metrics import CATALOG
+    from repro.observability.slo import SLO_CATALOG
     from repro.observability.spans import SPAN_KIND_CATALOG
+    from repro.observability.timeseries import SAMPLE_CATALOG
     from repro.parallel.timing import PHASE_CATALOG
 
     return (
@@ -107,6 +129,8 @@ def load_catalogs() -> tuple:
         set(ALERT_CATALOG),
         set(PHASE_CATALOG),
         set(SPAN_KIND_CATALOG),
+        set(SAMPLE_CATALOG),
+        SLO_CATALOG,
     )
 
 
@@ -126,15 +150,18 @@ def check_file(
     rules: set,
     phases: set,
     span_kinds: set,
+    samples: set,
+    slos: dict,
 ) -> list:
     errors = []
     # The defining modules validate their own names at runtime; skip
     # their internals so catalog declarations don't self-flag.  The lint
     # itself is also skipped: its docstring and regexes are full of
     # example names.
-    if path.name in ("metrics.py", "audit.py", "alerts.py", "spans.py") and (
-        "observability" in path.parts
-    ):
+    if path.name in (
+        "metrics.py", "audit.py", "alerts.py", "spans.py",
+        "timeseries.py", "slo.py",
+    ) and ("observability" in path.parts):
         return errors
     if path.name == "timing.py" and "parallel" in path.parts:
         return errors
@@ -262,18 +289,56 @@ def check_file(
             f"{path}:{lineno(match.start())}: span kind is not a string "
             f"literal ({arg!r}); the lint cannot verify it"
         )
+    for match in LITERAL_SERIES.finditer(text):
+        name = match.group("name")
+        if name not in samples:
+            errors.append(
+                f"{path}:{lineno(match.start())}: sampled-series name "
+                f"{name!r} is not in the SAMPLE_CATALOG taxonomy "
+                "(src/repro/observability/timeseries.py)"
+            )
+    for match in SLO_LITERAL.finditer(text):
+        name = match.group("name")
+        if name not in slos:
+            errors.append(
+                f"{path}:{lineno(match.start())}: string {name!r} is in "
+                "the reserved slo_* namespace but is not in the "
+                "SLO_CATALOG taxonomy (src/repro/observability/slo.py) — "
+                "declare it before use"
+            )
     return errors
 
 
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     paths = argv or DEFAULT_PATHS
-    metrics, events, rules, phases, span_kinds = load_catalogs()
+    metrics, events, rules, phases, span_kinds, samples, slos = (
+        load_catalogs()
+    )
     errors = []
+    # Cross-catalog invariants: every SLO reads a cataloged series
+    # (enforced again at import), and every non-advisory SLO must have
+    # an ALERT_CATALOG entry so burn_alert_rules() passes AlertRule
+    # validation.
+    for name, spec in sorted(slos.items()):
+        if spec.series not in samples:
+            errors.append(
+                f"SLO_CATALOG[{name!r}] reads series {spec.series!r} "
+                "which is not in SAMPLE_CATALOG"
+            )
+        if not spec.advisory and name not in rules:
+            errors.append(
+                f"SLO_CATALOG[{name!r}] is non-advisory but has no "
+                "ALERT_CATALOG entry (src/repro/observability/alerts.py) "
+                "for its burn-rate alert"
+            )
     checked = 0
     for path in iter_py_files(paths):
         errors.extend(
-            check_file(path, metrics, events, rules, phases, span_kinds)
+            check_file(
+                path, metrics, events, rules, phases, span_kinds,
+                samples, slos,
+            )
         )
         checked += 1
     for error in errors:
@@ -283,7 +348,8 @@ def main(argv=None) -> int:
         f"{len(errors)} violation(s); catalog entries: "
         f"{len(metrics)} metrics, {len(events)} audit events, "
         f"{len(rules)} alert rules, {len(phases)} tick phases, "
-        f"{len(span_kinds)} span kinds"
+        f"{len(span_kinds)} span kinds, {len(samples)} sampled series, "
+        f"{len(slos)} SLOs"
     )
     return 1 if errors else 0
 

@@ -13,8 +13,15 @@ Six subcommands mirror the repo's main entry points:
   tier;
 - ``repro telemetry --days N --dbs K`` — a closed-loop run rendered as
   the live-style fleet dashboard (state-machine counts, firing alerts,
-  revert rate, slowest tuning sessions, engine hot paths), with
-  ``--format json`` / ``--format prom`` machine-readable exports;
+  revert rate, history sparklines, slowest tuning sessions, engine hot
+  paths), with ``--format json`` / ``--format prom`` machine-readable
+  exports;
+- ``repro slo --days N --dbs K`` — the SLO burn-rate report over the
+  run's telemetry history (multi-window burn per objective), with
+  ``--history-out``/``--history`` JSONL dump/replay of the time-series
+  store, ``--slo-out`` for the status records, ``--regression-demo``
+  for the seeded revert-rate regression, and ``--fail-on-alert`` for
+  CI gating;
 - ``repro explain <db> [rec-id]`` — the decision-provenance timeline for
   one recommendation (audit events + spans + state-store journal), from
   a fresh closed-loop run, a replayed ``--audit`` JSONL dump, or the
@@ -301,7 +308,14 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
         service.run(hours=args.days * 24)
     telemetry = service.telemetry
     if args.format == "json":
-        print(json_text(telemetry.registry, telemetry.recorder, profiler))
+        print(
+            json_text(
+                telemetry.registry,
+                telemetry.recorder,
+                profiler,
+                history=service.plane.history,
+            )
+        )
     elif args.format == "prom":
         print(prometheus_text(telemetry.registry), end="")
     else:
@@ -312,9 +326,93 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
             profiler,
             top_n=args.top,
             watchdog=service.plane.watchdog,
+            history=service.plane.history,
         ):
             print(line)
     _maybe_dump_audit(service.plane, args)
+    return 0
+
+
+def cmd_slo(args: argparse.Namespace) -> int:
+    """SLO burn-rate report over a run's telemetry history."""
+    import json
+
+    from repro.observability.slo import (
+        dump_statuses,
+        evaluate_catalog,
+        render_slo_report,
+    )
+    from repro.observability.timeseries import TimeSeriesStore
+
+    if args.history:
+        store = TimeSeriesStore.replay(args.history)
+        print(
+            f"replayed {len(store.series_names())} history series "
+            f"from {args.history} (last tick {store.last_tick()})",
+            file=sys.stderr,
+        )
+    elif args.regression_demo:
+        from repro.experiment.regression import run_regression_scenario
+
+        print(
+            "staging the seeded create->validate->revert scenario...",
+            file=sys.stderr,
+        )
+        scenario = run_regression_scenario()
+        # Hold the post-incident state for a while: the fleet's one
+        # decided recommendation stays reverted, so the revert-rate
+        # budget keeps burning until the long window concedes too —
+        # exactly the multi-window confirmation the SLO machinery
+        # requires before paging.
+        plane = scenario.plane
+        for _ in range(160):
+            plane.clock.advance(3.0)
+            plane.process()
+        store = plane.history.store
+    else:
+        from repro.parallel import build_fleet_service
+
+        service = build_fleet_service(
+            n_databases=args.dbs,
+            workers=args.workers,
+            backend=args.backend,
+            tier=args.tier,
+            seed=args.seed,
+        )
+        print(
+            f"running the fleet loop at default cadence: {args.dbs} "
+            f"{args.tier} databases across {len(service.payloads)} "
+            f"{service.backend} worker(s), {args.days} simulated days",
+            file=sys.stderr,
+        )
+        try:
+            service.run(hours=args.days * 24)
+            store = service.history.store
+        finally:
+            service.close()
+    statuses = evaluate_catalog(store)
+    if args.format == "json":
+        print(
+            json.dumps(
+                [status.to_payload() for status in statuses],
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for line in render_slo_report(statuses):
+            print(line)
+    if args.history_out:
+        count = store.dump(args.history_out)
+        print(f"wrote {count} history records to {args.history_out}")
+    if args.slo_out:
+        count = dump_statuses(statuses, args.slo_out)
+        print(f"wrote {count} SLO status records to {args.slo_out}")
+    alerting = [status.name for status in statuses if status.alerting]
+    if alerting and args.fail_on_alert:
+        print(f"burn-rate alert(s) firing: {', '.join(alerting)}",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -533,6 +631,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--audit-out", help="dump the run's audit stream to this JSONL file"
     )
     telemetry.set_defaults(func=cmd_telemetry)
+    slo = sub.add_parser(
+        "slo", help="SLO burn-rate report over a run's telemetry history"
+    )
+    _add_common(slo)
+    slo.add_argument("--days", type=int, default=4)
+    slo.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="shard workers (0 = serial in-process execution)",
+    )
+    slo.add_argument(
+        "--backend",
+        choices=("auto", "serial", "thread", "process"),
+        default="auto",
+        help="execution backend (auto = process when --workers > 1)",
+    )
+    slo.add_argument(
+        "--format", choices=("report", "json"), default="report"
+    )
+    slo.add_argument(
+        "--history",
+        help="replay a history JSONL dump instead of running the loop",
+    )
+    slo.add_argument(
+        "--history-out",
+        help="dump the run's time-series store to this JSONL file",
+    )
+    slo.add_argument(
+        "--slo-out",
+        help="dump the evaluated SLO statuses to this JSONL file",
+    )
+    slo.add_argument(
+        "--regression-demo",
+        action="store_true",
+        help="stage the seeded create->validate->revert scenario and "
+        "report its burn rates",
+    )
+    slo.add_argument(
+        "--fail-on-alert",
+        action="store_true",
+        help="exit non-zero if any burn-rate alert is firing (CI gate)",
+    )
+    slo.set_defaults(func=cmd_slo)
     explain = sub.add_parser(
         "explain",
         help="decision-provenance timeline for one recommendation",

@@ -23,7 +23,10 @@ from repro.controlplane.store import RecommendationRecord, StateStore
 from repro.engine.engine import SqlEngine
 from repro.errors import PermanentError, TransientError
 from repro.observability import AlertWatchdog, Telemetry
+from repro.observability.alerts import default_rules
+from repro.observability.slo import burn_alert_rules
 from repro.observability.spans import Span
+from repro.observability.timeseries import TelemetryHistory
 from repro.recommender import (
     DropRecommender,
     MiRecommender,
@@ -128,6 +131,7 @@ class ControlPlane:
         mi_settings: Optional[MiRecommenderSettings] = None,
         fault_seed: int = 0,
         enable_watchdog: bool = True,
+        enable_history: Optional[bool] = None,
     ) -> None:
         self.clock = clock
         self.settings = settings or ControlPlaneSettings()
@@ -138,9 +142,21 @@ class ControlPlane:
         self.telemetry = Telemetry()
         #: ``enable_watchdog=False`` is used by per-shard worker planes:
         #: alert rules are fleet-level, so the region service evaluates
-        #: one watchdog over the *merged* registry instead.
+        #: one watchdog over the *merged* registry instead.  History
+        #: sampling is likewise a region-level duty (it reads merged
+        #: fleet rates), so it defaults to following the watchdog flag.
+        if enable_history is None:
+            enable_history = enable_watchdog
+        self.history = TelemetryHistory() if enable_history else None
+        rules = default_rules()
+        if self.history is not None:
+            rules += burn_alert_rules(self.history.store)
         self.watchdog = (
-            AlertWatchdog(self.telemetry.registry, audit=self.telemetry.audit)
+            AlertWatchdog(
+                self.telemetry.registry,
+                audit=self.telemetry.audit,
+                rules=rules,
+            )
             if enable_watchdog
             else None
         )
@@ -372,6 +388,13 @@ class ControlPlane:
             managed.last_driven = now
         self._publish_plan_cache_metrics()
         self._publish_executor_metrics()
+        # History samples after the gauge publish (so this tick's state
+        # is visible) and before the watchdog pass (so burn-rate rules
+        # read a store that includes the current tick).
+        if self.history is not None:
+            self.history.observe_tick(
+                self.telemetry.registry, now, audit=self.telemetry.audit
+            )
         if self.watchdog is not None:
             self.watchdog.evaluate(now)
 

@@ -52,11 +52,26 @@ from repro.observability.profiling import (
     profile,
     use_profiler,
 )
+from repro.observability.slo import (
+    SLO_CATALOG,
+    SloSpec,
+    SloStatus,
+    burn_alert_rules,
+    evaluate_catalog,
+    render_slo_report,
+)
 from repro.observability.spans import (
     SPAN_KIND_CATALOG,
     Span,
     SpanRecorder,
     Tracer,
+)
+from repro.observability.timeseries import (
+    SAMPLE_CATALOG,
+    AnomalyDetector,
+    FleetSampler,
+    TelemetryHistory,
+    TimeSeriesStore,
 )
 from repro.observability.trace_export import (
     PARENT_TRACK,
@@ -85,30 +100,40 @@ __all__ = [
     "Alert",
     "AlertRule",
     "AlertWatchdog",
+    "AnomalyDetector",
     "AuditEvent",
     "AuditLog",
     "CATALOG",
     "DEFAULT_BOUNDS",
     "FORBIDDEN_KEYS",
     "Counter",
+    "FleetSampler",
     "Gauge",
     "Histogram",
     "MetricSpec",
     "MetricsRegistry",
     "PARENT_TRACK",
     "Profiler",
+    "SAMPLE_CATALOG",
+    "SLO_CATALOG",
     "SPAN_KIND_CATALOG",
+    "SloSpec",
+    "SloStatus",
     "Span",
     "SpanRecorder",
     "Telemetry",
+    "TelemetryHistory",
+    "TimeSeriesStore",
     "TraceEvent",
     "Tracer",
     "active",
     "attribution_summary",
     "build_timeline",
+    "burn_alert_rules",
     "count",
     "decision_index",
     "default_rules",
+    "evaluate_catalog",
     "ensure_compliant",
     "find_forbidden_keys",
     "json_export",
@@ -118,6 +143,7 @@ __all__ = [
     "render_critical_path",
     "render_dashboard",
     "render_explain",
+    "render_slo_report",
     "span_trace_events",
     "trace_event_json",
     "use_profiler",

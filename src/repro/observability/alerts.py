@@ -52,6 +52,21 @@ ALERT_CATALOG: Dict[str, AlertRuleSpec] = dict(
         _spec("plan_cache_hit_rate_collapse",
               "Fleet-wide optimizer plan-cache hit rate fell below the "
               "threshold."),
+        # SLO burn-rate rules (repro.observability.slo builds these via
+        # burn_alert_rules; the SLO_CATALOG entry of the same name holds
+        # the objective and windows).
+        _spec("slo_revert_rate",
+              "Multi-window revert-rate burn exceeds the SLO's error "
+              "budget in both the short and long window."),
+        _spec("slo_validation_failure_rate",
+              "Multi-window validation-failure burn exceeds the SLO's "
+              "error budget in both windows."),
+        _spec("slo_plan_cache_hit_rate",
+              "Multi-window plan-cache miss burn exceeds the SLO's "
+              "error budget in both windows."),
+        _spec("slo_time_to_implement",
+              "Multi-window p95 time-to-implement burn exceeds the "
+              "SLO's error budget in both windows."),
     ]
 )
 

@@ -114,6 +114,9 @@ AUDIT_CATALOG: Dict[str, AuditEventSpec] = dict(
         _spec("alert_resolved",
               "A previously firing alert rule fell back under its "
               "threshold.", None),
+        _spec("telemetry_anomaly",
+              "The telemetry-history EWMA/z-score detector flagged an "
+              "excursion on a sampled fleet series.", None),
     ]
 )
 

@@ -16,6 +16,51 @@ from typing import List, Optional
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.profiling import Profiler, active
 from repro.observability.spans import SpanRecorder
+from repro.observability.timeseries import SAMPLE_CATALOG
+
+#: Unicode block ramp for history sparklines (low -> high).
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+#: Series shown as dashboard sparklines, in display order.
+_SPARK_SERIES = (
+    "revert_rate",
+    "validation_failure_rate",
+    "plan_cache_hit_rate",
+    "records_live",
+    "alerts_firing_count",
+    "tick_wall_seconds",
+)
+
+#: Ticks of trailing history a sparkline compresses.
+_SPARK_WINDOW = 64
+
+#: Character width of a sparkline (buckets are resampled onto this).
+_SPARK_CELLS = 32
+
+
+def sparkline(values: List[float], cells: int = _SPARK_CELLS) -> str:
+    """Compress ``values`` into a fixed-width unicode sparkline."""
+    if not values:
+        return ""
+    if len(values) > cells:
+        # Average consecutive runs onto the cell grid.
+        step = len(values) / cells
+        resampled = []
+        for i in range(cells):
+            start = int(i * step)
+            stop = max(start + 1, int((i + 1) * step))
+            chunk = values[start:stop]
+            resampled.append(sum(chunk) / len(chunk))
+        values = resampled
+    lo = min(values)
+    hi = max(values)
+    span = hi - lo
+    if span <= 0:
+        return _SPARK_BLOCKS[0] * len(values)
+    scale = len(_SPARK_BLOCKS) - 1
+    return "".join(
+        _SPARK_BLOCKS[int(round((v - lo) / span * scale))] for v in values
+    )
 
 #: State-machine states rendered in lifecycle order.
 _STATE_ORDER = (
@@ -39,13 +84,16 @@ def render_dashboard(
     profiler: Optional[Profiler] = None,
     top_n: int = 5,
     watchdog=None,
+    history=None,
 ) -> List[str]:
     """The fleet dashboard as a list of printable lines.
 
     ``watchdog`` (an :class:`~repro.observability.alerts.AlertWatchdog`)
     adds the firing-alerts panel; without one the panel falls back to
     the ``alerts_firing`` gauges so a replayed registry still shows
-    which rules were up.
+    which rules were up.  ``history`` (a
+    :class:`~repro.observability.timeseries.TelemetryHistory` or its
+    store) adds trailing-window sparkline panels per sampled series.
     """
     profiler = profiler if profiler is not None else active()
     lines: List[str] = ["== fleet telemetry =="]
@@ -187,6 +235,27 @@ def render_dashboard(
                     f"    {phase:<14} {metric.sum:>9.3f}s total "
                     f"{mean:>8.3f}s mean"
                 )
+
+    # --- history sparklines (only when a history store is wired) -----
+    if history is not None:
+        store = getattr(history, "store", history)
+        lines.append(f"history (last {_SPARK_WINDOW} ticks):")
+        last = store.last_tick()
+        if last is None:
+            lines.append("  (no ticks sampled yet)")
+        else:
+            for name in _SPARK_SERIES:
+                buckets = store.range(name, max(0, last - _SPARK_WINDOW + 1))
+                if not buckets:
+                    continue
+                spark = sparkline([bucket.mean for bucket in buckets])
+                latest = store.latest(name)
+                unit = SAMPLE_CATALOG[name].unit
+                if unit == "ratio":
+                    shown = f"{latest:.1%}"
+                else:
+                    shown = f"{latest:.3g} {unit}"
+                lines.append(f"  {name:<26} {spark} {shown}")
 
     # --- slowest tuning sessions -------------------------------------
     lines.append(f"slowest tuning sessions (top {top_n}):")

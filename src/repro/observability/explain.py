@@ -26,9 +26,15 @@ class TimelineEntry:
     """One step of the decision timeline."""
 
     at: float  # simulated minutes
-    source: str  # "audit" | "journal" | "span"
+    source: str  # "audit" | "journal" | "span" | "fleet"
     title: str
     details: List[str] = dataclasses.field(default_factory=list)
+
+
+#: Fleet-scope event types (``rec_id=None``) joined into a record's
+#: timeline when they fire inside its lifetime: alerts opening/closing
+#: and telemetry anomalies are the ambient context a decision ran in.
+_FLEET_EVENT_TYPES = ("alert_raised", "alert_resolved", "telemetry_anomaly")
 
 
 def _fmt_t(minutes: float) -> str:
@@ -132,12 +138,34 @@ def build_timeline(
     recorder: Optional[SpanRecorder] = None,
     store=None,
 ) -> List[TimelineEntry]:
-    """The joined, chronologically sorted timeline for one record."""
+    """The joined, chronologically sorted timeline for one record.
+
+    Chain events (audit), journal transitions, and spans are joined by
+    ``rec_id``; fleet-scope alert/anomaly events carry no rec_id, so
+    they join by *time* — any that fired within the record's first-to-
+    last audit window appear as ``[fleet]`` context lines.
+    """
     entries: List[TimelineEntry] = []
-    for event in audit.chain(rec_id):
-        if event.database != database:
-            continue
+    chain = [e for e in audit.chain(rec_id) if e.database == database]
+    for event in chain:
         entries.append(_audit_entry(event))
+    if chain:
+        first = chain[0].at
+        last = chain[-1].at
+        for event in audit.events():
+            if event.rec_id is not None:
+                continue
+            if event.event_type not in _FLEET_EVENT_TYPES:
+                continue
+            if not first <= event.at <= last:
+                continue
+            summary = _payload_summary(event.payload)
+            title = f"[fleet] {event.event_type}"
+            if summary:
+                title = f"{title}  {summary}"
+            entries.append(
+                TimelineEntry(at=event.at, source="fleet", title=title)
+            )
     if store is not None:
         for entry in store.journal(rec_id):
             if entry.op == "transition":
@@ -170,8 +198,9 @@ def build_timeline(
                 )
             )
     # Stable order: by time, journal (ground truth) before audit
-    # evidence before span timings at equal timestamps.
-    source_rank = {"journal": 0, "audit": 1, "span": 2}
+    # evidence before span timings before ambient fleet context at
+    # equal timestamps.
+    source_rank = {"journal": 0, "audit": 1, "span": 2, "fleet": 3}
     entries.sort(key=lambda e: (e.at, source_rank[e.source]))
     return entries
 

@@ -30,10 +30,26 @@ def _format_value(value: float) -> str:
     return repr(value)
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash first — escaping it last would re-escape the markers the
+    other two substitutions just produced.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _label_str(labels) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    inner = ",".join(
+        f'{k}="{_escape_label_value(v)}"' for k, v in labels
+    )
     return "{" + inner + "}"
 
 
@@ -81,6 +97,7 @@ def json_export(
     recorder: Optional[SpanRecorder] = None,
     profiler: Optional[Profiler] = None,
     audit=None,
+    history=None,
 ) -> dict:
     """A JSON-serializable snapshot of the whole telemetry state.
 
@@ -142,6 +159,12 @@ def json_export(
         out["audit"] = [
             json.loads(event.to_json_line()) for event in audit.events()
         ]
+    if history is not None:
+        # Accepts a TelemetryHistory or its TimeSeriesStore.  The
+        # tiered snapshot is deterministic for deterministic series;
+        # wall-flagged series are host-dependent by design.
+        store = getattr(history, "store", history)
+        out["history"] = store.export()
     return out
 
 
@@ -151,9 +174,10 @@ def json_text(
     profiler: Optional[Profiler] = None,
     indent: int = 2,
     audit=None,
+    history=None,
 ) -> str:
     return json.dumps(
-        json_export(registry, recorder, profiler, audit=audit),
+        json_export(registry, recorder, profiler, audit=audit, history=history),
         indent=indent,
         sort_keys=False,
     )

@@ -83,6 +83,12 @@ CATALOG: Dict[str, MetricSpec] = dict(
               "Watchdog alerts raised, by rule name."),
         _spec("alerts_firing", "gauge", "alerts",
               "Whether each watchdog alert rule is currently firing (0/1)."),
+        _spec("telemetry_history_samples", "gauge", "buckets",
+              "Buckets currently retained across every series and tier "
+              "of the telemetry-history store (memory-bound evidence)."),
+        _spec("telemetry_anomalies_total", "counter", "anomalies",
+              "EWMA/z-score excursions detected on sampled telemetry "
+              "series, by series name."),
         _spec("fleet_databases", "gauge", "databases",
               "Managed databases in the sharded fleet-parallel run."),
         _spec("fleet_workers", "gauge", "workers",

@@ -1,0 +1,847 @@
+"""Telemetry history: a memory-bounded, tier-rolled-up time-series store.
+
+The :class:`~repro.observability.metrics.MetricsRegistry` only holds
+*current* values — it answers "what is the revert rate now", never "is
+the revert rate rising".  This module adds the missing time axis the
+paper's operators lean on (continuously monitored validation/revert
+telemetry, Section 8) without unbounded memory: every control-plane
+tick the full registry is reduced to a small set of cataloged samples
+and appended to a :class:`TimeSeriesStore` whose retention is **tiered**
+— recent ticks at raw resolution, older history as 16-tick and 256-tick
+rollup buckets, each bucket keeping ``min/max/sum/count/last``.  Ring
+buffers cap every tier, so a million-tick run retains a fixed number of
+buckets while rate/quantile queries still answer over the whole horizon
+(the AIM-at-Meta production-practicality posture: bounded state, tiered
+retention).
+
+Determinism contract: samples are keyed by the **virtual tick index**
+and carry only virtual-time-derived values; wall-clock readings live in
+series explicitly marked ``wall=True`` in :data:`SAMPLE_CATALOG` and are
+excluded from anomaly detection (and therefore from the audit stream),
+so parallel fleet runs stay byte-identical to serial ones with sampling
+enabled.
+
+``SAMPLE_CATALOG`` is the sampled-series taxonomy, linted by
+``scripts/check_observability_names.py`` alongside the metric, audit,
+alert, and SLO catalogs.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import json
+import math
+from typing import Deque, Dict, IO, Iterable, List, Optional, Tuple, Union
+
+from repro.errors import TelemetryError
+from repro.observability.metrics import Histogram, MetricsRegistry
+
+#: Version of the JSONL bucket schema below.  Bump when a record's
+#: meaning changes; :meth:`TimeSeriesStore.replay` refuses newer ones.
+HISTORY_SCHEMA_VERSION = 1
+
+#: Rollup tier widths in ticks.  Raw samples roll into 16-tick buckets,
+#: which roll into 256-tick buckets (tiers must be listed ascending).
+ROLLUP_WIDTHS: Tuple[int, ...] = (16, 256)
+
+#: Database label for fleet-level history events (matches the alert
+#: watchdog's fleet scope so explain timelines join both).
+HISTORY_SCOPE = "<fleet>"
+
+
+@dataclasses.dataclass(frozen=True)
+class SampleSpec:
+    """One catalog entry: the contract for a sampled series name."""
+
+    name: str
+    unit: str
+    description: str
+    #: Wall-clock-derived series: retained for trend queries but never
+    #: fed to the anomaly detector (audit streams must stay virtual).
+    wall: bool = False
+    #: Whether the EWMA/z-score detector watches this series (rates and
+    #: level gauges only — cumulative counters trend up by construction).
+    anomaly: bool = False
+
+
+def _spec(
+    name: str,
+    unit: str,
+    description: str,
+    wall: bool = False,
+    anomaly: bool = False,
+) -> Tuple[str, SampleSpec]:
+    return name, SampleSpec(name, unit, description, wall, anomaly)
+
+
+#: The sampled-series taxonomy.  Names are stable public API: the SLO
+#: catalog, the dashboard sparklines, the JSON export, and the
+#: observability-name lint all key on them.
+SAMPLE_CATALOG: Dict[str, SampleSpec] = dict(
+    [
+        _spec("revert_rate", "ratio",
+              "Share of decided recommendations that ended REVERTED "
+              "(cumulative, the paper's Section 8.1 headline rate).",
+              anomaly=True),
+        _spec("validation_failure_rate", "ratio",
+              "Share of completed validations that judged REGRESSED "
+              "(cumulative).", anomaly=True),
+        _spec("plan_cache_hit_rate", "ratio",
+              "Fleet-wide optimizer plan-cache hit rate (cumulative).",
+              anomaly=True),
+        _spec("recommendations_created", "recommendations",
+              "Recommendations registered so far (cumulative counter)."),
+        _spec("implementations_completed", "implementations",
+              "Index changes fully implemented so far (cumulative)."),
+        _spec("validation_reverts", "reverts",
+              "Validation-triggered reverts so far (cumulative)."),
+        _spec("incidents", "incidents",
+              "Service-health incidents raised so far (cumulative)."),
+        _spec("records_live", "records",
+              "Recommendation records currently in a non-terminal state.",
+              anomaly=True),
+        _spec("alerts_firing_count", "alerts",
+              "Watchdog alert rules currently firing.", anomaly=True),
+        _spec("time_to_implement_minutes", "minutes",
+              "p95 simulated minutes records spent IMPLEMENTING "
+              "(from the state_duration_minutes histogram)."),
+        _spec("tick_wall_seconds", "seconds",
+              "Wall-clock seconds per fleet tick (host-dependent; "
+              "excluded from the determinism contract).", wall=True),
+    ]
+)
+
+#: Non-terminal lifecycle states (``records_live`` sums these).
+_LIVE_STATES = ("active", "implementing", "validating", "reverting", "retry")
+
+
+def _validate_series(name: str) -> SampleSpec:
+    spec = SAMPLE_CATALOG.get(name)
+    if spec is None:
+        raise TelemetryError(
+            f"sampled series {name!r} is not in SAMPLE_CATALOG "
+            "(src/repro/observability/timeseries.py)"
+        )
+    return spec
+
+
+class Bucket:
+    """One rollup bucket: tick range plus min/max/sum/count/last."""
+
+    __slots__ = ("start", "end", "min", "max", "sum", "count", "last")
+
+    def __init__(self, tick: int, value: float) -> None:
+        self.start = tick
+        self.end = tick
+        self.min = value
+        self.max = value
+        self.sum = value
+        self.count = 1
+        self.last = value
+
+    def observe(self, tick: int, value: float) -> None:
+        self.end = tick
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        self.sum += value
+        self.count += 1
+        self.last = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_row(self) -> List[float]:
+        """Compact export row (schema: start,end,min,max,sum,count,last)."""
+        return [self.start, self.end, self.min, self.max, self.sum,
+                self.count, self.last]
+
+    @classmethod
+    def from_row(cls, row: List[float]) -> "Bucket":
+        bucket = cls(int(row[0]), float(row[2]))
+        bucket.end = int(row[1])
+        bucket.max = float(row[3])
+        bucket.sum = float(row[4])
+        bucket.count = int(row[5])
+        bucket.last = float(row[6])
+        return bucket
+
+
+class _Tier:
+    """One rollup tier: a ring of closed buckets plus the open one."""
+
+    __slots__ = ("width", "closed", "open")
+
+    def __init__(self, width: int, capacity: int) -> None:
+        self.width = width
+        self.closed: Deque[Bucket] = collections.deque(maxlen=capacity)
+        self.open: Optional[Bucket] = None
+
+    def observe(self, tick: int, value: float) -> None:
+        index = tick // self.width
+        if self.open is not None and self.open.start // self.width != index:
+            self.closed.append(self.open)
+            self.open = None
+        if self.open is None:
+            self.open = Bucket(tick, value)
+        else:
+            self.open.observe(tick, value)
+
+    def buckets(self) -> List[Bucket]:
+        out = list(self.closed)
+        if self.open is not None:
+            out.append(self.open)
+        return out
+
+    def oldest_tick(self) -> Optional[int]:
+        if self.closed:
+            return self.closed[0].start
+        if self.open is not None:
+            return self.open.start
+        return None
+
+    def __len__(self) -> int:
+        return len(self.closed) + (1 if self.open is not None else 0)
+
+
+class SeriesHistory:
+    """All retention tiers for one sampled series."""
+
+    __slots__ = ("name", "raw", "tiers")
+
+    def __init__(
+        self,
+        name: str,
+        raw_capacity: int,
+        rollup_capacity: int,
+        widths: Tuple[int, ...] = ROLLUP_WIDTHS,
+    ) -> None:
+        self.name = name
+        self.raw: Deque[Bucket] = collections.deque(maxlen=raw_capacity)
+        self.tiers = [_Tier(width, rollup_capacity) for width in widths]
+
+    def observe(self, tick: int, value: float) -> None:
+        self.raw.append(Bucket(tick, float(value)))
+        for tier in self.tiers:
+            tier.observe(tick, float(value))
+
+    # -- queries -------------------------------------------------------
+
+    def latest(self) -> Optional[float]:
+        return self.raw[-1].last if self.raw else None
+
+    def last_tick(self) -> Optional[int]:
+        return self.raw[-1].end if self.raw else None
+
+    def retained(self) -> int:
+        return len(self.raw) + sum(len(tier) for tier in self.tiers)
+
+    def covering_buckets(self, start: int, end: int) -> List[Bucket]:
+        """Buckets overlapping ``[start, end]`` from the finest tier
+        whose retention still reaches back to ``start``.
+
+        The raw ring answers recent-window queries exactly; queries past
+        its horizon degrade to 16-tick, then 256-tick resolution — the
+        whole-horizon query always has an answer as long as the coarsest
+        tier's ring has not wrapped.
+        """
+        candidates: List[List[Bucket]] = [list(self.raw)]
+        candidates.extend(tier.buckets() for tier in self.tiers)
+        chosen: List[Bucket] = []
+        for buckets in candidates:
+            if not buckets:
+                continue
+            chosen = buckets
+            if buckets[0].start <= start:
+                break
+        return [b for b in chosen if b.end >= start and b.start <= end]
+
+    def value_at(self, tick: int) -> Optional[float]:
+        """Last sampled value at or before ``tick``, answered by the
+        finest tier whose retention reaches back to ``tick`` (exact
+        while the raw ring covers it; clamped to the oldest retained
+        bucket for ticks past every horizon)."""
+        tick = max(0, tick)
+        candidates: List[List[Bucket]] = [list(self.raw)]
+        candidates.extend(tier.buckets() for tier in self.tiers)
+        chosen: List[Bucket] = []
+        for buckets in candidates:
+            if not buckets:
+                continue
+            chosen = buckets
+            if buckets[0].start <= tick:
+                break
+        if not chosen:
+            return None
+        best = chosen[0]
+        for bucket in chosen:
+            if bucket.start <= tick:
+                best = bucket
+            else:
+                break
+        return best.last
+
+    def window_stats(self, window: int) -> Tuple[float, float, float, int]:
+        """(min, max, sum, count) over the trailing ``window`` ticks."""
+        end = self.last_tick()
+        if end is None:
+            return 0.0, 0.0, 0.0, 0
+        start = max(0, end - window + 1)
+        buckets = self.covering_buckets(start, end)
+        if not buckets:
+            return 0.0, 0.0, 0.0, 0
+        lo = min(b.min for b in buckets)
+        hi = max(b.max for b in buckets)
+        total = sum(b.sum for b in buckets)
+        count = sum(b.count for b in buckets)
+        return lo, hi, total, count
+
+
+class TimeSeriesStore:
+    """Memory-bounded store of per-tick samples with tiered rollups.
+
+    ``raw_capacity`` raw buckets plus ``rollup_capacity`` closed buckets
+    per rollup tier bound every series; :meth:`retained_samples` against
+    :meth:`capacity` is the provable memory bound the test suite drives
+    10,000+ ticks through.
+    """
+
+    def __init__(
+        self,
+        raw_capacity: int = 512,
+        rollup_capacity: int = 256,
+        widths: Tuple[int, ...] = ROLLUP_WIDTHS,
+    ) -> None:
+        if raw_capacity < 1 or rollup_capacity < 1:
+            raise TelemetryError("history capacities must be >= 1")
+        if tuple(sorted(set(widths))) != tuple(widths):
+            raise TelemetryError("rollup widths must be ascending and distinct")
+        self.raw_capacity = raw_capacity
+        self.rollup_capacity = rollup_capacity
+        self.widths = tuple(widths)
+        self._series: Dict[str, SeriesHistory] = {}
+
+    # -- writes --------------------------------------------------------
+
+    def observe(self, name: str, tick: int, value: float) -> None:
+        """Append one sample; ``name`` must be in :data:`SAMPLE_CATALOG`."""
+        _validate_series(name)
+        series = self._series.get(name)
+        if series is None:
+            series = SeriesHistory(
+                name, self.raw_capacity, self.rollup_capacity, self.widths
+            )
+            self._series[name] = series
+        series.observe(tick, value)
+
+    # -- introspection -------------------------------------------------
+
+    def series_names(self) -> List[str]:
+        return sorted(self._series)
+
+    def last_tick(self) -> Optional[int]:
+        ticks = [s.last_tick() for s in self._series.values()]
+        ticks = [t for t in ticks if t is not None]
+        return max(ticks) if ticks else None
+
+    def retained_samples(self) -> int:
+        """Total buckets currently held across every series and tier."""
+        return sum(series.retained() for series in self._series.values())
+
+    def capacity(self) -> int:
+        """Upper bound on :meth:`retained_samples` for the current series
+        set (each tier's ring plus its open bucket)."""
+        per_series = self.raw_capacity + len(self.widths) * (
+            self.rollup_capacity + 1
+        )
+        return per_series * max(1, len(self._series))
+
+    # -- queries -------------------------------------------------------
+
+    def _get(self, name: str) -> Optional[SeriesHistory]:
+        _validate_series(name)
+        return self._series.get(name)
+
+    def latest(self, name: str) -> Optional[float]:
+        series = self._get(name)
+        return series.latest() if series else None
+
+    def range(
+        self, name: str, start: int, end: Optional[int] = None
+    ) -> List[Bucket]:
+        """Buckets overlapping ``[start, end]`` at the finest retained
+        resolution (see :meth:`SeriesHistory.covering_buckets`)."""
+        series = self._get(name)
+        if series is None:
+            return []
+        last = series.last_tick()
+        if last is None:
+            return []
+        return series.covering_buckets(start, last if end is None else end)
+
+    def delta(self, name: str, window: int) -> float:
+        """Change in the series value over the trailing ``window`` ticks
+        (clamped to the retained horizon)."""
+        series = self._get(name)
+        if series is None:
+            return 0.0
+        end = series.last_tick()
+        if end is None:
+            return 0.0
+        latest = series.latest()
+        earlier = series.value_at(max(0, end - window))
+        if latest is None or earlier is None:
+            return 0.0
+        return latest - earlier
+
+    def rate(self, name: str, window: int) -> float:
+        """Per-tick rate of change over the trailing ``window`` ticks.
+
+        Uses the *effective* span — windows reaching past the retained
+        horizon divide by the span actually covered, never by ticks the
+        store no longer holds.
+        """
+        series = self._get(name)
+        if series is None:
+            return 0.0
+        end = series.last_tick()
+        if end is None:
+            return 0.0
+        target = max(0, end - window)
+        buckets = series.covering_buckets(0, end)
+        oldest = buckets[0].start if buckets else end
+        start = max(target, oldest)
+        span = end - start
+        if span <= 0:
+            return 0.0
+        latest = series.latest()
+        earlier = series.value_at(start)
+        if latest is None or earlier is None:
+            return 0.0
+        return (latest - earlier) / span
+
+    def mean(self, name: str, window: int) -> Tuple[float, int]:
+        """(mean, sample count) over the trailing ``window`` ticks.
+
+        Exact regardless of which tier answers: rollup buckets carry
+        ``sum`` and ``count``, so downsampling never loses the mean.
+        """
+        series = self._get(name)
+        if series is None:
+            return 0.0, 0
+        _lo, _hi, total, count = series.window_stats(window)
+        return (total / count if count else 0.0), count
+
+    def quantile(self, name: str, q: float, window: int) -> float:
+        """Estimated q-quantile over the trailing ``window`` ticks.
+
+        Each bucket is treated as ``count`` observations spread uniformly
+        between its ``min`` and ``max`` — exact for raw buckets (one
+        sample each), a bounded-error estimate for rollups.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise TelemetryError(f"quantile {q} outside [0, 1]")
+        series = self._get(name)
+        if series is None:
+            return 0.0
+        end = series.last_tick()
+        if end is None:
+            return 0.0
+        buckets = series.covering_buckets(max(0, end - window + 1), end)
+        if not buckets:
+            return 0.0
+        ordered = sorted(buckets, key=lambda b: (b.min, b.max))
+        total = sum(b.count for b in ordered)
+        target = q * total
+        cumulative = 0.0
+        for bucket in ordered:
+            if cumulative + bucket.count >= target:
+                fraction = (target - cumulative) / bucket.count
+                return bucket.min + fraction * (bucket.max - bucket.min)
+            cumulative += bucket.count
+        return ordered[-1].max
+
+    # -- export / persistence ------------------------------------------
+
+    def export(self) -> dict:
+        """A JSON-serializable, deterministic snapshot of the store."""
+        series_out = []
+        for name in self.series_names():
+            series = self._series[name]
+            spec = SAMPLE_CATALOG[name]
+            tiers = [{"width": 1, "buckets": [b.to_row() for b in series.raw]}]
+            for tier in series.tiers:
+                tiers.append(
+                    {
+                        "width": tier.width,
+                        "buckets": [b.to_row() for b in tier.buckets()],
+                    }
+                )
+            series_out.append(
+                {
+                    "name": name,
+                    "unit": spec.unit,
+                    "wall": spec.wall,
+                    "latest": series.latest(),
+                    "tiers": tiers,
+                }
+            )
+        return {
+            "schema": "repro-history-v1",
+            "schema_version": HISTORY_SCHEMA_VERSION,
+            "last_tick": self.last_tick(),
+            "retained_samples": self.retained_samples(),
+            "series": series_out,
+        }
+
+    def to_jsonl(self) -> str:
+        """The store as JSON lines: one record per (series, tier) ring.
+
+        Mirrors :meth:`repro.observability.audit.AuditLog.to_jsonl`:
+        deterministic ordering, schema-versioned records, no wall-clock
+        timestamps beyond series explicitly cataloged as wall series.
+        """
+        lines = []
+        for name in self.series_names():
+            series = self._series[name]
+            tiers = [("raw", 1, [b.to_row() for b in series.raw])]
+            tiers += [
+                (f"rollup_{tier.width}", tier.width,
+                 [b.to_row() for b in tier.buckets()])
+                for tier in series.tiers
+            ]
+            for tier_name, width, rows in tiers:
+                lines.append(
+                    json.dumps(
+                        {
+                            "schema_version": HISTORY_SCHEMA_VERSION,
+                            "series": name,
+                            "tier": tier_name,
+                            "width": width,
+                            # Ring capacities ride along so a replayed
+                            # store evicts exactly like the original
+                            # when appended to.
+                            "raw_capacity": self.raw_capacity,
+                            "rollup_capacity": self.rollup_capacity,
+                            "buckets": rows,
+                        },
+                        sort_keys=True,
+                    )
+                )
+        return "".join(line + "\n" for line in lines)
+
+    def dump(self, destination: Union[str, IO[str]]) -> int:
+        """Write the store as JSONL; returns the record count."""
+        text = self.to_jsonl()
+        if hasattr(destination, "write"):
+            destination.write(text)
+        else:
+            with open(destination, "w") as fp:
+                fp.write(text)
+        return sum(1 for line in text.splitlines() if line)
+
+    @classmethod
+    def replay(cls, source: Union[str, Iterable[str]]) -> "TimeSeriesStore":
+        """Rebuild a store from JSONL text, lines, or a file path.
+
+        Bucket contents round-trip exactly: the final bucket of each
+        rollup record becomes the tier's open bucket again, so
+        ``replay(to_jsonl()).to_jsonl()`` is byte-identical and
+        appending to a replayed store continues the same rollups.
+        """
+        if isinstance(source, str):
+            if not source.strip():
+                lines: Iterable[str] = []
+            elif "\n" not in source and not source.lstrip().startswith("{"):
+                with open(source) as fp:
+                    lines = fp.read().splitlines()
+            else:
+                lines = source.splitlines()
+        else:
+            lines = source
+        store = cls()
+        widths = set()
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            raw = json.loads(line)
+            version = raw.get("schema_version", 0)
+            if version > HISTORY_SCHEMA_VERSION:
+                raise TelemetryError(
+                    f"history record schema v{version} is newer than this "
+                    f"reader (v{HISTORY_SCHEMA_VERSION})"
+                )
+            name = raw["series"]
+            _validate_series(name)
+            if not store._series:
+                # First record configures the store's ring capacities
+                # (older dumps without them keep the defaults).
+                store.raw_capacity = int(
+                    raw.get("raw_capacity", store.raw_capacity)
+                )
+                store.rollup_capacity = int(
+                    raw.get("rollup_capacity", store.rollup_capacity)
+                )
+            series = store._series.get(name)
+            if series is None:
+                series = SeriesHistory(
+                    name, store.raw_capacity, store.rollup_capacity,
+                    store.widths,
+                )
+                store._series[name] = series
+            buckets = [Bucket.from_row(row) for row in raw["buckets"]]
+            if raw["tier"] == "raw":
+                series.raw.extend(buckets)
+            else:
+                width = int(raw["width"])
+                widths.add(width)
+                for tier in series.tiers:
+                    if tier.width == width:
+                        if buckets:
+                            tier.closed.extend(buckets[:-1])
+                            tier.open = buckets[-1]
+                        break
+                else:
+                    raise TelemetryError(
+                        f"history record tier width {width} is not one of "
+                        f"the reader's rollup widths {store.widths}"
+                    )
+        return store
+
+
+# ----------------------------------------------------------------------
+# Registry sampling
+
+
+class FleetSampler:
+    """Reduces a :class:`MetricsRegistry` to the cataloged samples.
+
+    Every value is derived from virtual-time-driven counters/gauges, so
+    the same merged registry state yields the same samples on every
+    backend.  Wall series are *not* produced here — they are observed
+    separately by callers that actually measure wall time.
+    """
+
+    def sample(self, registry: MetricsRegistry) -> Dict[str, float]:
+        reverted = registry.total(
+            "state_transitions_total", to_state="reverted"
+        )
+        success = registry.total("state_transitions_total", to_state="success")
+        reverting = registry.total(
+            "state_transitions_total", to_state="reverting"
+        )
+        decided = reverted + success
+        validated = reverting + success
+        hits = registry.total("plan_cache_hits")
+        misses = registry.total("plan_cache_misses")
+        lookups = hits + misses
+        live = sum(
+            registry.total("records_in_state", state=state)
+            for state in _LIVE_STATES
+        )
+        firing = sum(
+            1.0
+            for series in registry.series_for("alerts_firing")
+            if series.metric.value
+        )
+        implement_p95 = 0.0
+        for series in registry.series_for(
+            "state_duration_minutes", state="implementing"
+        ):
+            metric = series.metric
+            if isinstance(metric, Histogram) and metric.count:
+                implement_p95 = metric.p95
+        return {
+            "revert_rate": (reverted / decided) if decided else 0.0,
+            "validation_failure_rate": (
+                (reverting / validated) if validated else 0.0
+            ),
+            "plan_cache_hit_rate": (hits / lookups) if lookups else 1.0,
+            "recommendations_created": registry.total(
+                "recommendations_created_total"
+            ),
+            "implementations_completed": registry.total(
+                "implementations_completed_total"
+            ),
+            "validation_reverts": reverted,
+            "incidents": registry.total("incidents_total"),
+            "records_live": live,
+            "alerts_firing_count": firing,
+            "time_to_implement_minutes": implement_p95,
+        }
+
+
+# ----------------------------------------------------------------------
+# Anomaly detection
+
+
+@dataclasses.dataclass
+class Anomaly:
+    """One z-score excursion on one sampled series."""
+
+    series: str
+    tick: int
+    value: float
+    zscore: float
+    ewma_mean: float
+    ewma_std: float
+
+
+class _EwmaState:
+    __slots__ = ("mean", "var", "samples", "suppressed_until")
+
+    def __init__(self) -> None:
+        self.mean = 0.0
+        self.var = 0.0
+        self.samples = 0
+        self.suppressed_until = -1
+
+
+class AnomalyDetector:
+    """EWMA mean/variance tracker with z-score excursion detection.
+
+    Per series, the detector keeps an exponentially weighted moving
+    average and variance; a sample whose z-score magnitude reaches
+    ``z_threshold`` after ``warmup`` samples is an anomaly.  A cooldown
+    suppresses repeat firings while a level shift is absorbed into the
+    moving statistics, so one regression produces one typed event, not
+    a storm.  All state is pure float arithmetic over virtual-tick
+    samples: deterministic across runs and backends.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.2,
+        z_threshold: float = 4.0,
+        warmup: int = 12,
+        cooldown: int = 32,
+        min_std: float = 1e-3,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise TelemetryError("EWMA alpha must be in (0, 1]")
+        self.alpha = alpha
+        self.z_threshold = z_threshold
+        self.warmup = warmup
+        self.cooldown = cooldown
+        self.min_std = min_std
+        self._states: Dict[str, _EwmaState] = {}
+
+    def observe(self, series: str, tick: int, value: float) -> Optional[Anomaly]:
+        """Feed one sample; returns an :class:`Anomaly` when it excurses."""
+        state = self._states.get(series)
+        if state is None:
+            state = self._states[series] = _EwmaState()
+        anomaly = None
+        if state.samples >= self.warmup and tick >= state.suppressed_until:
+            std = max(math.sqrt(state.var), self.min_std)
+            z = (value - state.mean) / std
+            if abs(z) >= self.z_threshold:
+                anomaly = Anomaly(
+                    series=series,
+                    tick=tick,
+                    value=value,
+                    zscore=z,
+                    ewma_mean=state.mean,
+                    ewma_std=std,
+                )
+                state.suppressed_until = tick + self.cooldown
+        if state.samples == 0:
+            state.mean = value
+            state.var = 0.0
+        else:
+            delta = value - state.mean
+            state.mean += self.alpha * delta
+            state.var = (1.0 - self.alpha) * (
+                state.var + self.alpha * delta * delta
+            )
+        state.samples += 1
+        return anomaly
+
+
+# ----------------------------------------------------------------------
+# The per-service orchestrator
+
+
+class TelemetryHistory:
+    """Samples a registry each tick, stores history, detects anomalies.
+
+    One per region-level service (the serial control plane owns one;
+    the sharded fleet service owns one fed at its post-merge point).
+    Shard worker planes never sample — history, like alert rules, is a
+    fleet-level responsibility evaluated over merged state, which is
+    what keeps parallel runs byte-identical to serial.
+    """
+
+    def __init__(
+        self,
+        store: Optional[TimeSeriesStore] = None,
+        sampler: Optional[FleetSampler] = None,
+        detector: Optional[AnomalyDetector] = None,
+    ) -> None:
+        self.store = store if store is not None else TimeSeriesStore()
+        self.sampler = sampler if sampler is not None else FleetSampler()
+        self.detector = detector if detector is not None else AnomalyDetector()
+        self.anomalies: List[Anomaly] = []
+        self._ticks = 0
+
+    @property
+    def ticks(self) -> int:
+        """Ticks sampled so far (the next sample's tick index)."""
+        return self._ticks
+
+    def observe_tick(
+        self,
+        registry: MetricsRegistry,
+        now: float,
+        audit=None,
+    ) -> int:
+        """Sample the registry at virtual time ``now``; returns the tick
+        index used.
+
+        Anomalies on cataloged (non-wall) series emit typed
+        ``telemetry_anomaly`` audit events at ``now``, joining the same
+        provenance chain ``repro explain`` renders.
+        """
+        tick = self._ticks
+        self._ticks += 1
+        values = self.sampler.sample(registry)
+        for name in sorted(values):
+            value = values[name]
+            self.store.observe(name, tick, value)
+            spec = SAMPLE_CATALOG[name]
+            if not spec.anomaly or spec.wall:
+                continue
+            anomaly = self.detector.observe(name, tick, value)
+            if anomaly is None:
+                continue
+            self.anomalies.append(anomaly)
+            registry.counter(
+                "telemetry_anomalies_total", series=name
+            ).inc()
+            if audit is not None:
+                audit.emit(
+                    now,
+                    "telemetry_anomaly",
+                    HISTORY_SCOPE,
+                    series=anomaly.series,
+                    tick=anomaly.tick,
+                    value=anomaly.value,
+                    zscore=anomaly.zscore,
+                    ewma_mean=anomaly.ewma_mean,
+                    ewma_std=anomaly.ewma_std,
+                )
+        registry.gauge("telemetry_history_samples").set(
+            self.store.retained_samples()
+        )
+        return tick
+
+    def observe_wall(self, tick: int, wall_seconds: float) -> None:
+        """Record one tick's wall time into the (wall-flagged) series.
+
+        Kept separate from :meth:`observe_tick` so callers without a
+        wall measurement (the serial control plane) never create the
+        series, and the anomaly/audit path can never see wall values.
+        """
+        self.store.observe("tick_wall_seconds", tick, wall_seconds)

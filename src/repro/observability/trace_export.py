@@ -37,8 +37,8 @@ class TraceEvent:
     track: int  # 0 = parent control plane, 1 + shard_index = worker
     name: str
     ts: float  # seconds since the profiling epoch
-    dur: float  # seconds
-    category: str  # "phase" | "span"
+    dur: float  # seconds (0.0 for counter samples)
+    category: str  # "phase" | "span" | "counter"
     args: Dict[str, object] = dataclasses.field(default_factory=dict)
 
 
@@ -81,6 +81,33 @@ def span_trace_events(
     return events
 
 
+def history_counter_events(
+    samples: Sequence[tuple],
+    track: int = PARENT_TRACK,
+) -> List[TraceEvent]:
+    """Telemetry-history samples as Perfetto counter-track events.
+
+    ``samples`` is a sequence of ``(wall_ts_seconds, {series: value})``
+    pairs as collected by the fleet service at each finalize; each
+    series renders as its own ``history:<series>`` counter track over
+    the parent timeline.
+    """
+    events = []
+    for ts, values in samples:
+        for series in sorted(values):
+            events.append(
+                TraceEvent(
+                    track=track,
+                    name=f"history:{series}",
+                    ts=ts,
+                    dur=0.0,
+                    category="counter",
+                    args={"value": values[series]},
+                )
+            )
+    return events
+
+
 def trace_event_json(
     events: Sequence[TraceEvent],
     track_names: Optional[Dict[int, str]] = None,
@@ -117,6 +144,21 @@ def trace_event_json(
         )
     ordered = sorted(events, key=lambda e: (e.track, e.ts, e.dur, e.name))
     for event in ordered:
+        if event.category == "counter":
+            # Counter ("C") events render as value-over-time counter
+            # tracks in Perfetto; they carry a sample, not a duration.
+            trace_events.append(
+                {
+                    "name": event.name,
+                    "cat": event.category,
+                    "ph": "C",
+                    "pid": 1,
+                    "tid": event.track,
+                    "ts": round(event.ts * 1e6, 3),
+                    "args": event.args,
+                }
+            )
+            continue
         trace_events.append(
             {
                 "name": event.name,

@@ -44,10 +44,14 @@ from repro.controlplane.events import EventBus
 from repro.controlplane.store import StateStore
 from repro.engine.engine import EngineSettings
 from repro.observability import AlertWatchdog, Telemetry
+from repro.observability.alerts import default_rules
 from repro.observability.profiling import Profiler
+from repro.observability.slo import burn_alert_rules
+from repro.observability.timeseries import SAMPLE_CATALOG, TelemetryHistory
 from repro.observability.trace_export import (
     TraceEvent,
     attribution_summary,
+    history_counter_events,
     span_trace_events,
 )
 from repro.recommender import MiRecommenderSettings
@@ -110,8 +114,17 @@ class ShardedFleetService:
         self.incidents: List[Incident] = []
         self.validation_history: List[dict] = []
         self.classifier = LowImpactClassifier()
+        #: Fleet telemetry history: sampled at the post-merge point of
+        #: every tick, over merged virtual-time state only, so runs stay
+        #: byte-identical across backends with sampling enabled.
+        self.history = (
+            TelemetryHistory() if self.parallel.history else None
+        )
+        rules = default_rules()
+        if self.history is not None:
+            rules += burn_alert_rules(self.history.store)
         self.watchdog = AlertWatchdog(
-            self.telemetry.registry, audit=self.telemetry.audit
+            self.telemetry.registry, audit=self.telemetry.audit, rules=rules
         )
         #: Region-level hot-path aggregate, merged from worker profilers
         #: in stable db order each tick (``repro profile`` ranks these).
@@ -198,6 +211,12 @@ class ShardedFleetService:
         self.ticks_completed = 0
         self._pending_classifier_state: Optional[dict] = None
         self._last_retrain = 0.0
+        #: ``(wall_ts, {series: value})`` per sampled tick, for the
+        #: Perfetto counter tracks (wall clocks live only here and in
+        #: the wall-flagged series — never in the audit stream).
+        self._counter_samples: Deque[Tuple[float, Dict[str, float]]] = (
+            collections.deque(maxlen=TICK_WALL_WINDOW)
+        )
 
     # ------------------------------------------------------------------
 
@@ -310,11 +329,39 @@ class ShardedFleetService:
                 self._account_busy([result for result, _anchor in released])
                 registry.counter("fleet_ticks_total").inc()
                 self.clock.advance_to(end)
+                # History samples the *merged* registry here — the
+                # post-merge point, before the watchdog pass so SLO
+                # burn-rate rules read a store including this tick.
+                history_tick = None
+                if self.history is not None:
+                    history_tick = self.history.observe_tick(
+                        registry, end, audit=self.telemetry.audit
+                    )
+                    if timer.enabled:
+                        self._counter_samples.append(
+                            (timer.now(), self._history_snapshot())
+                        )
                 self.watchdog.evaluate(end)
                 self._maybe_retrain()
             wall = time.perf_counter() - tick_started
             timer.end_tick(wall)
             self._observe_tick_wall(wall)
+            if self.history is not None and history_tick is not None:
+                # Wall time is only known after end_tick; it lives in
+                # the wall-flagged series, outside the anomaly/audit
+                # path, so it cannot perturb determinism.
+                self.history.observe_wall(history_tick, wall)
+
+    def _history_snapshot(self) -> Dict[str, float]:
+        """Latest non-wall history values, for the counter tracks."""
+        store = self.history.store
+        return {
+            name: value
+            for name in store.series_names()
+            if not SAMPLE_CATALOG[name].wall
+            for value in [store.latest(name)]
+            if value is not None
+        }
 
     def _account_busy(self, results) -> None:
         """Accumulate per-shard busy seconds keyed by ``shard_index``.
@@ -376,9 +423,14 @@ class ShardedFleetService:
         return attribution_summary(self.phase_timer.ticks, PARENT_PHASES)
 
     def trace_events(self) -> List[TraceEvent]:
-        """Phase brackets plus merged-span events for the trace export."""
-        return list(self.phase_timer.events) + span_trace_events(
-            self.telemetry.recorder.spans(), self._db_track
+        """Phase brackets, merged-span events, and history counter
+        tracks for the trace export."""
+        return (
+            list(self.phase_timer.events)
+            + span_trace_events(
+                self.telemetry.recorder.spans(), self._db_track
+            )
+            + history_counter_events(self._counter_samples)
         )
 
     def track_names(self) -> dict:
@@ -409,6 +461,7 @@ def build_fleet_service(
     backend: str = "auto",
     instrument: bool = True,
     batch_ticks: int = 1,
+    history: bool = True,
     **kwargs,
 ) -> ShardedFleetService:
     """Convenience constructor mirroring :func:`repro.service.build_service`."""
@@ -417,5 +470,6 @@ def build_fleet_service(
         backend=backend,
         instrument=instrument,
         batch_ticks=batch_ticks,
+        history=history,
     )
     return ShardedFleetService(n_databases, parallel=parallel, **kwargs)

@@ -48,6 +48,12 @@ class ParallelSettings:
     #: classifier-retrain boundary so broadcast state still lands at the
     #: same virtual time it would serially.
     batch_ticks: int = 1
+    #: Sample the merged registry into the telemetry-history store each
+    #: tick (sparklines, SLO burn rates, anomaly detection).  Sampling
+    #: reads only merged virtual-time state, so it never perturbs the
+    #: determinism contract; the flag exists for the history overhead
+    #: gate in bench_fleet_scale.py, not because off is ever unsafe.
+    history: bool = True
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:

@@ -59,7 +59,14 @@ class TestAlertRule:
         assert firing and value == 0.1
 
     def test_default_rules_cover_the_catalog(self):
-        assert {rule.name for rule in default_rules()} == set(ALERT_CATALOG)
+        # Point-in-time rules plus the SLO burn-rate rules together
+        # cover ALERT_CATALOG exactly: no orphan catalog entries, no
+        # uncataloged rules.
+        from repro.observability.slo import burn_alert_rules
+        from repro.observability.timeseries import TimeSeriesStore
+
+        rules = default_rules() + burn_alert_rules(TimeSeriesStore())
+        assert {rule.name for rule in rules} == set(ALERT_CATALOG)
 
 
 class TestWatchdog:

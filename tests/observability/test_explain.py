@@ -100,8 +100,29 @@ class TestExplainRendering:
             store=scenario.plane.store,
         )
         sources = {entry.source for entry in entries}
-        assert sources == {"audit", "journal", "span"}
+        assert sources == {"audit", "journal", "span", "fleet"}
         assert [e.at for e in entries] == sorted(e.at for e in entries)
+
+    def test_fleet_scope_events_join_by_time(self, scenario):
+        # The plan-cache burn-rate alert raises while this record is
+        # alive; it carries no rec_id, so it joins the timeline by time
+        # as ambient [fleet] context.
+        entries = build_timeline(
+            scenario.plane.audit, scenario.database, scenario.rec_id
+        )
+        fleet = [e for e in entries if e.source == "fleet"]
+        assert fleet, "expected fleet-scope context entries"
+        assert all(e.title.startswith("[fleet]") for e in fleet)
+        assert any("alert_raised" in e.title for e in fleet)
+        chain = scenario.plane.audit.chain(scenario.rec_id)
+        first, last = chain[0].at, chain[-1].at
+        assert all(first <= e.at <= last for e in fleet)
+        text = "\n".join(
+            render_explain(
+                scenario.plane.audit, scenario.database, scenario.rec_id
+            )
+        )
+        assert "[fleet] alert_raised" in text
 
     def test_rendered_explain_tells_the_whole_story(self, scenario):
         text = "\n".join(
@@ -141,12 +162,17 @@ class TestExplainRendering:
 
 class TestWatchdogOnScenario:
     def test_revert_rate_alert_fires(self, scenario):
-        active = scenario.plane.watchdog.active()
-        assert [a.rule for a in active] == ["revert_rate_spike"]
-        (alert,) = active
+        active = {a.rule: a for a in scenario.plane.watchdog.active()}
+        # The point-in-time spike rule and the cold-cache burn-rate SLO
+        # (this staged scenario's plan cache never hits) both fire.
+        assert set(active) == {"revert_rate_spike", "slo_plan_cache_hit_rate"}
+        alert = active["revert_rate_spike"]
         assert alert.value == 1.0 and alert.samples == 1
-        (event,) = scenario.plane.audit.events(event_type="alert_raised")
-        assert event.payload["rule"] == "revert_rate_spike"
+        raised = {
+            e.payload["rule"]
+            for e in scenario.plane.audit.events(event_type="alert_raised")
+        }
+        assert "revert_rate_spike" in raised
 
     def test_dashboard_shows_the_firing_alert(self, scenario):
         telemetry = scenario.plane.telemetry

@@ -133,3 +133,47 @@ class TestJsonExport:
     def test_json_text_round_trips(self):
         text = json_text(build_registry())
         assert json.loads(text)["schema"] == "repro-telemetry-v1"
+
+    def test_history_section(self):
+        from repro.observability.timeseries import TelemetryHistory
+
+        history = TelemetryHistory()
+        registry = build_registry()
+        history.observe_tick(registry, now=0.0)
+        history.observe_tick(registry, now=120.0)
+        out = json_export(registry, history=history)
+        assert out["history"]["schema"] == "repro-history-v1"
+        assert out["history"]["last_tick"] == 1
+        # A bare TimeSeriesStore is accepted too (replay consumers).
+        out = json_export(registry, history=history.store)
+        assert out["history"]["last_tick"] == 1
+        assert json.loads(json_text(registry, history=history))["history"]
+
+
+class TestLabelEscaping:
+    def test_hostile_label_values_escape_correctly(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "events_total",
+            kind='quo"te',
+            database="back\\slash",
+        ).inc()
+        registry.counter(
+            "events_total", kind="new\nline", database="db"
+        ).inc()
+        text = prometheus_text(registry)
+        assert 'kind="quo\\"te"' in text
+        assert 'database="back\\\\slash"' in text
+        assert 'kind="new\\nline"' in text
+        # The exposition must stay one series per line: a raw newline
+        # inside a label would split the line.
+        for line in text.splitlines():
+            assert line.startswith(("#", "events_total"))
+
+    def test_backslash_then_quote_does_not_double_escape(self):
+        registry = MetricsRegistry()
+        registry.counter("events_total", kind='\\"', database="db").inc()
+        text = prometheus_text(registry)
+        # One escaped backslash followed by one escaped quote — not a
+        # re-escaped escape marker.
+        assert 'kind="\\\\\\""' in text

@@ -1,0 +1,315 @@
+"""Telemetry history: ring-buffer TSDB, rollups, sampling, anomalies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.observability import MetricsRegistry
+from repro.observability.audit import AuditLog
+from repro.observability.timeseries import (
+    HISTORY_SCOPE,
+    SAMPLE_CATALOG,
+    AnomalyDetector,
+    Bucket,
+    FleetSampler,
+    TelemetryHistory,
+    TimeSeriesStore,
+)
+
+
+class TestBucket:
+    def test_aggregates_and_roundtrips(self):
+        bucket = Bucket(10, 3.0)
+        bucket.observe(11, 1.0)
+        bucket.observe(12, 5.0)
+        assert (bucket.min, bucket.max) == (1.0, 5.0)
+        assert bucket.sum == 9.0
+        assert bucket.count == 3
+        assert bucket.last == 5.0
+        assert bucket.mean == 3.0
+        clone = Bucket.from_row(bucket.to_row())
+        assert clone.to_row() == bucket.to_row()
+
+
+class TestStoreBasics:
+    def test_uncataloged_series_rejected(self):
+        store = TimeSeriesStore()
+        with pytest.raises(TelemetryError, match="SAMPLE_CATALOG"):
+            store.observe("made_up_series", 0, 1.0)
+        with pytest.raises(TelemetryError, match="SAMPLE_CATALOG"):
+            store.latest("made_up_series")
+
+    def test_bad_capacities_rejected(self):
+        with pytest.raises(TelemetryError):
+            TimeSeriesStore(raw_capacity=0)
+        with pytest.raises(TelemetryError):
+            TimeSeriesStore(widths=(256, 16))
+
+    def test_latest_and_delta_over_recent_window(self):
+        store = TimeSeriesStore()
+        for tick in range(100):
+            store.observe("records_live", tick, float(tick))
+        assert store.latest("records_live") == 99.0
+        assert store.delta("records_live", 10) == 10.0
+        assert store.rate("records_live", 10) == pytest.approx(1.0)
+
+    def test_mean_is_exact_and_counts_samples(self):
+        store = TimeSeriesStore()
+        for tick in range(20):
+            store.observe("revert_rate", tick, 0.25)
+        mean, count = store.mean("revert_rate", 16)
+        assert mean == pytest.approx(0.25)
+        assert count == 16
+
+    def test_quantile_validates_q(self):
+        store = TimeSeriesStore()
+        store.observe("revert_rate", 0, 0.5)
+        with pytest.raises(TelemetryError, match="quantile"):
+            store.quantile("revert_rate", 1.5, 16)
+
+    def test_empty_store_answers_neutrally(self):
+        store = TimeSeriesStore()
+        assert store.last_tick() is None
+        assert store.latest("revert_rate") is None
+        assert store.range("revert_rate", 0) == []
+        assert store.delta("revert_rate", 16) == 0.0
+        assert store.rate("revert_rate", 16) == 0.0
+        assert store.mean("revert_rate", 16) == (0.0, 0)
+        assert store.quantile("revert_rate", 0.95, 16) == 0.0
+
+
+class TestMemoryBound:
+    """The acceptance bound: >=10,000 ticks under the cap while
+    whole-horizon queries still answer through the rollup tiers."""
+
+    TICKS = 12_000
+
+    def test_retention_capped_and_queries_cover_horizon(self):
+        store = TimeSeriesStore()
+        for tick in range(self.TICKS):
+            store.observe("records_live", tick, float(tick))
+            store.observe("revert_rate", tick, 0.2)
+        # The bound: far fewer buckets retained than samples observed.
+        assert store.retained_samples() <= store.capacity()
+        assert store.capacity() < self.TICKS
+        assert store.last_tick() == self.TICKS - 1
+
+        # rate() over the whole horizon: the identity series moves one
+        # per tick; coarse buckets answer with bounded error, and the
+        # effective-span clamp never divides by evicted ticks.
+        assert store.rate("records_live", self.TICKS) == pytest.approx(
+            1.0, rel=0.1
+        )
+        # mean() stays *exact* under downsampling (sum/count buckets)
+        # for windows the coarsest tier fully covers.
+        mean, count = store.mean("revert_rate", 4096)
+        assert mean == pytest.approx(0.2)
+        assert count >= 4096
+        # quantile() over a horizon only the rollups still cover.
+        p95 = store.quantile("records_live", 0.95, self.TICKS)
+        assert p95 == pytest.approx(0.95 * self.TICKS, rel=0.1)
+
+    def test_range_degrades_to_coarser_tiers(self):
+        store = TimeSeriesStore(raw_capacity=32, rollup_capacity=16)
+        for tick in range(600):
+            store.observe("records_live", tick, float(tick))
+        # Recent window: raw resolution, one bucket per tick.
+        recent = store.range("records_live", 590)
+        assert all(b.count == 1 for b in recent)
+        # A window past the raw ring answers from a rollup tier.
+        older = store.range("records_live", 400, 500)
+        assert older
+        assert all(b.count > 1 for b in older)
+
+
+class TestPersistence:
+    def _filled_store(self) -> TimeSeriesStore:
+        store = TimeSeriesStore(raw_capacity=32, rollup_capacity=8)
+        for tick in range(200):
+            store.observe("revert_rate", tick, (tick % 7) / 10.0)
+            store.observe("records_live", tick, float(tick))
+        return store
+
+    def test_jsonl_roundtrip_is_byte_identical(self):
+        store = self._filled_store()
+        text = store.to_jsonl()
+        replayed = TimeSeriesStore.replay(text)
+        assert replayed.to_jsonl() == text
+        assert replayed.retained_samples() == store.retained_samples()
+        assert replayed.last_tick() == store.last_tick()
+
+    def test_appending_after_replay_continues_rollups(self):
+        store = self._filled_store()
+        replayed = TimeSeriesStore.replay(store.to_jsonl())
+        for tick in range(200, 240):
+            store.observe("records_live", tick, float(tick))
+            replayed.observe("records_live", tick, float(tick))
+        assert replayed.to_jsonl() == store.to_jsonl()
+
+    def test_dump_and_replay_via_file(self, tmp_path):
+        store = self._filled_store()
+        path = tmp_path / "history.jsonl"
+        count = store.dump(str(path))
+        assert count == len(path.read_text().splitlines())
+        replayed = TimeSeriesStore.replay(str(path))
+        assert replayed.to_jsonl() == store.to_jsonl()
+
+    def test_replay_refuses_newer_schema(self):
+        line = (
+            '{"schema_version": 999, "series": "revert_rate", '
+            '"tier": "raw", "width": 1, "buckets": []}'
+        )
+        with pytest.raises(TelemetryError, match="newer"):
+            TimeSeriesStore.replay([line])
+
+    def test_export_is_json_shaped(self):
+        store = self._filled_store()
+        doc = store.export()
+        assert doc["schema"] == "repro-history-v1"
+        assert doc["last_tick"] == 199
+        names = [series["name"] for series in doc["series"]]
+        assert names == sorted(names)
+        for series in doc["series"]:
+            widths = [tier["width"] for tier in series["tiers"]]
+            assert widths == [1, 16, 256]
+
+
+class TestFleetSampler:
+    def test_samples_cover_every_non_wall_series(self):
+        values = FleetSampler().sample(MetricsRegistry())
+        expected = {
+            name for name, spec in SAMPLE_CATALOG.items() if not spec.wall
+        }
+        assert set(values) == expected
+
+    def test_rates_derived_from_transitions(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "state_transitions_total", database="db", from_state="validating",
+            to_state="reverting",
+        ).inc()
+        registry.counter(
+            "state_transitions_total", database="db", from_state="reverting",
+            to_state="reverted",
+        ).inc()
+        for _ in range(3):
+            registry.counter(
+                "state_transitions_total", database="db",
+                from_state="validating", to_state="success",
+            ).inc()
+        registry.gauge("plan_cache_hits", database="db").set(30)
+        registry.gauge("plan_cache_misses", database="db").set(70)
+        registry.gauge("records_in_state", state="active").set(2)
+        registry.gauge("records_in_state", state="implementing").set(1)
+        registry.gauge("records_in_state", state="success").set(9)
+        values = FleetSampler().sample(registry)
+        assert values["revert_rate"] == pytest.approx(0.25)
+        assert values["validation_failure_rate"] == pytest.approx(0.25)
+        assert values["plan_cache_hit_rate"] == pytest.approx(0.30)
+        assert values["records_live"] == 3.0
+        assert values["validation_reverts"] == 1.0
+
+
+class TestAnomalyDetector:
+    def test_warmup_swallows_early_wildness(self):
+        detector = AnomalyDetector(warmup=12)
+        assert all(
+            detector.observe("revert_rate", tick, value) is None
+            for tick, value in enumerate([0.0, 100.0] * 6)
+        )
+
+    def test_level_shift_fires_once_then_cools_down(self):
+        detector = AnomalyDetector(warmup=12, cooldown=32)
+        anomalies = []
+        for tick in range(40):
+            value = 0.1 if tick < 30 else 5.0
+            anomaly = detector.observe("revert_rate", tick, value)
+            if anomaly is not None:
+                anomalies.append(anomaly)
+        assert len(anomalies) == 1
+        (anomaly,) = anomalies
+        assert anomaly.tick == 30
+        assert anomaly.series == "revert_rate"
+        assert abs(anomaly.zscore) >= 4.0
+
+    def test_determinism_across_instances(self):
+        sequence = [(tick, (tick * 7919 % 13) / 13.0) for tick in range(200)]
+        sequence[150] = (150, 40.0)
+
+        def run():
+            detector = AnomalyDetector()
+            return [
+                detector.observe("records_live", tick, value)
+                for tick, value in sequence
+            ]
+
+        assert run() == [None] * 149 + run()[149:]
+
+    def test_alpha_validated(self):
+        with pytest.raises(TelemetryError, match="alpha"):
+            AnomalyDetector(alpha=0.0)
+
+
+class TestTelemetryHistory:
+    def _stable_registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.gauge("records_in_state", state="active").set(3)
+        return registry
+
+    def test_observe_tick_samples_every_series(self):
+        history = TelemetryHistory()
+        registry = self._stable_registry()
+        assert history.observe_tick(registry, now=0.0) == 0
+        assert history.observe_tick(registry, now=120.0) == 1
+        non_wall = sorted(
+            name for name, spec in SAMPLE_CATALOG.items() if not spec.wall
+        )
+        assert history.store.series_names() == non_wall
+        assert registry.total("telemetry_history_samples") == (
+            history.store.retained_samples()
+        )
+
+    def test_anomaly_emits_typed_audit_event(self):
+        history = TelemetryHistory()
+        audit = AuditLog()
+        registry = self._stable_registry()
+        for tick in range(30):
+            history.observe_tick(registry, now=float(tick))
+        registry.gauge("records_in_state", state="active").set(500)
+        history.observe_tick(registry, now=30.0)
+        assert [a.series for a in history.anomalies] == ["records_live"]
+        # No audit log was attached above; re-run with one attached.
+        history = TelemetryHistory()
+        registry = self._stable_registry()
+        for tick in range(30):
+            history.observe_tick(registry, now=float(tick), audit=audit)
+        registry.gauge("records_in_state", state="active").set(500)
+        history.observe_tick(registry, now=30.0, audit=audit)
+        events = [
+            e for e in audit.events() if e.event_type == "telemetry_anomaly"
+        ]
+        assert len(events) == 1
+        (event,) = events
+        assert event.database == HISTORY_SCOPE
+        assert event.rec_id is None
+        assert event.payload["series"] == "records_live"
+        assert event.payload["tick"] == 30
+        assert abs(event.payload["zscore"]) >= 4.0
+        assert registry.total(
+            "telemetry_anomalies_total", series="records_live"
+        ) == 1.0
+
+    def test_wall_series_is_separate_and_never_audited(self):
+        history = TelemetryHistory()
+        audit = AuditLog()
+        registry = self._stable_registry()
+        for tick in range(40):
+            index = history.observe_tick(
+                registry, now=float(tick), audit=audit
+            )
+            # Wildly varying wall times must never look like anomalies.
+            history.observe_wall(index, 1000.0 if tick % 2 else 0.001)
+        assert "tick_wall_seconds" in history.store.series_names()
+        assert audit.events() == []
+        assert history.anomalies == []

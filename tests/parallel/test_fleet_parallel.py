@@ -93,6 +93,21 @@ def run_fleet(
                 (s.name, s.calls, s.sim_ms)
                 for s in service.profiler.rows()
             ),
+            # Telemetry history minus the wall-flagged series (tick
+            # wall time is host-dependent by design); everything else
+            # must be byte-identical across backends.
+            "telemetry_history": "".join(
+                line + "\n"
+                for line in service.history.store.to_jsonl().splitlines()
+                if '"series": "tick_wall_seconds"' not in line
+            ),
+            "anomalies": [
+                (a.series, a.tick, a.value, a.zscore)
+                for a in service.history.anomalies
+            ],
+            "history_retained": service.history.store.retained_samples(),
+            "history_capacity": service.history.store.capacity(),
+            "history_ticks": service.history.ticks,
         }
     finally:
         service.close()
@@ -114,6 +129,8 @@ class TestBackendEquivalence:
         assert threaded["history"] == serial["history"]
         assert threaded["bus"] == serial["bus"]
         assert threaded["hot_paths"] == serial["hot_paths"]
+        assert threaded["telemetry_history"] == serial["telemetry_history"]
+        assert threaded["anomalies"] == serial["anomalies"]
 
     def test_process_backend_matches_serial(self, serial):
         processed = run_fleet("process", WORKERS)
@@ -122,6 +139,13 @@ class TestBackendEquivalence:
         assert processed["recovered"] == serial["recovered"]
         assert processed["spans"] == serial["spans"]
         assert processed["hot_paths"] == serial["hot_paths"]
+        assert processed["telemetry_history"] == serial["telemetry_history"]
+        assert processed["anomalies"] == serial["anomalies"]
+
+    def test_history_sampled_every_tick_within_bounds(self, serial):
+        assert serial["history_ticks"] > 0
+        assert serial["telemetry_history"], "no history sampled"
+        assert serial["history_retained"] <= serial["history_capacity"]
 
     def test_profiler_saw_engine_work(self, serial):
         names = [name for name, _calls, _sim in serial["hot_paths"]]

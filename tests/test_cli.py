@@ -2,9 +2,35 @@
 
 from __future__ import annotations
 
+import json
+import pathlib
+
 import pytest
 
 from repro.cli import build_parser, main
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "data"
+
+#: The fixed invocation behind the telemetry golden snapshot.  Small on
+#: purpose: one database, one simulated day, pinned seed.
+TELEMETRY_GOLDEN_ARGS = [
+    "telemetry", "--dbs", "1", "--days", "1", "--seed", "3",
+    "--format", "json",
+]
+
+
+def normalized_telemetry_payload(capsys, monkeypatch) -> dict:
+    """Run ``repro telemetry --format json`` and strip the one
+    host-dependent field (hot-path wall time) from the payload."""
+    # Pin the executor: the vectorized path profiles different hot-path
+    # names, and the golden pins the interpreter's.
+    monkeypatch.setenv("REPRO_EXECUTOR", "interp")
+    assert main(TELEMETRY_GOLDEN_ARGS) == 0
+    out = capsys.readouterr().out
+    payload = json.loads(out[out.index("{"):])
+    for row in payload.get("hot_paths", []):
+        row.pop("real_ms", None)
+    return payload
 
 
 class TestParser:
@@ -35,6 +61,17 @@ class TestParser:
         assert build_parser().parse_args(["telemetry"]).format == "dashboard"
         with pytest.raises(SystemExit):
             build_parser().parse_args(["telemetry", "--format", "xml"])
+
+    def test_slo_args(self):
+        args = build_parser().parse_args(
+            ["slo", "--days", "2", "--format", "json", "--fail-on-alert"]
+        )
+        assert args.days == 2
+        assert args.format == "json"
+        assert args.fail_on_alert
+        assert build_parser().parse_args(["slo"]).format == "report"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["slo", "--format", "xml"])
 
 
 class TestCommands:
@@ -71,3 +108,111 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Figure 6" in out
         assert "winner=" in out
+
+
+class TestTelemetryGolden:
+    """``repro telemetry --format json`` is byte-stable under a pinned
+    seed: same simulator, same history, same payload.
+
+    The golden pins everything except hot-path wall time (host clock).
+    When a simulator change legitimately shifts the payload, regenerate
+    with ``PYTHONPATH=src python tests/test_cli.py`` and review the
+    diff like any other golden update.
+    """
+
+    GOLDEN = GOLDEN_DIR / "telemetry_golden.json"
+
+    def test_matches_golden_snapshot(self, capsys, monkeypatch):
+        payload = normalized_telemetry_payload(capsys, monkeypatch)
+        golden = json.loads(self.GOLDEN.read_text())
+        assert payload["schema"] == golden["schema"]
+        assert payload == golden
+
+    def test_history_section_is_wall_free(self, capsys, monkeypatch):
+        # The serial control plane never samples wall time, so the
+        # history section carries no host-dependent series at all —
+        # that is what makes the snapshot reproducible anywhere.
+        payload = normalized_telemetry_payload(capsys, monkeypatch)
+        history = payload["history"]
+        assert history["schema"] == "repro-history-v1"
+        assert history["last_tick"] >= 0
+        assert all(not series["wall"] for series in history["series"])
+
+
+class TestSloCommand:
+    def test_replay_reports_from_dumped_history(self, capsys, tmp_path):
+        from repro.observability.timeseries import TimeSeriesStore
+
+        store = TimeSeriesStore()
+        for tick in range(300):
+            store.observe("revert_rate", tick, 0.9)
+            store.observe("validation_failure_rate", tick, 0.1)
+            store.observe("plan_cache_hit_rate", tick, 0.5)
+            store.observe("time_to_implement_minutes", tick, 10.0)
+        history = tmp_path / "history.jsonl"
+        store.dump(str(history))
+
+        # Alerting alone does not change the exit code without
+        # --fail-on-alert; the report is informational.
+        assert main(["slo", "--history", str(history)]) == 0
+        out = capsys.readouterr().out
+        assert "slo_revert_rate" in out
+        assert "ALERTING" in out
+        assert "burn-rate alerts: slo_revert_rate" in out
+
+    def test_fail_on_alert_exits_nonzero(self, capsys, tmp_path):
+        from repro.observability.timeseries import TimeSeriesStore
+
+        store = TimeSeriesStore()
+        for tick in range(300):
+            store.observe("revert_rate", tick, 0.9)
+        history = tmp_path / "history.jsonl"
+        store.dump(str(history))
+        assert main(
+            ["slo", "--history", str(history), "--fail-on-alert"]
+        ) == 1
+        assert "ALERTING" in capsys.readouterr().out
+
+    def test_json_format_and_status_dump(self, capsys, tmp_path):
+        from repro.observability.slo import SLO_CATALOG, replay_statuses
+        from repro.observability.timeseries import TimeSeriesStore
+
+        store = TimeSeriesStore()
+        for tick in range(64):
+            store.observe("revert_rate", tick, 0.0)
+        history = tmp_path / "history.jsonl"
+        store.dump(str(history))
+        slo_out = tmp_path / "slo.jsonl"
+        assert main(
+            ["slo", "--history", str(history), "--format", "json",
+             "--slo-out", str(slo_out)]
+        ) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("["):out.rindex("]") + 1])
+        assert {row["name"] for row in payload} == set(SLO_CATALOG)
+        statuses = replay_statuses(slo_out.read_text())
+        assert [s.name for s in statuses] == sorted(SLO_CATALOG)
+
+
+def _regenerate_golden() -> None:  # pragma: no cover - manual tool
+    """Regenerate the telemetry golden (run from the repo root)."""
+    import io
+    import os
+    from contextlib import redirect_stdout
+
+    os.environ["REPRO_EXECUTOR"] = "interp"
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        assert main(TELEMETRY_GOLDEN_ARGS) == 0
+    out = buffer.getvalue()
+    payload = json.loads(out[out.index("{"):])
+    for row in payload.get("hot_paths", []):
+        row.pop("real_ms", None)
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    target = GOLDEN_DIR / "telemetry_golden.json"
+    target.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {target}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _regenerate_golden()
