@@ -35,10 +35,11 @@ only vouch for literal names.  A call site that *must* be dynamic (the
 fleet-parallel merge replays already-linted worker call sites) may carry
 an ``# observability-names: allow-dynamic`` comment on the same line.
 
-The ``fleet_*`` namespace gets a stricter pass: **any** string literal
-starting with ``fleet_`` — not just registry call arguments — must name
-a CATALOG metric, so fleet metrics cannot be referenced (in benchmarks,
-dashboards, or scripts) before being declared.
+The ``fleet_*`` and ``whatif_batch_*`` namespaces get a stricter pass:
+**any** string literal starting with ``fleet_`` or ``whatif_batch_`` —
+not just registry call arguments — must name a CATALOG metric, so those
+metrics cannot be referenced (in benchmarks, dashboards, or scripts)
+before being declared.
 
 Usage: ``python scripts/check_observability_names.py [paths...]``
 Exit status 0 = clean, 1 = violations found.
@@ -87,6 +88,10 @@ LITERAL_RULE = re.compile(
 )
 #: Any ``"fleet_..."`` string literal (reserved metric namespace).
 FLEET_LITERAL = re.compile(r"([\"'])(?P<name>fleet_[a-z0-9_]*)\1")
+#: Any ``"whatif_batch_..."`` string literal (reserved metric namespace).
+WHATIF_BATCH_LITERAL = re.compile(
+    r"([\"'])(?P<name>whatif_batch_[a-z0-9_]*)\1"
+)
 #: A tick-phase bracket with a string-literal phase name.
 LITERAL_PHASE = re.compile(
     r"\.(?:phase|observe_phase)\(\s*[rbu]*([\"'])(?P<name>[^\"']*)\1"
@@ -244,6 +249,15 @@ def check_file(
                 "reserved fleet_* metric namespace but is not in the CATALOG "
                 "taxonomy (src/repro/observability/metrics.py) — declare it "
                 "before use"
+            )
+    for match in WHATIF_BATCH_LITERAL.finditer(text):
+        name = match.group("name")
+        if name not in metrics:
+            errors.append(
+                f"{path}:{lineno(match.start())}: string {name!r} is in the "
+                "reserved whatif_batch_* metric namespace but is not in the "
+                "CATALOG taxonomy (src/repro/observability/metrics.py) — "
+                "declare it before use"
             )
     phase_starts = set()
     for match in LITERAL_PHASE.finditer(text):

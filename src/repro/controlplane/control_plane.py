@@ -172,6 +172,7 @@ class ControlPlane:
         self._plan_cache_published: Dict[str, tuple] = {}
         #: Last-published executor dispatch/cache counters per database.
         self._executor_published: Dict[str, tuple] = {}
+        self._whatif_batch_published: Dict[str, tuple] = {}
         #: Open root span per live recommendation, keyed by rec_id.
         self._record_spans: Dict[int, Span] = {}
         #: Open state-occupancy span per live recommendation.
@@ -388,6 +389,7 @@ class ControlPlane:
             managed.last_driven = now
         self._publish_plan_cache_metrics()
         self._publish_executor_metrics()
+        self._publish_whatif_batch_metrics()
         # History samples after the gauge publish (so this tick's state
         # is visible) and before the watchdog pass (so burn-rate rules
         # read a store that includes the current tick).
@@ -461,6 +463,45 @@ class ControlPlane:
             registry.gauge(
                 "executor_column_cache_invalidations", database=name
             ).set(invalidations)
+
+    def _publish_whatif_batch_metrics(self) -> None:
+        """Surface each engine's batched what-if counters as fleet gauges.
+
+        Same memoized-publish pattern as the executor counters.  Engines
+        that have never priced a batch (scalar what-if mode, or no tuning
+        activity yet) publish nothing at all, so scalar-mode telemetry is
+        byte-identical to pre-batching telemetry.
+        """
+        registry = self.telemetry.registry
+        for name, managed in self.databases.items():
+            stats = managed.engine.optimizer.batch_stats
+            values = (
+                stats.batches,
+                stats.configurations,
+                stats.substrate_hits,
+                stats.substrate_misses,
+                stats.scalar_fallbacks,
+            )
+            if values == (0, 0, 0, 0, 0):
+                continue
+            if self._whatif_batch_published.get(name) == values:
+                continue
+            self._whatif_batch_published[name] = values
+            registry.gauge(
+                "whatif_batch_batches", database=name
+            ).set(stats.batches)
+            registry.gauge(
+                "whatif_batch_configurations", database=name
+            ).set(stats.configurations)
+            registry.gauge(
+                "whatif_batch_substrate_hits", database=name
+            ).set(stats.substrate_hits)
+            registry.gauge(
+                "whatif_batch_substrate_misses", database=name
+            ).set(stats.substrate_misses)
+            registry.gauge(
+                "whatif_batch_scalar_fallbacks", database=name
+            ).set(stats.scalar_fallbacks)
 
     # ------------------------------------------------------------------
     # Record driving

@@ -17,6 +17,7 @@ exposing the surfaces the auto-indexing service consumes:
 from __future__ import annotations
 
 import dataclasses
+import os
 from typing import Dict, List, Optional, Sequence
 
 from repro.clock import SimClock
@@ -42,7 +43,11 @@ from repro.engine.schema import IndexDefinition, TableSchema
 from repro.engine.sqlgen import render, template_text
 from repro.engine.table import Table
 from repro.engine.usage_stats import IndexUsageStats
-from repro.errors import DuplicateObjectError, UnknownTableError
+from repro.errors import (
+    DuplicateObjectError,
+    ExecutionError,
+    UnknownTableError,
+)
 from repro.observability.profiling import profile
 from repro.rng import derive, stable_uniform
 
@@ -67,6 +72,35 @@ class EngineSettings:
     plan_cache_hit_rate: float = 0.6
     #: Virtual CPU ms charged to the tuning pool per what-if optimize call.
     whatif_call_cpu_ms: float = 6.0
+    #: What-if pricing mode: ``"batch"`` (substrate-sharing batch pricer)
+    #: or ``"scalar"``; None defers to ``REPRO_WHATIF``, then ``"batch"``.
+    #: Both modes produce bit-identical costs and plans; this knob exists
+    #: for differential testing and emergency rollback.
+    whatif_mode: Optional[str] = None
+    #: The batched-charge rule: virtual CPU ms charged per *additional*
+    #: configuration priced by one batch (the first always pays
+    #: ``whatif_call_cpu_ms``).  None — the default — charges every
+    #: configuration the full scalar rate, keeping governor accounting
+    #: batching-invariant; set lower to model the amortized optimizer
+    #: work batching actually saves.
+    whatif_batch_extra_cpu_ms: Optional[float] = None
+
+
+_WHATIF_MODES = ("batch", "scalar")
+
+
+def resolve_whatif_mode(settings: "EngineSettings") -> str:
+    """The effective what-if pricing mode for one statement batch."""
+    mode = settings.whatif_mode
+    if mode is None:
+        mode = os.environ.get("REPRO_WHATIF") or "batch"
+    mode = mode.lower()
+    if mode not in _WHATIF_MODES:
+        raise ExecutionError(
+            f"invalid what-if mode {mode!r}: "
+            "REPRO_WHATIF must be batch or scalar"
+        )
+    return mode
 
 
 class Database:
@@ -287,6 +321,7 @@ class SqlEngine:
     ) -> PlanNode:
         """Optimize under a hypothetical configuration; metered."""
         self.governor.tuning.charge_cpu(self.settings.whatif_call_cpu_ms, self.now)
+        self.governor.tuning.usage.whatif_calls += 1
         with profile("engine_whatif_cost") as prof:
             prof.sim_ms = self.settings.whatif_call_cpu_ms
             return self.optimizer.optimize(
@@ -300,6 +335,33 @@ class SqlEngine:
         excluded: Sequence[str] = (),
     ) -> float:
         return self.whatif_optimize(query, extra_indexes, excluded).est_cost
+
+    def whatif_batch(
+        self, query, excluded: Sequence[str] = ()
+    ) -> "WhatIfBatch":
+        """A metered batch pricer for many configurations of one statement.
+
+        Every configuration priced through the batch produces the exact
+        plan and cost :meth:`whatif_optimize` would, and is metered
+        against the tuning pool under the batched-charge rule (see
+        :attr:`EngineSettings.whatif_batch_extra_cpu_ms`).
+        """
+        return WhatIfBatch(self, query, excluded)
+
+    def whatif_cost_many(
+        self,
+        query,
+        configurations: Sequence[Sequence[IndexDefinition]],
+        excluded: Sequence[str] = (),
+    ) -> List[float]:
+        """Estimated costs of one statement under many configurations.
+
+        Bit-identical to calling :meth:`whatif_cost` once per
+        configuration, but the query-invariant optimizer work is done
+        once per statement rather than once per configuration.
+        """
+        batch = self.whatif_batch(query, excluded)
+        return [batch.cost(configuration) for configuration in configurations]
 
     # ------------------------------------------------------------------
     # Workload text access (DTA's acquisition rules, Section 5.3.2)
@@ -394,3 +456,40 @@ class SqlEngine:
             return 0.0
         covered = sum(totals.get(qid, 0.0) for qid in analyzed_query_ids)
         return covered / total
+
+
+class WhatIfBatch:
+    """Engine-level batch pricer: governor metering around the optimizer's
+    :class:`repro.engine.optimizer.BatchPricer`.
+
+    Each :meth:`price` call is charged to the tuning pool before pricing
+    (exactly like :meth:`SqlEngine.whatif_optimize`, including raising
+    :class:`ResourceBudgetExceededError` mid-batch when the window's
+    budget runs dry) and attributed to the ``engine_whatif_cost`` hot
+    path.  The first configuration always pays the full scalar rate;
+    later ones pay ``whatif_batch_extra_cpu_ms`` when that discount is
+    configured, and the scalar rate otherwise.
+    """
+
+    def __init__(self, engine: SqlEngine, query, excluded: Sequence[str] = ()):
+        self._engine = engine
+        self._pricer = engine.optimizer.batch_pricer(query, frozenset(excluded))
+        self._configs_priced = 0
+
+    def price(self, extra_indexes: Sequence[IndexDefinition] = ()) -> PlanNode:
+        engine = self._engine
+        settings = engine.settings
+        extra_ms = settings.whatif_batch_extra_cpu_ms
+        if self._configs_priced and extra_ms is not None:
+            charge = extra_ms
+        else:
+            charge = settings.whatif_call_cpu_ms
+        engine.governor.tuning.charge_cpu(charge, engine.now)
+        engine.governor.tuning.usage.whatif_calls += 1
+        self._configs_priced += 1
+        with profile("engine_whatif_cost") as prof:
+            prof.sim_ms = charge
+            return self._pricer.price(tuple(extra_indexes))
+
+    def cost(self, extra_indexes: Sequence[IndexDefinition] = ()) -> float:
+        return self.price(extra_indexes).est_cost

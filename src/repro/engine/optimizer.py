@@ -41,6 +41,8 @@ import dataclasses
 import math
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.engine.cost_model import CostModel
 from repro.engine.plan_cache import PlanCache, PlanCacheEntry
 from repro.engine.plans import (
@@ -107,6 +109,22 @@ class _JoinContext:
     hash_inner: _AccessCandidate
 
 
+@dataclasses.dataclass
+class BatchPricingStats:
+    """Monotone counters for the batched what-if pricer (per engine)."""
+
+    #: Pricers created (one per (statement, excluded-set) batch).
+    batches: int = 0
+    #: Hypothetical configurations priced through a pricer.
+    configurations: int = 0
+    #: Pricers that found their statement substrate memoized.
+    substrate_hits: int = 0
+    #: Pricers that had to build the statement substrate.
+    substrate_misses: int = 0
+    #: Configurations delegated to the scalar ``optimize()`` path.
+    scalar_fallbacks: int = 0
+
+
 class Optimizer:
     """Plans queries against a database's tables."""
 
@@ -118,6 +136,8 @@ class Optimizer:
         self.whatif_calls = 0
         #: Memoized plans (normal mode and what-if mode alike).
         self.plan_cache = PlanCache()
+        #: Counters for the batched what-if pricer.
+        self.batch_stats = BatchPricingStats()
 
     # ------------------------------------------------------------------
     # Entry point
@@ -171,6 +191,19 @@ class Optimizer:
                 ),
             )
         return plan
+
+    def batch_pricer(
+        self, query, excluded: frozenset = frozenset()
+    ) -> "BatchPricer":
+        """A pricer that costs many hypothetical configurations of ``query``.
+
+        The pricer performs the query-invariant work (predicate analysis,
+        base access-path costing, join/aggregate/sort shape completion)
+        once, then prices each configuration as an incremental delta; see
+        :class:`BatchPricer`.  Plans and costs are bit-identical to
+        per-configuration :meth:`optimize` calls.
+        """
+        return BatchPricer(self, query, frozenset(excluded))
 
     def _cache_key(
         self,
@@ -968,6 +1001,531 @@ class Optimizer:
                 impact,
             )
         )
+
+
+# ----------------------------------------------------------------------
+# Batched what-if pricing
+#
+# DTA enumeration and MI impact verification price the *same statement*
+# against many hypothetical configurations.  Everything except the
+# configuration's own access-path candidates is query-invariant: the
+# predicate analysis, the base (existing-structure) candidates, the join
+# context, and the completion of each candidate through join, aggregate,
+# sort, and top.  The substrate classes below compute that invariant part
+# once; pricing a configuration then only costs the candidates its
+# indexes contribute and recomputes the argmin from cached component
+# costs.  Every arithmetic operation runs in the same order on the same
+# inputs as the scalar path, so the resulting plans and costs are
+# bit-identical — the property the differential test suite pins down.
+
+
+class _SelectSubstrate:
+    """Query-invariant plan-space for one SELECT under one exclusion set."""
+
+    def __init__(
+        self, opt: Optimizer, query: SelectQuery, excluded: frozenset
+    ) -> None:
+        self._opt = opt
+        self._query = query
+        self._excluded = excluded
+        table = opt._table(query.table)
+        self._table_obj = table
+        model = opt._cost_model
+        self._needed = query.referenced_columns()
+        rows = table.row_count
+        all_sel = model.combined_selectivity(table, query.predicates)
+        # Same expression as _access_candidates, so extra candidates are
+        # costed against the identical out_rows estimate.
+        self._out_rows = (
+            max(0.0, all_sel * rows) if query.predicates else float(rows)
+        )
+        self._base_candidates = opt._access_candidates(
+            table, query.predicates, self._needed, (), excluded
+        )
+        self._base_ctx: Optional[_JoinContext] = None
+        if query.join is not None:
+            self._base_ctx = opt._join_context(query, (), excluded)
+            join = query.join
+            right = opt._table(join.table)
+            self._right = right
+            self._right_needed = tuple(
+                dict.fromkeys(
+                    (join.right_column,)
+                    + tuple(p.column for p in join.predicates)
+                    + tuple(join.select_columns)
+                )
+            )
+            self._inner_preds = (
+                Predicate(join.right_column, Op.EQ, PARAM),
+            ) + tuple(join.predicates)
+            self._hash_preds = tuple(join.predicates)
+            inner_sel = model.combined_selectivity(right, self._inner_preds)
+            self._inner_out_rows = max(0.0, inner_sel * right.row_count)
+            hash_sel = model.combined_selectivity(right, self._hash_preds)
+            self._hash_out_rows = (
+                max(0.0, hash_sel * right.row_count)
+                if self._hash_preds
+                else float(right.row_count)
+            )
+        self._base_results = [
+            opt._finish_select(query, table, c, self._base_ctx)
+            for c in self._base_candidates
+        ]
+        self._base_costs = np.array(
+            [cost for _plan, cost in self._base_results], dtype=np.float64
+        )
+        # np.argmin returns the *first* minimum — the same winner as the
+        # scalar strict-< scan over the candidate list.
+        self._base_argmin = int(np.argmin(self._base_costs))
+        #: Per-definition memos.  Every memoized value is a deterministic
+        #: function of the frozen definition (given this substrate's table
+        #: versions), so sharing across configurations cannot change costs.
+        self._outer_memo: Dict[IndexDefinition, tuple] = {}
+        self._finished_memo: Dict[IndexDefinition, tuple] = {}
+        self._inner_memo: Dict[IndexDefinition, tuple] = {}
+        self._ctx_memo: Dict[tuple, _JoinContext] = {}
+
+    def price(self, extras: Tuple[IndexDefinition, ...]) -> PlanNode:
+        opt = self._opt
+        query = self._query
+        table = self._table_obj
+        join = query.join
+        outer_defs: List[IndexDefinition] = []
+        inner_defs: List[IndexDefinition] = []
+        for definition in extras:
+            if definition.name in self._excluded:
+                continue
+            if definition.table == table.name:
+                outer_defs.append(definition)
+            if join is not None and definition.table == join.table:
+                inner_defs.append(definition)
+        ctx = self._base_ctx
+        if inner_defs:
+            ctx = self._extended_ctx(tuple(inner_defs))
+        if ctx is self._base_ctx:
+            base_results = self._base_results
+            base_costs = self._base_costs
+            base_argmin = self._base_argmin
+            extra_results: List[tuple] = []
+            for definition in outer_defs:
+                extra_results.extend(self._finished_outer(definition))
+        else:
+            # The configuration improved the join's inner side, which
+            # changes every candidate's completion: re-finish the full
+            # plan per candidate under the new context (still cheaper
+            # than scalar — candidate enumeration itself is reused).
+            base_results = [
+                opt._finish_select(query, table, c, ctx)
+                for c in self._base_candidates
+            ]
+            base_costs = np.fromiter(
+                (cost for _plan, cost in base_results),
+                dtype=np.float64,
+                count=len(base_results),
+            )
+            base_argmin = int(np.argmin(base_costs))
+            extra_results = [
+                opt._finish_select(query, table, candidate, ctx)
+                for definition in outer_defs
+                for candidate in self._outer_candidates(definition)
+            ]
+        if extra_results:
+            extra_costs = np.fromiter(
+                (cost for _plan, cost in extra_results),
+                dtype=np.float64,
+                count=len(extra_results),
+            )
+            extra_argmin = int(np.argmin(extra_costs))
+            # Strict <: on a tie the earliest candidate wins, and base
+            # candidates precede extras in the scalar enumeration order.
+            if extra_costs[extra_argmin] < base_costs[base_argmin]:
+                return extra_results[extra_argmin][0]
+        return base_results[base_argmin][0]
+
+    # -- per-definition memos ------------------------------------------
+
+    def _outer_candidates(self, definition: IndexDefinition) -> tuple:
+        cached = self._outer_memo.get(definition)
+        if cached is None:
+            opt = self._opt
+            table = self._table_obj
+            view = table.hypothetical_stats_view(definition)
+            out = []
+            for maker in (opt._index_seek_candidate, opt._index_scan_candidate):
+                candidate = maker(
+                    table,
+                    definition,
+                    view,
+                    self._query.predicates,
+                    self._needed,
+                    self._out_rows,
+                )
+                if candidate is not None:
+                    out.append(candidate)
+            cached = tuple(out)
+            self._outer_memo[definition] = cached
+        return cached
+
+    def _finished_outer(self, definition: IndexDefinition) -> tuple:
+        cached = self._finished_memo.get(definition)
+        if cached is None:
+            opt = self._opt
+            cached = tuple(
+                opt._finish_select(
+                    self._query, self._table_obj, candidate, self._base_ctx
+                )
+                for candidate in self._outer_candidates(definition)
+            )
+            self._finished_memo[definition] = cached
+        return cached
+
+    def _inner_candidates(self, definition: IndexDefinition) -> tuple:
+        cached = self._inner_memo.get(definition)
+        if cached is None:
+            opt = self._opt
+            right = self._right
+            view = right.hypothetical_stats_view(definition)
+            nl = []
+            candidate = opt._index_seek_candidate(
+                right,
+                definition,
+                view,
+                self._inner_preds,
+                self._right_needed,
+                self._inner_out_rows,
+            )
+            if candidate is not None and _param_seekable(candidate):
+                nl.append(candidate)
+            hashes = []
+            for maker in (opt._index_seek_candidate, opt._index_scan_candidate):
+                candidate = maker(
+                    right,
+                    definition,
+                    view,
+                    self._hash_preds,
+                    self._right_needed,
+                    self._hash_out_rows,
+                )
+                if candidate is not None:
+                    hashes.append(candidate)
+            cached = (tuple(nl), tuple(hashes))
+            self._inner_memo[definition] = cached
+        return cached
+
+    def _extended_ctx(self, inner_defs: tuple) -> _JoinContext:
+        ctx = self._ctx_memo.get(inner_defs)
+        if ctx is not None:
+            return ctx
+        base = self._base_ctx
+        nl = base.nl_inner
+        hash_best = base.hash_inner
+        # First-minimum merge: base candidates precede extras in the
+        # scalar list, so an extra only wins with a strictly lower cost.
+        for definition in inner_defs:
+            nl_cands, hash_cands = self._inner_candidates(definition)
+            for candidate in nl_cands:
+                if nl is None or candidate.cost < nl.cost:
+                    nl = candidate
+            for candidate in hash_cands:
+                if candidate.cost < hash_best.cost:
+                    hash_best = candidate
+        if nl is base.nl_inner and hash_best is base.hash_inner:
+            ctx = base  # unchanged: lets price() reuse finished plans
+        else:
+            ctx = _JoinContext(
+                join=base.join,
+                right_rows=base.right_rows,
+                distinct=base.distinct,
+                nl_inner=nl,
+                hash_inner=hash_best,
+            )
+        self._ctx_memo[inner_defs] = ctx
+        return ctx
+
+
+class _InsertSubstrate:
+    """Maintenance-cost prefix for a (non-bulk) INSERT."""
+
+    def __init__(
+        self, opt: Optimizer, query: InsertQuery, excluded: frozenset
+    ) -> None:
+        self._opt = opt
+        self._query = query
+        self._excluded = excluded
+        table = opt._table(query.table)
+        self._table_obj = table
+        model = opt._cost_model
+        self._rows = float(len(query.rows))
+        maintained = opt._maintained_indexes(table, (), excluded)
+        cview = table.clustered_stats_view()
+        # Left-to-right accumulation in the scalar order (clustered tree
+        # first, then existing indexes); extras append in price().
+        cost = model.maintenance_cost(cview.height, self._rows)
+        for _definition, view in maintained:
+            cost += model.maintenance_cost(view.height, self._rows)
+        self._base_cost = cost
+        self._base_names = tuple(d.name for d, _v in maintained)
+        self._extra_memo: Dict[IndexDefinition, float] = {}
+
+    def price(self, extras: Tuple[IndexDefinition, ...]) -> PlanNode:
+        table = self._table_obj
+        cost = self._base_cost
+        names = list(self._base_names)
+        for definition in extras:
+            if definition.table != table.name or definition.name in self._excluded:
+                continue
+            maint = self._extra_memo.get(definition)
+            if maint is None:
+                view = table.hypothetical_stats_view(definition)
+                maint = self._opt._cost_model.maintenance_cost(
+                    view.height, self._rows
+                )
+                self._extra_memo[definition] = maint
+            cost += maint
+            names.append(definition.name)
+        return InsertPlanNode(
+            est_rows=self._rows,
+            est_cost=cost,
+            table=table.name,
+            row_count=len(self._query.rows),
+            maintained_indexes=tuple(names),
+        )
+
+
+class _DmlSubstrate:
+    """Access-path + maintenance substrate shared by UPDATE and DELETE.
+
+    Unlike INSERT, the maintenance row count is the *winning* access
+    candidate's output estimate, which can change per configuration, so
+    maintenance terms are summed per price() from memoized tree heights.
+    """
+
+    def __init__(self, opt: Optimizer, query, excluded: frozenset) -> None:
+        self._opt = opt
+        self._query = query
+        self._excluded = excluded
+        self._is_update = isinstance(query, UpdateQuery)
+        table = opt._table(query.table)
+        self._table_obj = table
+        self._needed = tuple(table.schema.column_names)
+        self._base_candidates = opt._access_candidates(
+            table, query.predicates, self._needed, (), excluded
+        )
+        self._base_best = min(self._base_candidates, key=lambda c: c.cost)
+        changed = query.assigned_columns if self._is_update else None
+        maintained = opt._maintained_indexes(table, (), excluded, changed)
+        self._base_maintained = tuple(
+            (d.name, view.height) for d, view in maintained
+        )
+        self._cview_height = table.clustered_stats_view().height
+        self._access_memo: Dict[IndexDefinition, tuple] = {}
+        #: definition -> maintained tree height, or None when the update
+        #: does not touch the index (the changed-columns filter).
+        self._maint_memo: Dict[IndexDefinition, Optional[float]] = {}
+
+    def _visible(self, definition: IndexDefinition) -> bool:
+        return (
+            definition.table == self._table_obj.name
+            and definition.name not in self._excluded
+        )
+
+    def _extra_access(self, definition: IndexDefinition) -> tuple:
+        cached = self._access_memo.get(definition)
+        if cached is None:
+            opt = self._opt
+            table = self._table_obj
+            view = table.hypothetical_stats_view(definition)
+            query = self._query
+            model = opt._cost_model
+            rows = table.row_count
+            all_sel = model.combined_selectivity(table, query.predicates)
+            out_rows = (
+                max(0.0, all_sel * rows) if query.predicates else float(rows)
+            )
+            out = []
+            for maker in (opt._index_seek_candidate, opt._index_scan_candidate):
+                candidate = maker(
+                    table, definition, view, query.predicates,
+                    self._needed, out_rows,
+                )
+                if candidate is not None:
+                    out.append(candidate)
+            cached = tuple(out)
+            self._access_memo[definition] = cached
+        return cached
+
+    def _extra_height(self, definition: IndexDefinition) -> Optional[float]:
+        if definition in self._maint_memo:
+            return self._maint_memo[definition]
+        table = self._table_obj
+        height: Optional[float] = None
+        if self._is_update:
+            relevant = set(definition.all_columns) | set(
+                table.schema.primary_key
+            )
+            touched = any(
+                c in relevant for c in self._query.assigned_columns
+            )
+        else:
+            touched = True
+        if touched:
+            height = table.hypothetical_stats_view(definition).height
+        self._maint_memo[definition] = height
+        return height
+
+    def price(self, extras: Tuple[IndexDefinition, ...]) -> PlanNode:
+        model = self._opt._cost_model
+        best = self._base_best
+        for definition in extras:
+            if not self._visible(definition):
+                continue
+            for candidate in self._extra_access(definition):
+                if candidate.cost < best.cost:
+                    best = candidate
+        rows = best.out_rows
+        factor = 2 if self._is_update else 1
+        cost = best.cost + model.maintenance_cost(self._cview_height, rows)
+        names: List[str] = []
+        for name, height in self._base_maintained:
+            cost += factor * model.maintenance_cost(height, rows)
+            names.append(name)
+        for definition in extras:
+            if not self._visible(definition):
+                continue
+            height = self._extra_height(definition)
+            if height is None:
+                continue
+            cost += factor * model.maintenance_cost(height, rows)
+            names.append(definition.name)
+        table_name = self._table_obj.name
+        if self._is_update:
+            return UpdatePlanNode(
+                est_rows=rows,
+                est_cost=cost,
+                child=best.node,
+                table=table_name,
+                assignments=self._query.assignments,
+                maintained_indexes=tuple(names),
+            )
+        return DeletePlanNode(
+            est_rows=rows,
+            est_cost=cost,
+            child=best.node,
+            table=table_name,
+            maintained_indexes=tuple(names),
+        )
+
+
+def _param_seekable(candidate: _AccessCandidate) -> bool:
+    """The _nl_inner_access filter: a seek parameterized on the join key."""
+    node = candidate.node
+    seek = node.child if isinstance(node, KeyLookupNode) else node
+    if not isinstance(seek, (ClusteredSeekNode, IndexSeekNode)):
+        return False
+    return any(p.value is PARAM for p in seek.eq_predicates)
+
+
+def _batchable(query) -> bool:
+    """Statement shapes the substrate can express incrementally."""
+    if isinstance(query, SelectQuery):
+        return query.index_hint is None
+    if isinstance(query, InsertQuery):
+        return not query.bulk
+    return isinstance(query, (UpdateQuery, DeleteQuery))
+
+
+def _build_substrate(opt: Optimizer, query, excluded: frozenset):
+    if isinstance(query, SelectQuery):
+        return _SelectSubstrate(opt, query, excluded)
+    if isinstance(query, InsertQuery):
+        return _InsertSubstrate(opt, query, excluded)
+    return _DmlSubstrate(opt, query, excluded)
+
+
+class BatchPricer:
+    """Batched what-if pricing for one statement under one exclusion set.
+
+    ``price(extra_indexes)`` returns exactly the plan that
+    ``optimize(query, extra_indexes, excluded)`` would — same floats,
+    same argmin winner — while sharing the query-invariant substrate
+    across configurations (and, via the plan cache's substrate store,
+    across pricers for the same statement at the same table versions).
+
+    Observable side effects also match the scalar path one for one: the
+    same ``whatif_calls`` metering, the same per-configuration
+    plan-cache lookups/stores and hit/miss counts, the same exceptions
+    (unknown tables, bulk INSERT in what-if mode).  Statements the
+    substrate cannot express — index hints, bulk INSERT, exotic query
+    types — fall back to a scalar ``optimize()`` call per configuration,
+    counted in :class:`BatchPricingStats`.
+    """
+
+    def __init__(
+        self, optimizer: Optimizer, query, excluded: frozenset
+    ) -> None:
+        self._optimizer = optimizer
+        self._query = query
+        self._excluded = excluded
+        self._substrate = None
+        optimizer.batch_stats.batches += 1
+
+    def price(self, extra_indexes: Sequence[IndexDefinition] = ()) -> PlanNode:
+        opt = self._optimizer
+        query = self._query
+        excluded = self._excluded
+        extras = tuple(extra_indexes)
+        opt.batch_stats.configurations += 1
+        if not extras and not excluded:
+            # The base configuration is a normal-mode optimization:
+            # delegate wholesale so MI-emission bookkeeping (recorded
+            # into the cache entry, replayed on later normal-mode hits)
+            # stays cache-transparent.
+            return opt.optimize(query)
+        if not _batchable(query):
+            opt.batch_stats.scalar_fallbacks += 1
+            return opt.optimize(query, extras, excluded)
+        opt.whatif_calls += 1
+        key = opt._cache_key(query, extras, excluded)
+        if key is not None:
+            entry = opt.plan_cache.lookup(key)
+            if entry is not None:
+                count("plan_cache_hit")
+                return entry.plan
+            count("plan_cache_miss")
+        substrate = self._ensure_substrate()
+        with profile("optimizer_batch_price"):
+            plan = substrate.price(extras)
+        if key is not None:
+            opt.plan_cache.store(
+                key,
+                PlanCacheEntry(
+                    plan=plan,
+                    mi_emissions=(),
+                    tables=opt._referenced_tables(query),
+                ),
+            )
+        return plan
+
+    def _ensure_substrate(self):
+        if self._substrate is not None:
+            return self._substrate
+        opt = self._optimizer
+        skey = opt._cache_key(self._query, (), self._excluded)
+        substrate = (
+            opt.plan_cache.lookup_substrate(skey) if skey is not None else None
+        )
+        if substrate is None:
+            opt.batch_stats.substrate_misses += 1
+            with profile("optimizer_substrate_build"):
+                substrate = _build_substrate(opt, self._query, self._excluded)
+            if skey is not None:
+                opt.plan_cache.store_substrate(
+                    skey, substrate, opt._referenced_tables(self._query)
+                )
+        else:
+            opt.batch_stats.substrate_hits += 1
+        self._substrate = substrate
+        return substrate
 
 
 # ----------------------------------------------------------------------

@@ -39,6 +39,12 @@ from repro.engine.plans import PlanNode
 #: Default maximum number of cached plans per engine.
 DEFAULT_CAPACITY = 1024
 
+#: Default maximum number of memoized what-if substrates per engine.
+#: Substrates (see :class:`repro.engine.optimizer.BatchPricer`) are much
+#: larger than plans — they hold every base candidate's finished plan —
+#: so their store is bounded separately and more tightly.
+DEFAULT_SUBSTRATE_CAPACITY = 256
+
 
 @dataclasses.dataclass(frozen=True)
 class PlanCacheEntry:
@@ -61,9 +67,21 @@ class PlanCache:
     ``invalidations`` counts :meth:`invalidate` calls.
     """
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        substrate_capacity: int = DEFAULT_SUBSTRATE_CAPACITY,
+    ) -> None:
         self.capacity = capacity
+        self.substrate_capacity = substrate_capacity
         self._entries: "OrderedDict[Hashable, PlanCacheEntry]" = OrderedDict()
+        #: Memoized batched-what-if substrates: key -> (substrate, tables).
+        #: Keyed by the base-configuration plan key, so the same version
+        #: fingerprints that gate plan staleness gate substrate staleness.
+        #: Hit/miss accounting lives in the optimizer's BatchPricingStats,
+        #: not in the plan counters below, so plan-cache hit rates are
+        #: identical whether or not the batched pricer is in use.
+        self._substrates: "OrderedDict[Hashable, tuple]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -97,17 +115,45 @@ class PlanCache:
             self._entries.popitem(last=False)
             self.evictions += 1
 
+    # ------------------------------------------------------------------
+    # What-if substrate memoization (see optimizer.BatchPricer)
+
+    def lookup_substrate(self, key: Hashable):
+        """The memoized substrate for ``key``, or None."""
+        item = self._substrates.get(key)
+        if item is None:
+            return None
+        self._substrates.move_to_end(key)
+        return item[0]
+
+    def store_substrate(
+        self, key: Hashable, substrate, tables: Tuple[str, ...]
+    ) -> None:
+        if self.substrate_capacity <= 0:
+            return
+        self._substrates[key] = (substrate, tuple(tables))
+        self._substrates.move_to_end(key)
+        while len(self._substrates) > self.substrate_capacity:
+            self._substrates.popitem(last=False)
+
+    def substrate_count(self) -> int:
+        return len(self._substrates)
+
+    # ------------------------------------------------------------------
+
     def invalidate(self, table: Optional[str] = None) -> int:
         """Drop entries touching ``table`` (all entries when ``None``).
 
         Version counters in the key already make stale entries
         unreachable; this reclaims their memory.  Returns the number of
-        entries removed.
+        entries removed.  Memoized substrates touching the table are
+        dropped too (they embed stats views and finished plans).
         """
         self.invalidations += 1
         if table is None:
             removed = len(self._entries)
             self._entries.clear()
+            self._substrates.clear()
         else:
             stale = [
                 key
@@ -117,5 +163,12 @@ class PlanCache:
             for key in stale:
                 del self._entries[key]
             removed = len(stale)
+            stale_substrates = [
+                key
+                for key, (_substrate, tables) in self._substrates.items()
+                if table in tables
+            ]
+            for key in stale_substrates:
+                del self._substrates[key]
         self.evictions += removed
         return removed

@@ -107,15 +107,23 @@ def greedy_enumerate(
     iterations = 0
     while remaining and len(chosen) < constraints.max_indexes:
         iterations += 1
-        best: Tuple[Optional[DtaCandidate], float] = (None, current_cost)
+        # Frontier batching: the round's eligible candidates form one
+        # configuration frontier priced per statement in a single batch
+        # (shared plan substrate), instead of one workload sweep each.
+        eligible: List[DtaCandidate] = []
         for candidate in remaining:
             if constraints.storage_budget_bytes is not None:
                 size = _candidate_size(engine, candidate)
                 if storage_used + size > constraints.storage_budget_bytes:
                     continue
-            cost = whatif.workload_cost(
-                statements, chosen_defs + [candidate.definition]
-            )
+            eligible.append(candidate)
+        frontier = [
+            tuple(chosen_defs) + (candidate.definition,)
+            for candidate in eligible
+        ]
+        costs = whatif.workload_cost_many(statements, frontier)
+        best: Tuple[Optional[DtaCandidate], float] = (None, current_cost)
+        for candidate, cost in zip(eligible, costs):
             if cost < best[1]:
                 best = (candidate, cost)
         candidate, cost = best

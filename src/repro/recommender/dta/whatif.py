@@ -6,17 +6,48 @@ tuning resource pool), caches (query, configuration) costs so the greedy
 enumeration does not re-pay for repeated evaluations, and surfaces
 :class:`ResourceBudgetExceededError` to the session for yield/abort
 decisions.
+
+Costing runs through the engine's batched what-if pricer by default
+(``EngineSettings.whatif_mode`` / ``REPRO_WHATIF``): single lookups are
+priced as batches of one so repeated configurations of the same
+statement share the memoized plan substrate, and the frontier APIs
+(:meth:`WhatIfSession.cost_many`, :meth:`WhatIfSession.workload_cost_many`)
+price a whole configuration frontier per statement in one pass.  Both
+modes produce bit-identical costs and identical session/cache/governor
+accounting.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, FrozenSet, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from repro.engine.engine import SqlEngine
+from repro.engine.engine import SqlEngine, resolve_whatif_mode
 from repro.engine.schema import IndexDefinition
 from repro.errors import OptimizeError
 from repro.rng import derive
+
+#: Cached marker for statements the what-if API cannot optimize.  A
+#: distinct sentinel (not None) so "known to fail" is distinguishable
+#: from "never tried": repeated un-optimizable statements are charged
+#: against the tuning pool once and counted once in
+#: :attr:`WhatIfStats.failed_statements`.
+_FAILED = object()
+
+#: One index's identity for cost-cache purposes: what it covers, not
+#: what it is called.  Two same-named but differently-defined indexes
+#: must not collide (and two differently-named twins may share).
+_DefinitionFingerprint = Tuple[str, Tuple[str, ...], Tuple[str, ...]]
+
+
+def _definition_fingerprint(
+    definition: IndexDefinition,
+) -> _DefinitionFingerprint:
+    return (
+        definition.table,
+        tuple(definition.key_columns),
+        tuple(definition.included_columns),
+    )
 
 
 @dataclasses.dataclass
@@ -47,7 +78,9 @@ class WhatIfSession:
         #: DTA's statistics creation 2-3x without quality loss).
         self.stats_column_budget = stats_column_budget
         self.stats = WhatIfStats()
-        self._cost_cache: Dict[Tuple[int, FrozenSet[str]], float] = {}
+        self._cost_cache: Dict[
+            Tuple[int, FrozenSet[_DefinitionFingerprint]], object
+        ] = {}
         self._stats_built: set = set()
 
     # ------------------------------------------------------------------
@@ -77,12 +110,19 @@ class WhatIfSession:
             self.engine.governor.tuning.charge_cpu(
                 self.STATS_BUILD_CPU_MS, self.engine.now
             )
+            self.engine.governor.tuning.usage.stats_builds += 1
             self._stats_built.add(key)
             self.stats.stats_built += 1
             built += 1
         return built
 
     # ------------------------------------------------------------------
+
+    def _cache_key(self, query, configuration: Sequence[IndexDefinition]):
+        return (
+            query.template_key(),
+            frozenset(_definition_fingerprint(d) for d in configuration),
+        )
 
     def cost(
         self,
@@ -95,22 +135,54 @@ class WhatIfSession:
         (Section 5.3.2); callers treat those as coverage loss.
         Raises ResourceBudgetExceededError when the tuning pool runs dry.
         """
-        key = (
-            query.template_key(),
-            frozenset(d.name for d in configuration),
-        )
-        cached = self._cost_cache.get(key)
-        if cached is not None:
-            self.stats.cache_hits += 1
-            return cached
-        try:
-            cost = self.engine.whatif_cost(query, extra_indexes=configuration)
-        except OptimizeError:
-            self.stats.failed_statements += 1
-            return None
-        self.stats.calls += 1
-        self._cost_cache[key] = cost
-        return cost
+        return self.cost_many(query, (configuration,))[0]
+
+    def cost_many(
+        self,
+        query,
+        configurations: Sequence[Sequence[IndexDefinition]],
+    ) -> List[Optional[float]]:
+        """Costs of one statement under a frontier of configurations.
+
+        Equivalent to calling :meth:`cost` once per configuration — same
+        floats, same cache/stats/governor accounting, in the same order —
+        but uncached configurations are priced through one engine batch
+        pricer, sharing the statement's plan substrate.  A mid-frontier
+        ResourceBudgetExceededError propagates with the configurations
+        priced so far already cached (the retry resumes where it left
+        off, exactly as the scalar loop would).
+        """
+        configurations = [tuple(c) for c in configurations]
+        results: List[Optional[float]] = [None] * len(configurations)
+        batch = None
+        use_batch = resolve_whatif_mode(self.engine.settings) == "batch"
+        for i, configuration in enumerate(configurations):
+            key = self._cache_key(query, configuration)
+            cached = self._cost_cache.get(key)
+            if cached is _FAILED:
+                self.stats.cache_hits += 1
+                continue
+            if cached is not None:
+                self.stats.cache_hits += 1
+                results[i] = cached
+                continue
+            try:
+                if use_batch:
+                    if batch is None:
+                        batch = self.engine.whatif_batch(query)
+                    cost = batch.cost(configuration)
+                else:
+                    cost = self.engine.whatif_cost(
+                        query, extra_indexes=configuration
+                    )
+            except OptimizeError:
+                self.stats.failed_statements += 1
+                self._cost_cache[key] = _FAILED
+                continue
+            self.stats.calls += 1
+            self._cost_cache[key] = cost
+            results[i] = cost
+        return results
 
     def workload_cost(
         self,
@@ -118,10 +190,28 @@ class WhatIfSession:
         configuration: Sequence[IndexDefinition] = (),
     ) -> float:
         """Execution-weighted estimated cost of a workload."""
-        total = 0.0
+        return self.workload_cost_many(statements, (configuration,))[0]
+
+    def workload_cost_many(
+        self,
+        statements,
+        configurations: Sequence[Sequence[IndexDefinition]],
+    ) -> List[float]:
+        """Workload costs of a configuration frontier, statement-major.
+
+        Each statement's frontier is priced in one batch before moving
+        to the next statement.  Per configuration, the accumulation
+        order (and therefore every float) is identical to
+        :meth:`workload_cost`; across configurations the (statement,
+        configuration) evaluation set is identical too, so session and
+        governor totals match the scalar sweep.
+        """
+        configurations = [tuple(c) for c in configurations]
+        totals = [0.0] * len(configurations)
         for statement in statements:
-            cost = self.cost(statement.query, configuration)
-            if cost is None:
-                continue
-            total += cost * statement.executions
-        return total
+            costs = self.cost_many(statement.query, configurations)
+            for i, cost in enumerate(costs):
+                if cost is None:
+                    continue
+                totals[i] += cost * statement.executions
+        return totals

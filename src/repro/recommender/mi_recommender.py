@@ -21,7 +21,7 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Optional
 
-from repro.engine.engine import SqlEngine
+from repro.engine.engine import SqlEngine, resolve_whatif_mode
 from repro.engine.schema import IndexDefinition
 from repro.recommender.classifier import LowImpactClassifier
 from repro.recommender.impact import (
@@ -272,8 +272,15 @@ class MiRecommender:
             if query is None or getattr(query, "table", None) != candidate.table:
                 continue
             try:
-                base = engine.whatif_cost(query)
-                with_index = engine.whatif_cost(query, extra_indexes=(definition,))
+                if resolve_whatif_mode(engine.settings) == "batch":
+                    base, with_index = engine.whatif_cost_many(
+                        query, [(), (definition,)]
+                    )
+                else:
+                    base = engine.whatif_cost(query)
+                    with_index = engine.whatif_cost(
+                        query, extra_indexes=(definition,)
+                    )
             except Exception:
                 continue
             delta = base - with_index

@@ -1,0 +1,313 @@
+"""Batched what-if costing: differential parity with the scalar path.
+
+The batched pricer's contract is bit-identical observability: same cost
+floats, same plan choices, same MI-DMV silence in what-if mode, same
+plan-cache counters, and governor charges that follow the documented
+batched-charge rule.  The Hypothesis suite drives twin engines — one
+priced configuration-by-configuration through ``whatif_cost``, one
+through ``whatif_cost_many`` — with identical call sequences, so any
+divergence in values *or* counters fails.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine import (
+    DeleteQuery,
+    IndexDefinition,
+    InsertQuery,
+    Op,
+    Predicate,
+    SelectQuery,
+    UpdateQuery,
+)
+from repro.errors import OptimizeError
+from repro.recommender.dta.whatif import WhatIfSession
+from tests.engine.test_executor_property import select_queries
+from tests.engine.test_optimizer import perfect_engine
+
+#: (table, key columns, included columns) pool the configuration
+#: strategy draws hypothetical indexes from.
+_INDEX_POOL = (
+    ("orders", ("o_cust",), ("o_amount",)),
+    ("orders", ("o_date",), ()),
+    ("orders", ("o_status", "o_date"), ("o_amount",)),
+    ("orders", ("o_amount",), ("o_cust", "o_note")),
+    ("orders", ("o_note",), ()),
+    ("customers", ("c_region",), ("c_name",)),
+    ("customers", ("c_name",), ()),
+)
+
+
+def _definition(i: int) -> IndexDefinition:
+    table, keys, includes = _INDEX_POOL[i]
+    return IndexDefinition(
+        name=f"hyp_{i}",
+        table=table,
+        key_columns=keys,
+        included_columns=includes,
+        hypothetical=True,
+    )
+
+
+@st.composite
+def configurations(draw):
+    """A frontier of 1-8 configurations, each of 1-3 hypothetical indexes."""
+    frontier = draw(
+        st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=len(_INDEX_POOL) - 1),
+                min_size=1,
+                max_size=3,
+                unique=True,
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    return [tuple(_definition(i) for i in config) for config in frontier]
+
+
+@pytest.fixture(scope="module")
+def twins():
+    return perfect_engine(seed=5001), perfect_engine(seed=5001)
+
+
+@settings(
+    max_examples=120,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(query=select_queries(), frontier=configurations())
+def test_property_batch_costs_bit_identical(twins, query, frontier):
+    scalar_eng, batch_eng = twins
+    scalar_costs = [
+        scalar_eng.whatif_cost(query, extra_indexes=config)
+        for config in frontier
+    ]
+    batch_costs = batch_eng.whatif_cost_many(query, frontier)
+    assert batch_costs == scalar_costs  # exact float equality, not approx
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(query=select_queries(), frontier=configurations())
+def test_property_batch_plans_and_mi_silence(twins, query, frontier):
+    scalar_eng, batch_eng = twins
+    mi_before = (
+        len(scalar_eng.missing_indexes.snapshot(scalar_eng.now).entries),
+        len(batch_eng.missing_indexes.snapshot(batch_eng.now).entries),
+    )
+    scalar_plans = [
+        scalar_eng.whatif_optimize(query, extra_indexes=config)
+        for config in frontier
+    ]
+    batch = batch_eng.whatif_batch(query)
+    batch_plans = [batch.price(config) for config in frontier]
+    for scalar_plan, batch_plan in zip(scalar_plans, batch_plans):
+        assert batch_plan.signature() == scalar_plan.signature()
+        assert batch_plan.est_cost == scalar_plan.est_cost
+    mi_after = (
+        len(scalar_eng.missing_indexes.snapshot(scalar_eng.now).entries),
+        len(batch_eng.missing_indexes.snapshot(batch_eng.now).entries),
+    )
+    assert mi_after == mi_before  # what-if pricing never feeds the MI DMV
+
+
+class TestBatchPricerParity:
+    """Deterministic spot checks of the shared-substrate pricer."""
+
+    QUERY = SelectQuery(
+        "orders", ("o_amount",), (Predicate("o_cust", Op.EQ, 3),)
+    )
+
+    def test_empty_configuration_matches_scalar(self):
+        scalar_eng, batch_eng = perfect_engine(11), perfect_engine(11)
+        expected = scalar_eng.whatif_cost(self.QUERY)
+        assert batch_eng.whatif_cost_many(self.QUERY, [()]) == [expected]
+
+    def test_counter_parity_over_a_sweep(self):
+        scalar_eng, batch_eng = perfect_engine(12), perfect_engine(12)
+        frontier = [(_definition(0),), (_definition(2),), (_definition(0), _definition(2))]
+        for _round in range(2):  # second round exercises cache hits
+            for config in frontier:
+                scalar_eng.whatif_cost(self.QUERY, extra_indexes=config)
+            batch_eng.whatif_cost_many(self.QUERY, frontier)
+        assert (
+            batch_eng.plan_cache.hits,
+            batch_eng.plan_cache.misses,
+        ) == (scalar_eng.plan_cache.hits, scalar_eng.plan_cache.misses)
+        assert (
+            batch_eng.governor.tuning.usage.whatif_calls
+            == scalar_eng.governor.tuning.usage.whatif_calls
+        )
+        assert (
+            batch_eng.governor.tuning.usage.cpu_ms
+            == scalar_eng.governor.tuning.usage.cpu_ms
+        )
+        assert (
+            batch_eng.optimizer.whatif_calls
+            == scalar_eng.optimizer.whatif_calls
+        )
+
+    def test_substrate_reused_across_batches(self):
+        eng = perfect_engine(13)
+        eng.whatif_cost_many(self.QUERY, [(_definition(0),)])
+        stats = eng.optimizer.batch_stats
+        assert (stats.substrate_misses, stats.substrate_hits) == (1, 0)
+        eng.whatif_cost_many(self.QUERY, [(_definition(1),)])
+        assert (stats.substrate_misses, stats.substrate_hits) == (1, 1)
+        assert eng.plan_cache.substrate_count() == 1
+
+    def test_invalidation_drops_substrates(self):
+        eng = perfect_engine(14)
+        eng.whatif_cost_many(self.QUERY, [(_definition(0),)])
+        assert eng.plan_cache.substrate_count() == 1
+        eng.plan_cache.invalidate("orders")
+        assert eng.plan_cache.substrate_count() == 0
+
+    def test_hinted_query_takes_scalar_fallback(self):
+        eng = perfect_engine(15)
+        eng.create_index(
+            IndexDefinition("ix_cust", "orders", ("o_cust",), ("o_amount",))
+        )
+        hinted = dataclasses.replace(self.QUERY, index_hint="ix_cust")
+        expected = eng.whatif_cost(hinted, extra_indexes=(_definition(1),))
+        scalar_eng = perfect_engine(15)
+        scalar_eng.create_index(
+            IndexDefinition("ix_cust", "orders", ("o_cust",), ("o_amount",))
+        )
+        scalar_eng.whatif_cost(hinted, extra_indexes=(_definition(1),))
+        costs = eng.whatif_cost_many(hinted, [(_definition(1),)])
+        assert costs == [expected]
+        assert eng.optimizer.batch_stats.scalar_fallbacks == 1
+
+    def test_dml_frontier_matches_scalar(self):
+        scalar_eng, batch_eng = perfect_engine(16), perfect_engine(16)
+        frontier = [(_definition(0),), (_definition(3),)]
+        for query in (
+            UpdateQuery(
+                "orders",
+                (("o_status", 2),),
+                (Predicate("o_amount", Op.GT, 500.0),),
+            ),
+            DeleteQuery("customers", (Predicate("c_region", Op.EQ, 4),)),
+            InsertQuery("orders", ({"o_id": 10_000},)),
+        ):
+            expected = [
+                scalar_eng.whatif_cost(query, extra_indexes=config)
+                for config in frontier
+            ]
+            assert batch_eng.whatif_cost_many(query, frontier) == expected
+
+
+class TestBatchedChargeRule:
+    QUERY = SelectQuery(
+        "orders", ("o_amount",), (Predicate("o_cust", Op.EQ, 3),)
+    )
+
+    def test_default_charge_is_batching_invariant(self):
+        eng = perfect_engine(21)
+        before = eng.governor.tuning.usage.cpu_ms
+        eng.whatif_cost_many(
+            self.QUERY, [(_definition(0),), (_definition(1),)]
+        )
+        charged = eng.governor.tuning.usage.cpu_ms - before
+        assert charged == 2 * eng.settings.whatif_call_cpu_ms
+
+    def test_discounted_charge_for_followup_configurations(self):
+        eng = perfect_engine(22)
+        eng.settings = dataclasses.replace(
+            eng.settings, whatif_batch_extra_cpu_ms=1.5
+        )
+        before = eng.governor.tuning.usage.cpu_ms
+        eng.whatif_cost_many(
+            self.QUERY,
+            [(_definition(0),), (_definition(1),), (_definition(2),)],
+        )
+        charged = eng.governor.tuning.usage.cpu_ms - before
+        assert charged == eng.settings.whatif_call_cpu_ms + 2 * 1.5
+
+
+class TestWhatIfSessionRegressions:
+    QUERY = SelectQuery(
+        "orders", ("o_amount",), (Predicate("o_cust", Op.EQ, 3),)
+    )
+
+    def test_cost_cache_keys_on_definition_not_name(self):
+        """Same-named but differently-defined indexes must not collide."""
+        eng = perfect_engine(31)
+        session = WhatIfSession(eng)
+        covering = IndexDefinition(
+            "ix_same", "orders", ("o_cust",), ("o_amount",), hypothetical=True
+        )
+        unrelated = IndexDefinition(
+            "ix_same", "orders", ("o_note",), (), hypothetical=True
+        )
+        first = session.cost(self.QUERY, (covering,))
+        second = session.cost(self.QUERY, (unrelated,))
+        assert first != second  # the collision would return `first` twice
+        assert session.stats.calls == 2
+        assert session.stats.cache_hits == 0
+
+    def test_cost_cache_hits_on_renamed_twin(self):
+        eng = perfect_engine(32)
+        session = WhatIfSession(eng)
+        twin_a = IndexDefinition(
+            "ix_a", "orders", ("o_cust",), ("o_amount",), hypothetical=True
+        )
+        twin_b = IndexDefinition(
+            "ix_b", "orders", ("o_cust",), ("o_amount",), hypothetical=True
+        )
+        first = session.cost(self.QUERY, (twin_a,))
+        second = session.cost(self.QUERY, (twin_b,))
+        assert second == first
+        assert session.stats.calls == 1
+        assert session.stats.cache_hits == 1
+
+    def test_failed_statements_cached_and_charged_once(self):
+        eng = perfect_engine(33)
+        session = WhatIfSession(eng)
+        bulk = InsertQuery("orders", ({"o_id": 10_001},), bulk=True)
+        config = (_definition(0),)
+        before = eng.governor.tuning.usage.cpu_ms
+        assert session.cost(bulk, config) is None
+        charged_once = eng.governor.tuning.usage.cpu_ms - before
+        assert charged_once > 0  # the failed optimization was metered
+        assert session.cost(bulk, config) is None  # served from the cache
+        assert eng.governor.tuning.usage.cpu_ms - before == charged_once
+        assert session.stats.failed_statements == 1
+        assert session.stats.cache_hits == 1
+
+    def test_scalar_mode_env_round_trips(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WHATIF", "scalar")
+        eng = perfect_engine(34)
+        session = WhatIfSession(eng)
+        cost = session.cost(self.QUERY, (_definition(0),))
+        assert cost is not None
+        assert eng.optimizer.batch_stats.batches == 0  # scalar path used
+
+    def test_invalid_mode_rejected(self, monkeypatch):
+        from repro.engine.engine import resolve_whatif_mode
+        from repro.errors import ExecutionError
+
+        monkeypatch.setenv("REPRO_WHATIF", "turbo")
+        eng = perfect_engine(35)
+        with pytest.raises(ExecutionError):
+            resolve_whatif_mode(eng.settings)
+
+    def test_bulk_insert_raises_in_both_modes(self):
+        eng = perfect_engine(36)
+        bulk = InsertQuery("orders", ({"o_id": 10_002},), bulk=True)
+        with pytest.raises(OptimizeError):
+            eng.whatif_cost_many(bulk, [(_definition(0),)])
+        with pytest.raises(OptimizeError):
+            eng.whatif_cost(bulk, extra_indexes=(_definition(0),))

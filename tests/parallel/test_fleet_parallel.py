@@ -275,6 +275,49 @@ class TestExecutorModeDeterminism:
         assert vector == interp
 
 
+class TestWhatIfModeDeterminism:
+    """Batched what-if pricing must not perturb any determinism stream.
+
+    The batched pricer produces bit-identical costs, plan choices, and
+    governor charges (default charge rule), so the merged audit stream
+    must be byte-identical (a) across all three pool backends with
+    batching enabled and (b) between batch and scalar what-if modes on
+    the same fleet seed.
+    """
+
+    @staticmethod
+    def _audit_sha256(streams) -> str:
+        import hashlib
+
+        return hashlib.sha256(streams["jsonl"].encode("utf-8")).hexdigest()
+
+    def test_batch_mode_equal_across_backends(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WHATIF", "batch")
+        serial = run_fleet("serial", 1, n_databases=2, hours=24.0, seed=7)
+        thread = run_fleet("thread", WORKERS, n_databases=2, hours=24.0, seed=7)
+        process = run_fleet(
+            "process", WORKERS, n_databases=2, hours=24.0, seed=7
+        )
+        reference = self._audit_sha256(serial)
+        assert self._audit_sha256(thread) == reference
+        assert self._audit_sha256(process) == reference
+        assert thread == serial
+        assert process == serial
+
+    def test_batch_and_scalar_streams_identical(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WHATIF", "scalar")
+        scalar = run_fleet("serial", 1, n_databases=2, hours=24.0, seed=7)
+        monkeypatch.setenv("REPRO_WHATIF", "batch")
+        batch = run_fleet("serial", 1, n_databases=2, hours=24.0, seed=7)
+        assert self._audit_sha256(batch) == self._audit_sha256(scalar)
+        # Hot-path profiles describe *how* the host priced (the batch
+        # path brackets substrate builds), so they are the one stream
+        # allowed to differ across what-if modes.
+        scalar.pop("hot_paths")
+        batch.pop("hot_paths")
+        assert batch == scalar
+
+
 class TestCli:
     def test_repro_run_smoke(self, tmp_path):
         out = tmp_path / "audit.jsonl"
