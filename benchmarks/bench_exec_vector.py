@@ -37,6 +37,7 @@ import numpy as np  # noqa: E402
 from repro.engine import (  # noqa: E402
     Column,
     Database,
+    IndexDefinition,
     Op,
     OrderItem,
     Predicate,
@@ -47,7 +48,25 @@ from repro.engine import (  # noqa: E402
 )
 from repro.engine.cost_model import CostModelSettings  # noqa: E402
 from repro.engine.engine import EngineSettings  # noqa: E402
-from repro.engine.query import Aggregate, AggFunc  # noqa: E402
+from repro.engine.query import (  # noqa: E402
+    Aggregate,
+    AggFunc,
+    DeleteQuery,
+    InsertQuery,
+    JoinSpec,
+    UpdateQuery,
+)
+
+#: Fact-side join keys are uniform over this range, so a dim table with
+#: ``B`` distinct keys (``B`` <= span) matches ``B / span`` of probes —
+#: build-side cardinality sweeps the match rate the way dimension size
+#: does in a star query.
+_JOIN_KEY_SPAN = 4096
+
+#: Dimension-table sizes for the join cells (one table per size, built
+#: once per engine; no secondary index on ``d_key``, so the optimizer
+#: has no seek path and plans the hash join).
+_BUILD_SIZES = (64, 4096)
 
 
 def build_engine(n_rows: int, seed: int, mode: str) -> SqlEngine:
@@ -59,6 +78,7 @@ def build_engine(n_rows: int, seed: int, mode: str) -> SqlEngine:
             Column("grp", SqlType.INT),
             Column("val", SqlType.FLOAT),
             Column("cat", SqlType.TEXT),
+            Column("key", SqlType.INT),
         ],
         primary_key=["id"],
     )
@@ -66,10 +86,47 @@ def build_engine(n_rows: int, seed: int, mode: str) -> SqlEngine:
     rng = np.random.default_rng(seed)
     groups = rng.integers(0, 64, size=n_rows)
     values = rng.random(size=n_rows)
+    keys = rng.integers(0, _JOIN_KEY_SPAN, size=n_rows)
     for i in range(n_rows):
         table.insert(
-            (i, int(groups[i]), float(values[i]), f"cat-{int(groups[i]) % 7}")
+            (
+                i,
+                int(groups[i]),
+                float(values[i]),
+                f"cat-{int(groups[i]) % 7}",
+                int(keys[i]),
+            )
         )
+    for build_rows in _BUILD_SIZES:
+        dim = db.create_table(
+            TableSchema(
+                f"d{build_rows}",
+                [
+                    Column("d_id", SqlType.INT, nullable=False),
+                    Column("d_key", SqlType.INT),
+                    Column("d_note", SqlType.TEXT),
+                ],
+                primary_key=["d_id"],
+            )
+        )
+        for i in range(build_rows):
+            dim.insert((i, i, f"dim-{i % 17}"))
+    # DML target: starts empty, two secondary indexes so batched index
+    # maintenance has real work per row.
+    work = db.create_table(
+        TableSchema(
+            "w",
+            [
+                Column("w_id", SqlType.BIGINT, nullable=False),
+                Column("w_a", SqlType.INT),
+                Column("w_b", SqlType.FLOAT),
+                Column("w_c", SqlType.TEXT),
+            ],
+            primary_key=["w_id"],
+        )
+    )
+    work.create_index(IndexDefinition("ix_w_a", "w", ("w_a",)))
+    work.create_index(IndexDefinition("ix_w_b", "w", ("w_b",)))
     settings = EngineSettings(
         cost_model=CostModelSettings(error_sigma=0.0, severe_error_rate=0.0)
     )
@@ -112,6 +169,27 @@ def make_query(operator: str, selectivity: float) -> SelectQuery:
             order_by=(OrderItem("cat"), OrderItem("val", ascending=False)),
         )
     raise ValueError(operator)
+
+
+def make_join_query(build_rows: int, selectivity: float) -> SelectQuery:
+    """Hash join of the fact scan against one dim table.  The fact-side
+    predicate thins the probe stream; the dim size sets the match rate
+    (``build_rows / _JOIN_KEY_SPAN`` of surviving probes find a row)."""
+    threshold = 1.0 - selectivity
+    preds = (
+        (Predicate("val", Op.GT, threshold),) if selectivity < 1.0 else ()
+    )
+    return SelectQuery(
+        "t",
+        ("id", "val"),
+        preds,
+        join=JoinSpec(
+            f"d{build_rows}",
+            left_column="key",
+            right_column="d_key",
+            select_columns=("d_note",),
+        ),
+    )
 
 
 def time_query(engine: SqlEngine, query: SelectQuery, reps: int):
@@ -181,6 +259,135 @@ def run_sweep(sizes, selectivities, operators, reps, seed):
     return results
 
 
+def run_join_sweep(engines, n_rows, selectivities, reps):
+    """Hash-join cells: build-side cardinality x probe selectivity."""
+    interp, vector = engines
+    results = []
+    for build_rows in _BUILD_SIZES:
+        for selectivity in selectivities:
+            query = make_join_query(build_rows, selectivity)
+            joins_before = vector.executor.fallback_counts["join"]
+            interp_ms, interp_result = time_query(interp, query, reps)
+            vector_ms, vector_result = time_query(vector, query, reps)
+            if interp_result.rows != vector_result.rows:
+                raise SystemExit(
+                    f"ROW MISMATCH: hash_join build={build_rows} "
+                    f"sel={selectivity}"
+                )
+            if metrics_tuple(interp_result.metrics) != metrics_tuple(
+                vector_result.metrics
+            ):
+                raise SystemExit(
+                    f"METRICS MISMATCH: hash_join build={build_rows} "
+                    f"sel={selectivity}: "
+                    f"{metrics_tuple(interp_result.metrics)} != "
+                    f"{metrics_tuple(vector_result.metrics)}"
+                )
+            if vector.executor.fallback_counts["join"] != joins_before:
+                raise SystemExit(
+                    f"hash_join build={build_rows} sel={selectivity} "
+                    "fell back to the interpreter"
+                )
+            row = {
+                "operator": "hash_join",
+                "rows": n_rows,
+                "build_rows": build_rows,
+                "selectivity": selectivity,
+                "interp_ms": round(interp_ms, 3),
+                "vector_ms": round(vector_ms, 3),
+                "speedup": round(interp_ms / vector_ms, 2),
+                "rows_returned": vector_result.metrics.rows_returned,
+                "logical_reads": vector_result.metrics.logical_reads,
+            }
+            results.append(row)
+            print(
+                f"rows={n_rows:>7} sel={selectivity:<5} "
+                f"hash_join    build={build_rows:<5} "
+                f"interp={interp_ms:>9.2f}ms "
+                f"vector={vector_ms:>8.2f}ms speedup={row['speedup']:>6.2f}x"
+            )
+    return results
+
+
+def run_dml_sweep(engines, batch_sizes, reps, seed):
+    """Bulk-DML cells: each rep bulk-inserts a batch into the empty
+    ``w`` table (two secondary indexes), bulk-updates half of it, and
+    deletes it again, timing each statement.  The interp engine runs
+    the row-at-a-time maintenance loop; the vector engine runs the
+    batched per-index path.  Both engines execute the same statement
+    sequence, so the parity gate checks rows AND metrics per statement.
+    """
+    interp, vector = engines
+    rng = np.random.default_rng(seed + 1)
+    results = []
+    for batch in batch_sizes:
+        rows = tuple(
+            (
+                i,
+                int(rng.integers(0, 100)),
+                float(rng.random()),
+                f"w-{i % 23}",
+            )
+            for i in range(batch)
+        )
+        statements = {
+            "bulk_insert": InsertQuery("w", rows, bulk=True),
+            # Touches ix_w_b only; the new value changes every row.
+            "bulk_update": UpdateQuery(
+                "w", (("w_b", 2.0),), (Predicate("w_a", Op.LT, 50),)
+            ),
+            "bulk_delete": DeleteQuery(
+                "w", (Predicate("w_id", Op.GE, 0),)
+            ),
+        }
+        timings = {
+            name: (float("inf"), float("inf")) for name in statements
+        }
+        batched_before = vector.executor.batch_rows
+        for _rep in range(reps):
+            for name, statement in statements.items():
+                started = time.perf_counter()
+                interp_result = interp.execute(statement)
+                interp_ms = (time.perf_counter() - started) * 1000.0
+                started = time.perf_counter()
+                vector_result = vector.execute(statement)
+                vector_ms = (time.perf_counter() - started) * 1000.0
+                if interp_result.rows != vector_result.rows:
+                    raise SystemExit(f"ROW MISMATCH: {name} batch={batch}")
+                if metrics_tuple(interp_result.metrics) != metrics_tuple(
+                    vector_result.metrics
+                ):
+                    raise SystemExit(
+                        f"METRICS MISMATCH: {name} batch={batch}: "
+                        f"{metrics_tuple(interp_result.metrics)} != "
+                        f"{metrics_tuple(vector_result.metrics)}"
+                    )
+                best_i, best_v = timings[name]
+                timings[name] = (
+                    min(best_i, interp_ms), min(best_v, vector_ms)
+                )
+        if vector.executor.batch_rows == batched_before:
+            raise SystemExit(
+                f"bulk DML batch={batch} never took the batched path"
+            )
+        for name, (interp_ms, vector_ms) in timings.items():
+            row = {
+                "operator": name,
+                "rows": batch,
+                "selectivity": 0.5 if name == "bulk_update" else 1.0,
+                "interp_ms": round(interp_ms, 3),
+                "vector_ms": round(vector_ms, 3),
+                "speedup": round(interp_ms / vector_ms, 2),
+            }
+            results.append(row)
+            print(
+                f"rows={batch:>7} sel={row['selectivity']:<5} "
+                f"{name:<12} interp={interp_ms:>9.2f}ms "
+                f"vector={vector_ms:>8.2f}ms speedup={row['speedup']:>6.2f}x"
+            )
+    return results
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -190,15 +397,39 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--out", default="BENCH_exec_vector.json")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--only",
+        choices=["select", "join", "dml"],
+        default=None,
+        help="run a single cell family (default: all three)",
+    )
     args = parser.parse_args(argv)
 
     if args.smoke:
         sizes, selectivities, reps = [10_000], [0.2], 2
+        dml_batches = [1_000]
     else:
         sizes, selectivities, reps = [10_000, 100_000], [0.01, 0.2, 1.0], 3
+        dml_batches = [1_000, 10_000]
     operators = ["scan_filter", "aggregate", "topn", "sort"]
+    families = (
+        ("select", "join", "dml") if args.only is None else (args.only,)
+    )
 
-    results = run_sweep(sizes, selectivities, operators, reps, args.seed)
+    results = []
+    if "select" in families:
+        results += run_sweep(sizes, selectivities, operators, reps, args.seed)
+    if "join" in families or "dml" in families:
+        n_rows = sizes[-1]
+        engines = (
+            build_engine(n_rows, args.seed, "interp"),
+            build_engine(n_rows, args.seed, "vector"),
+        )
+        if "join" in families:
+            join_sels = [0.2, 1.0] if not args.smoke else [0.2]
+            results += run_join_sweep(engines, n_rows, join_sels, reps)
+        if "dml" in families:
+            results += run_dml_sweep(engines, dml_batches, reps, args.seed)
 
     payload = {
         "benchmark": "exec-vector",

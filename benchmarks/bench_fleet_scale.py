@@ -78,8 +78,16 @@ def run_config(
     batch_ticks: int = 1,
     instrument: bool = True,
     history: bool = True,
+    tier: str = "standard",
+    executor: str = "",
 ) -> dict:
     backend = "serial" if workers <= 1 else "process"
+    previous_executor = os.environ.get("REPRO_EXECUTOR")
+    if executor:
+        # Pin the executor before building the service: engines read the
+        # mode at construction, and process workers inherit the parent's
+        # environment at spawn.
+        os.environ["REPRO_EXECUTOR"] = executor
     service = build_fleet_service(
         n_databases,
         workers=workers,
@@ -88,6 +96,7 @@ def run_config(
         instrument=instrument,
         history=history,
         seed=seed,
+        tier=tier,
         service_settings=ServiceSettings(max_statements_per_step=80),
     )
     try:
@@ -99,6 +108,8 @@ def run_config(
             "databases": n_databases,
             "workers": workers,
             "backend": backend,
+            "tier": tier,
+            "executor": executor or "auto",
             "shards": len(service.payloads),
             "batch_ticks": batch_ticks,
             "instrument": instrument,
@@ -136,6 +147,11 @@ def run_config(
         return row
     finally:
         service.close()
+        if executor:
+            if previous_executor is None:
+                os.environ.pop("REPRO_EXECUTOR", None)
+            else:
+                os.environ["REPRO_EXECUTOR"] = previous_executor
 
 
 def pipelining_comparison(results) -> list:
@@ -243,6 +259,51 @@ def history_gate(
         "overhead_fraction": round(overhead, 4),
         "threshold": threshold,
         "passed": overhead <= threshold,
+    }
+
+
+def executor_comparison(
+    n_databases: int, workers: int, hours: float, seed: int,
+    tier: str = "premium",
+) -> dict:
+    """A/B the interpreted vs vectorized executor on a join/DML-heavy
+    fleet and attribute the saving to the **wait** phase — the tick
+    phase that contains statement execution (inline on the serial
+    backend, worker round-trips on process).
+
+    The premium tier leans on the analytics archetype (hash joins,
+    group-bys, bulk maintenance), so this measures the executor on the
+    workload shape it targets.  The audit digests must match: the
+    metering-equivalence contract says executor choice never leaks into
+    costs, tuning decisions, or telemetry.
+    """
+    interp = run_config(
+        n_databases, workers, hours, seed, tier=tier, executor="interp"
+    )
+    vector = run_config(
+        n_databases, workers, hours, seed, tier=tier, executor="vector"
+    )
+
+    def wait_seconds(row: dict) -> float:
+        phases = row.get("attribution", {}).get("phase_seconds", {})
+        return phases.get("wait", 0.0)
+
+    wait_interp = wait_seconds(interp)
+    wait_vector = wait_seconds(vector)
+    return {
+        "databases": n_databases,
+        "workers": workers,
+        "tier": tier,
+        "simulated_hours": hours,
+        "wall_seconds_interp": interp["wall_seconds"],
+        "wall_seconds_vector": vector["wall_seconds"],
+        "wait_seconds_interp": round(wait_interp, 4),
+        "wait_seconds_vector": round(wait_vector, 4),
+        "wait_delta_seconds": round(wait_vector - wait_interp, 4),
+        "wait_reduction": round(
+            wait_vector / wait_interp - 1.0 if wait_interp > 0 else 0.0, 4
+        ),
+        "deterministic": interp["audit_sha256"] == vector["audit_sha256"],
     }
 
 
@@ -357,6 +418,30 @@ def main(argv=None) -> int:
         f"{'PASS' if hgate['passed'] else 'FAIL'}"
     )
 
+    # Join/DML-bearing workload (premium tier, 50% analytics): what the
+    # vectorized executor is worth at fleet scale, attributed to the
+    # wait phase.
+    if args.smoke:
+        executor_ab = executor_comparison(2, 1, 12.0, args.seed)
+    else:
+        executor_ab = executor_comparison(6, 1, 24.0, args.seed)
+    print(
+        f"executor A/B ({executor_ab['tier']} tier, "
+        f"dbs={executor_ab['databases']}): "
+        f"wait {executor_ab['wait_seconds_interp']:.2f}s -> "
+        f"{executor_ab['wait_seconds_vector']:.2f}s "
+        f"({executor_ab['wait_reduction']:+.1%}), wall "
+        f"{executor_ab['wall_seconds_interp']:.2f}s -> "
+        f"{executor_ab['wall_seconds_vector']:.2f}s"
+    )
+    if not executor_ab["deterministic"]:
+        print(
+            "DETERMINISM VIOLATION: interp and vector executor runs "
+            "produced different audit streams",
+            file=sys.stderr,
+        )
+        return 1
+
     payload = {
         "benchmark": "fleet-scale",
         "smoke": args.smoke,
@@ -377,6 +462,7 @@ def main(argv=None) -> int:
         ),
         "overhead_gate": gate,
         "history_gate": hgate,
+        "executor_comparison": executor_ab,
         "pipelining": pipelining,
         "results": results,
     }

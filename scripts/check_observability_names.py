@@ -116,6 +116,14 @@ LITERAL_SERIES = re.compile(
 )
 #: Any ``"slo_..."`` string literal (reserved SLO namespace).
 SLO_LITERAL = re.compile(r"([\"'])(?P<name>slo_[a-z0-9_]*)\1")
+#: Any complete ``"executor_fallback_<reason>_total"`` string literal
+#: (reserved metric namespace; the gauge-per-reason family).  Requiring
+#: the ``_total`` suffix lets the one sanctioned dynamic builder
+#: (``FALLBACK_GAUGES`` in repro.engine.exec.dispatch) pass, since its
+#: f-string template never forms a complete name literal.
+EXEC_FALLBACK_LITERAL = re.compile(
+    r"([\"'])(?P<name>executor_fallback_[a-z0-9_]*_total)\1"
+)
 
 
 def load_catalogs() -> tuple:
@@ -311,6 +319,16 @@ def check_file(
                 f"{name!r} is not in the SAMPLE_CATALOG taxonomy "
                 "(src/repro/observability/timeseries.py)"
             )
+    for match in EXEC_FALLBACK_LITERAL.finditer(text):
+        name = match.group("name")
+        if name not in metrics:
+            errors.append(
+                f"{path}:{lineno(match.start())}: string {name!r} is in the "
+                "reserved executor_fallback_* metric namespace but is not "
+                "in the CATALOG taxonomy "
+                "(src/repro/observability/metrics.py) — declare it before "
+                "use"
+            )
     for match in SLO_LITERAL.finditer(text):
         name = match.group("name")
         if name not in slos:
@@ -330,6 +348,29 @@ def main(argv=None) -> int:
         load_catalogs()
     )
     errors = []
+    # Cross-catalog invariant: the executor_fallback_* gauge family in
+    # the metrics CATALOG must exactly mirror the dispatch layer's
+    # fallback taxonomy — a reason added (or renamed) in one place but
+    # not the other would silently publish uncataloged gauges or
+    # catalog dead ones.
+    from repro.engine.exec.dispatch import FALLBACK_GAUGES
+
+    expected_fallbacks = set(FALLBACK_GAUGES.values())
+    cataloged_fallbacks = {
+        name for name in metrics if name.startswith("executor_fallback_")
+    }
+    for name in sorted(expected_fallbacks - cataloged_fallbacks):
+        errors.append(
+            f"dispatch FALLBACK_REASONS publishes {name!r} but the metrics "
+            "CATALOG (src/repro/observability/metrics.py) does not "
+            "declare it"
+        )
+    for name in sorted(cataloged_fallbacks - expected_fallbacks):
+        errors.append(
+            f"metrics CATALOG declares {name!r} but no dispatch fallback "
+            "reason (repro.engine.exec.dispatch.FALLBACK_REASONS) "
+            "publishes it"
+        )
     # Cross-catalog invariants: every SLO reads a cataloged series
     # (enforced again at import), and every non-advisory SLO must have
     # an ALERT_CATALOG entry so burn_alert_rules() passes AlertRule

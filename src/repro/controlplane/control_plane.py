@@ -21,6 +21,7 @@ from repro.controlplane.scheduler import JobScheduler
 from repro.controlplane.states import DatabaseState, RecommendationState
 from repro.controlplane.store import RecommendationRecord, StateStore
 from repro.engine.engine import SqlEngine
+from repro.engine.exec.dispatch import FALLBACK_GAUGES, FALLBACK_REASONS
 from repro.errors import PermanentError, TransientError
 from repro.observability import AlertWatchdog, Telemetry
 from repro.observability.alerts import default_rules
@@ -434,6 +435,10 @@ class ControlPlane:
         for name, managed in self.databases.items():
             executor = managed.engine.executor
             hits, misses, invalidations = executor.column_cache_stats()
+            fallbacks = tuple(
+                executor.fallback_counts[reason]
+                for reason in FALLBACK_REASONS
+            )
             values = (
                 executor.vector_statements,
                 executor.interp_statements,
@@ -441,6 +446,7 @@ class ControlPlane:
                 hits,
                 misses,
                 invalidations,
+                fallbacks,
             )
             if self._executor_published.get(name) == values:
                 continue
@@ -463,6 +469,16 @@ class ControlPlane:
             registry.gauge(
                 "executor_column_cache_invalidations", database=name
             ).set(invalidations)
+            for reason, count in zip(FALLBACK_REASONS, fallbacks):
+                if not count:
+                    # Sparse publish: reasons a database never hit get no
+                    # series (consumers read missing gauges as 0), so the
+                    # registry stays O(reasons actually exercised) rather
+                    # than O(7 x fleet) at scale.
+                    continue
+                registry.gauge(  # observability-names: allow-dynamic
+                    FALLBACK_GAUGES[reason], database=name
+                ).set(count)
 
     def _publish_whatif_batch_metrics(self) -> None:
         """Surface each engine's batched what-if counters as fleet gauges.

@@ -211,6 +211,11 @@ class ExecutionCostSettings:
     #: In "auto" mode, the minimum scanned-table row count before the
     #: vectorized path is worth the projection build.
     vector_min_rows: int = 256
+    #: In "auto" mode, the minimum affected-row count before DML index
+    #: maintenance is applied as one grouped batch per index rather than
+    #: row at a time.  (``vector`` mode always batches; ``interp`` never
+    #: does.)  Charges are identical either way.
+    dml_batch_min_rows: int = 8
 
 
 def _op_kind(predicate: Predicate) -> str:

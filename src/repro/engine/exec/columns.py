@@ -20,8 +20,9 @@ bits match the interpreted path exactly.
 
 from __future__ import annotations
 
+import functools
 import operator
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -39,12 +40,13 @@ class VectorUnsupported(Exception):
 class ColumnVector:
     """One column as (filled values, NULL mask) plus lazy rank codes."""
 
-    __slots__ = ("values", "nulls", "_codes")
+    __slots__ = ("values", "nulls", "_codes", "_equi")
 
     def __init__(self, values: np.ndarray, nulls: np.ndarray) -> None:
         self.values = values
         self.nulls = nulls
         self._codes: Optional[np.ndarray] = None
+        self._equi: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     def codes(self) -> np.ndarray:
         """Dense sort ranks (int64); NULLs are coded -1 so they sort
@@ -55,6 +57,27 @@ class ColumnVector:
             codes[self.nulls] = -1
             self._codes = codes
         return self._codes
+
+    def equi_index(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The column's cached hash-build side: ``(order, sorted_values)``.
+
+        ``order`` lists the non-NULL row positions stably sorted by
+        value, ``sorted_values`` the values in that order, so an
+        equi-join probe is two ``searchsorted`` calls and ``order[lo:hi]``
+        yields a key's matches in scan order (the order the
+        interpreter's build dict preserves).  NULL rows are excluded:
+        SQL equality never matches NULL.  The index lives on the vector,
+        inside the owning table's :class:`ColumnarCache`, so it is
+        keyed on that table's ``(data_version, schema_version)`` token
+        and invalidates on *its* DML/DDL — the build side's, not the
+        probe side's.
+        """
+        if self._equi is None:
+            valid = np.flatnonzero(~self.nulls)
+            values = self.values[valid]
+            order = np.argsort(values, kind="stable")
+            self._equi = (valid[order], values[order])
+        return self._equi
 
 
 def _build_vector(sql_type: SqlType, raw_values: List[object]) -> ColumnVector:
@@ -84,6 +107,57 @@ def _build_vector(sql_type: SqlType, raw_values: List[object]) -> ColumnVector:
         # e.g. a BIGINT beyond int64: the interpreter handles it fine.
         raise VectorUnsupported(str(exc)) from exc
     return ColumnVector(values, nulls)
+
+
+def contiguous_slice(positions: np.ndarray) -> Optional[Tuple[int, int]]:
+    """``(start, stop)`` when ``positions`` is a dense ascending run,
+    else ``None``.
+
+    Full scans and high-selectivity filters select long unbroken runs
+    of row positions; gathering those with one list slice skips the
+    per-cell indexing entirely.  ``stop - start == n`` plus strictly
+    increasing values proves the run covers every position exactly
+    once.
+    """
+    n = positions.size
+    if n == 0:
+        return None
+    start = int(positions[0])
+    stop = int(positions[-1]) + 1
+    if stop - start != n:
+        return None
+    if n > 1 and not bool((positions[1:] > positions[:-1]).all()):
+        return None
+    return start, stop
+
+
+@functools.lru_cache(maxsize=256)
+def row_builder(
+    names: Tuple[str, ...]
+) -> Callable[[List[object]], List[Dict[str, object]]]:
+    """A compiled row-dict constructor for one column-name tuple.
+
+    Takes per-column cell sequences (all the same length) and returns
+    the row dictionaries, keys in ``names`` order — the same output as
+    ``[dict(zip(names, cells)) for cells in zip(*columns)]``, but ~3x
+    faster: the generated comprehension builds each dict with a literal
+    whose keys are embedded constants, skipping the per-row ``zip`` and
+    ``dict()`` call overhead.  Names are embedded via ``repr`` so any
+    column name is safe to compile.  Cached per name tuple; statements
+    reuse a handful of projections, so the cache stays tiny.
+    """
+    if not names:
+        return lambda columns: []
+    if len(names) == 1:
+        key = names[0]
+        return lambda columns: [{key: value} for value in columns[0]]
+    variables = [f"v{i}" for i in range(len(names))]
+    pairs = ", ".join(
+        f"{name!r}: {var}" for name, var in zip(names, variables)
+    )
+    args = ", ".join(variables)
+    source = f"lambda columns: [{{{pairs}}} for {args} in zip(*columns)]"
+    return eval(source)  # noqa: S307 - keys repr-escaped above
 
 
 class Projection:
@@ -163,8 +237,9 @@ class Projection:
         dropped (the internal row-stream shape).
 
         Cells are gathered per column with ``itemgetter`` and rows are
-        re-formed with ``zip`` so the per-row Python work is a single
-        ``dict(zip(...))`` call rather than a cell-by-cell loop.
+        re-formed by the compiled :func:`row_builder`, so the per-row
+        Python work is one dict-literal construction rather than a
+        cell-by-cell loop.
         """
         if not missing_as_none:
             names = tuple(name for name in names if self.has(name))
@@ -173,21 +248,25 @@ class Projection:
             return []
         if not names:
             return [{} for _ in range(count)]
-        positions = indices.tolist()
-        picker = (
-            operator.itemgetter(*positions)
-            if count > 1
-            else operator.itemgetter(positions[0])
-        )
+        span = contiguous_slice(indices)
+        if span is None:
+            positions = indices.tolist()
+            picker = (
+                operator.itemgetter(*positions)
+                if count > 1
+                else operator.itemgetter(positions[0])
+            )
         gathered = []
         for name in names:
             if not self.has(name):
                 gathered.append((None,) * count)
+            elif span is not None:
+                gathered.append(self.raw_column(name)[span[0]:span[1]])
             elif count == 1:
                 gathered.append((picker(self.raw_column(name)),))
             else:
                 gathered.append(picker(self.raw_column(name)))
-        return [dict(zip(names, cells)) for cells in zip(*gathered)]
+        return row_builder(names)(gathered)
 
 
 class ColumnarCache:

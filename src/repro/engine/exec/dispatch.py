@@ -6,12 +6,30 @@ Mode resolution (per statement, cheap):
 2. else the ``REPRO_EXECUTOR`` environment variable;
 3. else ``auto``.
 
-``interp`` always interprets; ``vector`` batches every supported plan
-shape; ``auto`` batches supported shapes only when the scanned table has
-at least ``ExecutionCostSettings.vector_min_rows`` rows (below that the
-projection build outweighs the win).  DML, seeks, key lookups, joins,
-and TOP-over-lazy-scan always interpret.  Whatever the path, metering is
-byte-identical — see :mod:`repro.engine.exec.metering`.
+``interp`` always interprets; ``vector`` batches every supported
+statement; ``auto`` batches only when enough rows are at stake — at
+least ``vector_min_rows`` in the gating table for SELECTs, at least
+``dml_batch_min_rows`` affected rows for DML.  Seeks, key lookups,
+nested-loop joins, and TOP-over-lazy-source always interpret.  Whatever
+the path, metering is byte-identical — see
+:mod:`repro.engine.exec.metering`.
+
+Every statement that lands on the interpreter is attributed to exactly
+one reason in :data:`FALLBACK_REASONS`, published as the
+``executor_fallback_<reason>_total`` gauges, so fast-path coverage is
+observable per fleet:
+
+- ``mode`` — the executor mode is ``interp``;
+- ``threshold`` — ``auto`` mode, too few rows to amortize batching;
+- ``shape`` — unsupported single-table plan shape (seeks, key lookups,
+  TOP over a lazy source);
+- ``join`` — unsupported join shape (nested-loop, seek-fed hash join,
+  TOP directly over a join);
+- ``hinted`` — an index-hinted query produced an unsupported shape;
+- ``dml`` — a DML batch declined its pre-checks (duplicate keys,
+  validation, primary-key assignment) and must mutate row-at-a-time;
+- ``runtime`` — the vector path bailed out mid-plan
+  (:class:`VectorUnsupported`) and charges were rolled back.
 """
 
 from __future__ import annotations
@@ -29,16 +47,40 @@ from repro.engine.exec.interp import InterpExecutor, RowDict
 from repro.engine.exec.metering import ExecutionMetrics, Meterings
 from repro.engine.plans import (
     DeletePlanNode,
+    HashJoinNode,
     InsertPlanNode,
+    NestedLoopJoinNode,
     PlanNode,
     UpdatePlanNode,
-    scan_leaf,
 )
 from repro.engine.query import SelectQuery
 from repro.engine.table import Table
 from repro.errors import ExecutionError
 
 _MODES = ("auto", "vector", "interp")
+
+#: Why a statement ran on the interpreter (see module docstring).  Every
+#: interpreted statement increments exactly one reason counter, so the
+#: sum over reasons equals ``interp_statements``.
+FALLBACK_REASONS = (
+    "mode",
+    "threshold",
+    "shape",
+    "join",
+    "hinted",
+    "dml",
+    "runtime",
+)
+
+#: Gauge name per fallback reason (``executor_fallback_<reason>_total``).
+#: Built here, next to the taxonomy, so the observability lint can
+#: cross-check the metrics CATALOG against :data:`FALLBACK_REASONS`.
+FALLBACK_GAUGES = {
+    reason: f"executor_fallback_{reason}_total"
+    for reason in FALLBACK_REASONS
+}
+
+_JOIN_NODES = (NestedLoopJoinNode, HashJoinNode)
 
 
 def resolve_executor_mode(settings: ExecutionCostSettings) -> str:
@@ -71,8 +113,14 @@ class Executor:
         #: Monotone dispatch counters, published as ``executor_*`` gauges.
         self.vector_statements = 0
         self.interp_statements = 0
-        #: Rows that flowed through vectorized batch operators.
+        #: Rows that flowed through vectorized batch operators (scanned
+        #: projection rows for SELECTs, affected rows for batched DML).
         self.batch_rows = 0
+        #: Per-reason interpreter-fallback counts (monotone), published
+        #: as ``executor_fallback_<reason>_total`` gauges.
+        self.fallback_counts: Dict[str, int] = {
+            reason: 0 for reason in FALLBACK_REASONS
+        }
 
     # ------------------------------------------------------------------
 
@@ -83,23 +131,28 @@ class Executor:
         meters = Meterings()
         meters.needed = self._needed_columns(query)
         if isinstance(plan, InsertPlanNode):
-            self.interp_statements += 1
-            rows = self._interp.execute_insert(plan, query, meters)
+            rows = self._execute_insert(plan, query, meters)
         elif isinstance(plan, UpdatePlanNode):
-            self.interp_statements += 1
-            rows = self._interp.execute_update(plan, query, meters)
+            rows = self._execute_update(plan, query, meters)
         elif isinstance(plan, DeletePlanNode):
-            self.interp_statements += 1
-            rows = self._interp.execute_delete(plan, query, meters)
+            rows = self._execute_delete(plan, query, meters)
         else:
             rows = self._execute_select(plan, query, meters)
         metrics = self._finalize_metrics(meters, len(rows))
         return rows, metrics
 
+    def _fall_back(self, reason: str) -> None:
+        self.interp_statements += 1
+        self.fallback_counts[reason] += 1
+
+    # ------------------------------------------------------------------
+    # SELECT dispatch
+
     def _execute_select(
         self, plan: PlanNode, query, meters: Meterings
     ) -> List[RowDict]:
-        if self._choose_vector(plan):
+        use_vector, reason = self._classify_select(plan, query)
+        if use_vector:
             try:
                 rows, batch_rows = vector.run(
                     plan,
@@ -111,27 +164,94 @@ class Executor:
                 # Undo any partial charges; the interpreter re-runs the
                 # whole plan so the metrics stay path-independent.
                 meters.reset_counters()
+                reason = "runtime"
             else:
                 self.vector_statements += 1
                 self.batch_rows += batch_rows
                 return rows  # already in the final SELECT-list shape
-        self.interp_statements += 1
+        self._fall_back(reason)
         return self._project(list(self._interp.iterate(plan, meters)), query)
 
-    def _choose_vector(self, plan: PlanNode) -> bool:
+    def _classify_select(
+        self, plan: PlanNode, query
+    ) -> Tuple[bool, Optional[str]]:
+        """(vectorize?, fallback reason when not)."""
         mode = resolve_executor_mode(self._settings)
         if mode == "interp":
-            return False
+            return False, "mode"
         if not vector.supports(plan):
-            return False
+            if isinstance(query, SelectQuery) and query.index_hint:
+                return False, "hinted"
+            if any(isinstance(node, _JOIN_NODES) for node in plan.walk()):
+                return False, "join"
+            return False, "shape"
         if mode == "vector":
-            return True
-        scan = scan_leaf(plan)
-        table = self._tables.get(scan.table) if scan is not None else None
-        return (
-            table is not None
-            and table.row_count >= self._settings.vector_min_rows
-        )
+            return True, None
+        table_name = vector.gate_table(plan)
+        table = self._tables.get(table_name) if table_name else None
+        if table is None or table.row_count < self._settings.vector_min_rows:
+            return False, "threshold"
+        return True, None
+
+    # ------------------------------------------------------------------
+    # DML dispatch
+
+    def _dml_reason(self, row_estimate: float) -> Optional[str]:
+        """None when the batch maintenance path should be tried, else
+        the fallback reason.  ``row_estimate`` is exact for INSERT and
+        the optimizer's (deterministic) estimate for UPDATE/DELETE, so
+        both execution modes pick the same path for the same statement.
+        """
+        mode = resolve_executor_mode(self._settings)
+        if mode == "interp":
+            return "mode"
+        if mode == "auto" and row_estimate < self._settings.dml_batch_min_rows:
+            return "threshold"
+        return None
+
+    def _execute_insert(
+        self, plan: InsertPlanNode, query, meters: Meterings
+    ) -> List[RowDict]:
+        reason = self._dml_reason(len(query.rows))
+        if reason is None:
+            result = self._interp.execute_insert_batch(plan, query, meters)
+            if result is not None:
+                rows, batched = result
+                self.vector_statements += 1
+                self.batch_rows += batched
+                return rows
+            reason = "dml"
+        self._fall_back(reason)
+        return self._interp.execute_insert(plan, query, meters)
+
+    def _execute_update(
+        self, plan: UpdatePlanNode, query, meters: Meterings
+    ) -> List[RowDict]:
+        estimate = plan.child.est_rows if plan.child is not None else 0.0
+        reason = self._dml_reason(estimate)
+        if reason is None:
+            result = self._interp.execute_update_batch(plan, query, meters)
+            if result is not None:
+                rows, batched = result
+                self.vector_statements += 1
+                self.batch_rows += batched
+                return rows
+            reason = "dml"
+        self._fall_back(reason)
+        return self._interp.execute_update(plan, query, meters)
+
+    def _execute_delete(
+        self, plan: DeletePlanNode, query, meters: Meterings
+    ) -> List[RowDict]:
+        estimate = plan.child.est_rows if plan.child is not None else 0.0
+        reason = self._dml_reason(estimate)
+        if reason is None:
+            rows, batched = self._interp.execute_delete_batch(plan, query, meters)
+            self.vector_statements += 1
+            self.batch_rows += batched
+            return rows
+        self._fall_back(reason)
+        return self._interp.execute_delete(plan, query, meters)
 
     # ------------------------------------------------------------------
 

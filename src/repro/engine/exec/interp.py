@@ -18,7 +18,14 @@ import heapq
 import math
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from repro.engine.exec.metering import Meterings, sort_meter_rows
+from repro.engine.exec.metering import (
+    Meterings,
+    delete_meter_entries,
+    hash_join_meter_rows,
+    insert_meter_entries,
+    sort_meter_rows,
+    update_meter_entries,
+)
 from repro.engine.plans import (
     PARAM,
     ClusteredScanNode,
@@ -275,16 +282,25 @@ class InterpExecutor:
     ) -> Iterator[RowDict]:
         join = node.join
         build: Dict[object, List[RowDict]] = {}
+        built = 0
         for inner_row in self.iterate(node.inner, meters):
-            meters.hash_rows += 1
+            built += 1
             build.setdefault(inner_row.get(join.right_column), []).append(inner_row)
-        for outer_row in self.iterate(node.outer, meters):
-            meters.hash_rows += 1
-            value = outer_row.get(join.left_column)
-            if value is None:
-                continue
-            for inner_row in build.get(value, ()):
-                yield {**inner_row, **outer_row}
+        meters.hash_rows += hash_join_meter_rows(built)
+        probed = 0
+        try:
+            for outer_row in self.iterate(node.outer, meters):
+                probed += 1
+                value = outer_row.get(join.left_column)
+                if value is None:
+                    continue
+                for inner_row in build.get(value, ()):
+                    yield {**inner_row, **outer_row}
+        finally:
+            # Charged on close so an early-exiting consumer (TOP) still
+            # pays for exactly the outer rows it pulled — the same total
+            # the old per-row increment produced.
+            meters.hash_rows += hash_join_meter_rows(probed)
 
     # ------------------------------------------------------------------
     # DML
@@ -295,9 +311,32 @@ class InterpExecutor:
         table = self._table(plan.table)
         for row in query.rows:
             table.insert(row, meter=meters.page_meter)
-            meters.maintained_entries += 1 + len(table.indexes)
+            meters.maintained_entries += insert_meter_entries(1, len(table.indexes))
             meters.rows_processed += 1
         return []
+
+    def execute_insert_batch(
+        self, plan: InsertPlanNode, query: InsertQuery, meters: Meterings
+    ) -> Optional[Tuple[List[RowDict], int]]:
+        """Batched insert with per-index grouped maintenance.
+
+        Returns ``(rows, batched row count)``, or ``None`` when the
+        pre-checks (validation, duplicate keys) fail — the caller then
+        runs the row-at-a-time path, which mutates and raises exactly as
+        before, so error-path table state stays path-independent.  The
+        pre-checks use unmetered seeks, so declining the batch leaves no
+        charges behind.
+        """
+        table = self._table(plan.table)
+        prepared = table.prepare_insert_rows(query.rows)
+        if prepared is None:
+            return None
+        table.insert_rows(prepared, meter=meters.page_meter)
+        meters.maintained_entries += insert_meter_entries(
+            len(prepared), len(table.indexes)
+        )
+        meters.rows_processed += len(prepared)
+        return [], len(prepared)
 
     def _collect_target_rows(
         self, child: PlanNode, table: Table, meters: Meterings
@@ -320,9 +359,45 @@ class InterpExecutor:
         ]
         for row in targets:
             table.update_row(row, query.assignments, meter=meters.page_meter)
-            meters.maintained_entries += 1 + 2 * len(affected)
+            meters.maintained_entries += update_meter_entries(1, len(affected))
             meters.rows_processed += 1
         return []
+
+    def execute_update_batch(
+        self, plan: UpdatePlanNode, query: UpdateQuery, meters: Meterings
+    ) -> Optional[Tuple[List[RowDict], int]]:
+        """Batched update with per-index grouped maintenance.
+
+        Declines (returns ``None``) when an assignment targets a primary
+        key column or a value fails coercion up front: those paths can
+        raise mid-statement, and the row-at-a-time path must own them so
+        partial-mutation state is identical either way.  Target
+        collection through the child plan is shared with the row path,
+        so its charges are identical by construction.
+        """
+        table = self._table(plan.table)
+        if any(
+            column in table.schema.primary_key
+            for column in query.assigned_columns
+        ):
+            return None
+        try:
+            coerced = tuple(
+                (column, table.schema.column(column).sql_type.coerce(value))
+                for column, value in query.assignments
+            )
+        except Exception:
+            return None
+        targets = self._collect_target_rows(plan.child, table, meters)
+        affected = sum(
+            1
+            for index in table.indexes.values()
+            if index.touches_columns(query.assigned_columns)
+        )
+        table.update_rows(targets, coerced, meter=meters.page_meter)
+        meters.maintained_entries += update_meter_entries(len(targets), affected)
+        meters.rows_processed += len(targets)
+        return [], len(targets)
 
     def execute_delete(
         self, plan: DeletePlanNode, query: DeleteQuery, meters: Meterings
@@ -331,9 +406,26 @@ class InterpExecutor:
         targets = self._collect_target_rows(plan.child, table, meters)
         for row in targets:
             table.delete_row(row, meter=meters.page_meter)
-            meters.maintained_entries += 1 + len(table.indexes)
+            meters.maintained_entries += delete_meter_entries(1, len(table.indexes))
             meters.rows_processed += 1
         return []
+
+    def execute_delete_batch(
+        self, plan: DeletePlanNode, query: DeleteQuery, meters: Meterings
+    ) -> Tuple[List[RowDict], int]:
+        """Batched delete with per-index grouped maintenance.
+
+        Deletes cannot fail validation (targets were just read), so
+        there is no pre-check/decline step.
+        """
+        table = self._table(plan.table)
+        targets = self._collect_target_rows(plan.child, table, meters)
+        table.delete_rows(targets, meter=meters.page_meter)
+        meters.maintained_entries += delete_meter_entries(
+            len(targets), len(table.indexes)
+        )
+        meters.rows_processed += len(targets)
+        return [], len(targets)
 
 
 # ----------------------------------------------------------------------

@@ -73,6 +73,48 @@ class Meterings:
         return names, tuple(schema.position(name) for name in names)
 
 
+def hash_join_meter_rows(side_rows: int) -> int:
+    """Hash-work charge for one side of a hash join.
+
+    The interpreter charges one ``hash_rows`` unit per row it feeds the
+    build table and one per row it probes with; the batch path charges
+    the same totals for each side at once.  Rows are the *post-residual*
+    stream out of the side's access path, not the raw table rows.
+    """
+    return max(0, side_rows)
+
+
+def insert_meter_entries(rows: int, index_count: int) -> int:
+    """``maintained_entries`` charge for inserting ``rows`` rows.
+
+    Each row writes one clustered entry plus one entry per secondary
+    index.  Both the row-at-a-time and the batched maintenance path call
+    this one formula (with ``rows=1`` per row, or the batch total).
+    """
+    return rows * (1 + index_count)
+
+
+def delete_meter_entries(rows: int, index_count: int) -> int:
+    """``maintained_entries`` charge for deleting ``rows`` rows.
+
+    Symmetric with :func:`insert_meter_entries`: one clustered entry
+    plus one per secondary index, per row.
+    """
+    return rows * (1 + index_count)
+
+
+def update_meter_entries(rows: int, affected_index_count: int) -> int:
+    """``maintained_entries`` charge for updating ``rows`` target rows.
+
+    One clustered entry per row plus a delete+insert pair per *affected*
+    index — an index whose columns intersect the assignment list.  The
+    charge is per target row regardless of whether the assignment
+    actually changed the row (matching SQL Server, which still logs the
+    no-op row), while page charges apply only to genuinely changed rows.
+    """
+    return rows * (1 + 2 * affected_index_count)
+
+
 def sort_meter_rows(rows: int, limit: Optional[int] = None) -> int:
     """Sort-work charge for sorting ``rows`` input rows.
 

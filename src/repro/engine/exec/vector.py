@@ -1,10 +1,13 @@
-"""Vectorized batch operators for hot read-only plan shapes.
+"""Vectorized batch operators for hot plan shapes.
 
 The vector path executes a whole plan subtree as array operations over
 the columnar projection cache: predicate masks for clustered/index
-scans, rank-code grouping for stream/hash aggregates, ``np.lexsort`` for
-ORDER BY, and ``argpartition`` TOP-N selection.  Key lookups, seeks,
-joins, and DML stay on the interpreter.
+scans, a cached sorted equi-index for hash-join build sides probed with
+``np.searchsorted``, rank-code grouping for stream/hash aggregates,
+``np.lexsort`` for ORDER BY, and ``argpartition`` TOP-N selection.  Key
+lookups, seeks, and nested-loop joins stay on the interpreter (their
+metering is inherently lazy/per-binding); DML maintenance is batched
+separately in :mod:`repro.engine.exec.dispatch`.
 
 Two invariants keep it indistinguishable from the interpreter:
 
@@ -12,36 +15,49 @@ Two invariants keep it indistinguishable from the interpreter:
   tuples and reduced through the shared helpers in
   :mod:`repro.engine.exec.interp` (``aggregate_values`` etc.); NumPy
   decides only *which* rows, in *what order*, in *which group*.
-- **Metering**: the same charges land on the same counters — a full
-  scan charges ``height + leaf_pages - 1`` pages (what the B+ tree's
+- **Metering**: the same charges land on the same counters through the
+  shared formulas in :mod:`repro.engine.exec.metering` — a full scan
+  charges ``height + leaf_pages - 1`` pages (what the B+ tree's
   leftmost descent plus leaf hops would have metered), per-entry
-  ``rows_processed``, ``sort_meter_rows`` for sorts, and ``hash_rows``
-  only for hash aggregates.
+  ``rows_processed``, ``sort_meter_rows`` for sorts, ``hash_rows`` for
+  hash aggregates, and ``hash_join_meter_rows`` per hash-join side.
 
 Anything the path cannot reproduce exactly (NULL or parameterized
-predicate values, unsupported operators, columns outside a projection)
-raises :class:`VectorUnsupported` before any table state changes; the
-dispatcher resets the meters and re-runs the interpreter.
+predicate values, NaN join keys, unsupported operators, columns outside
+a projection) raises :class:`VectorUnsupported` before any table state
+changes; the dispatcher resets the meters and re-runs the interpreter.
 """
 
 from __future__ import annotations
 
+import operator
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.engine.exec.columns import Projection, VectorUnsupported
+from repro.engine.exec.columns import (
+    ColumnVector,
+    Projection,
+    VectorUnsupported,
+    contiguous_slice,
+    row_builder,
+)
 from repro.engine.exec.interp import (
     RowDict,
     aggregate_values,
     sort_rows_inplace,
     topn_rows,
 )
-from repro.engine.exec.metering import Meterings, sort_meter_rows
+from repro.engine.exec.metering import (
+    Meterings,
+    hash_join_meter_rows,
+    sort_meter_rows,
+)
 from repro.engine.plans import (
     PARAM,
     ClusteredScanNode,
     HashAggregateNode,
+    HashJoinNode,
     IndexScanNode,
     PlanNode,
     SortNode,
@@ -55,33 +71,71 @@ from repro.observability.profiling import count
 _AGG_NODES = (StreamAggregateNode, HashAggregateNode)
 _SCAN_NODES = (ClusteredScanNode, IndexScanNode)
 
+#: Largest integer magnitude float64 represents exactly; int/float join
+#: keys beyond it cannot be cast for comparison without losing equality.
+_EXACT_FLOAT_INT = 2 ** 53
 
-def supports(plan: PlanNode) -> bool:
-    """Structural check: can this plan shape run vectorized?
 
-    The supported grammar (leaves must be full scans):
+def _source_of(plan: PlanNode) -> Optional[PlanNode]:
+    """The source node under the supported operator chain, or None.
 
-    - ``Scan``
-    - ``[Top] -> Sort -> Scan``
-    - ``[Top] -> (Stream|Hash)Agg -> Scan``
-    - ``[Top] -> Sort -> (Stream|Hash)Agg -> Scan``
-
-    ``Top`` directly over a scan is excluded on purpose: the interpreter
-    stops pulling the scan after ``limit`` rows, so its early-exit page
-    and row charges depend on lazy consumption the batch path cannot
-    replicate.  Runtime obstacles (NULL predicate values, oversized
-    integers) are discovered later and raise ``VectorUnsupported``.
+    Strips ``[Top] -> [Sort] -> [Agg]`` and returns what remains.  A
+    ``Top`` directly over a lazy source (scan or join) returns None: the
+    interpreter stops pulling after ``limit`` rows, so its early-exit
+    page/row/hash charges depend on lazy consumption the batch path
+    cannot replicate.
     """
     node = plan
     if isinstance(node, TopNode):
         node = node.child
         if not isinstance(node, (SortNode,) + _AGG_NODES):
-            return False
+            return None
     if isinstance(node, SortNode):
         node = node.child
     if isinstance(node, _AGG_NODES):
         node = node.child
-    return isinstance(node, _SCAN_NODES)
+    return node
+
+
+def supports(plan: PlanNode) -> bool:
+    """Structural check: can this plan shape run vectorized?
+
+    The supported grammar (``Source`` is a full scan, or a hash join
+    whose build and probe sides are both full scans):
+
+    - ``Source``
+    - ``[Top] -> Sort -> Source``
+    - ``[Top] -> (Stream|Hash)Agg -> Source``
+    - ``[Top] -> Sort -> (Stream|Hash)Agg -> Source``
+
+    ``Top`` directly over a scan or join is excluded on purpose (see
+    :func:`_source_of`); nested-loop joins and seek-fed hash joins stay
+    interpreted.  Runtime obstacles (NULL predicate values, oversized
+    integers, NaN join keys) are discovered later and raise
+    ``VectorUnsupported``.
+    """
+    node = _source_of(plan)
+    if isinstance(node, _SCAN_NODES):
+        return True
+    return (
+        isinstance(node, HashJoinNode)
+        and isinstance(node.outer, _SCAN_NODES)
+        and isinstance(node.inner, _SCAN_NODES)
+    )
+
+
+def gate_table(plan: PlanNode) -> Optional[str]:
+    """The table whose row count gates auto-mode vectorization.
+
+    For scans this is the scanned table; for hash joins the probe
+    (outer) side, which dominates the work.
+    """
+    node = _source_of(plan)
+    if isinstance(node, _SCAN_NODES):
+        return node.table
+    if isinstance(node, HashJoinNode) and isinstance(node.outer, _SCAN_NODES):
+        return node.outer.table
+    return None
 
 
 def run(
@@ -93,7 +147,7 @@ def run(
     """Execute a supported plan; return (rows, batch row count).
 
     ``project_columns``, when given, is the query's final SELECT list:
-    scan and sort outputs are materialized directly in that shape
+    scan, join, and sort outputs are materialized directly in that shape
     (missing columns as ``None``), sparing the dispatcher's per-row
     re-projection.  Aggregate outputs ignore it — the aggregate
     operators already shape their rows, exactly as in the interpreter.
@@ -104,6 +158,166 @@ def run(
     runner = _Runner(tables, meters, project_columns)
     rows = runner.run(plan)
     return rows, runner.batch_rows
+
+
+class _ScanBatch:
+    """Filtered rows of one scanned tree, as projection positions.
+
+    ``selected`` holds the positions (in scan order) of rows passing the
+    node's residual predicates.  ``has`` mirrors the interpreter's row
+    dictionaries exactly: a column is visible only when it is in the
+    statement's needed set for this table *and* the projection carries
+    it (index projections carry only their entry layout).
+    """
+
+    __slots__ = ("table", "projection", "selected", "_carried", "_sel_list")
+
+    def __init__(
+        self,
+        table: Table,
+        projection: Projection,
+        selected: np.ndarray,
+        needed_names: Tuple[str, ...],
+    ) -> None:
+        self.table = table
+        self.projection = projection
+        self.selected = selected
+        #: Needed-set order, filtered to what this projection carries —
+        #: the key set (and order) of the interpreter's row dicts.
+        self._carried = tuple(
+            name for name in needed_names if projection.has(name)
+        )
+        self._sel_list: Optional[List[int]] = None
+
+    @property
+    def count(self) -> int:
+        return len(self.selected)
+
+    def has(self, column: str) -> bool:
+        return column in self._carried
+
+    def output_names(self) -> Tuple[str, ...]:
+        return self._carried
+
+    def codes(self, column: str) -> np.ndarray:
+        return self.projection.vector(column).codes()[self.selected]
+
+    def values_at(self, column: str, positions: List[int]) -> List[object]:
+        raw = self.projection.raw_column(column)
+        if self._sel_list is None:
+            self._sel_list = self.selected.tolist()
+        sel = self._sel_list
+        return [raw[sel[p]] for p in positions]
+
+    def materialize(
+        self,
+        order: Optional[np.ndarray],
+        names: Tuple[str, ...],
+        missing_as_none: bool = False,
+    ) -> List[RowDict]:
+        indices = self.selected if order is None else self.selected[order]
+        return self.projection.materialize(indices, names, missing_as_none)
+
+
+class _JoinBatch:
+    """Matched row pairs of a hash join, as per-side projection positions.
+
+    Column resolution mirrors the interpreter's merged dictionary
+    ``{**inner_row, **outer_row}``: the outer (probe) side wins name
+    collisions, the inner (build) side fills the rest, and columns
+    carried by neither side read as missing.
+    """
+
+    __slots__ = ("outer", "inner", "outer_pos", "inner_pos", "_pos_lists")
+
+    def __init__(
+        self,
+        outer: _ScanBatch,
+        inner: _ScanBatch,
+        outer_pos: np.ndarray,
+        inner_pos: np.ndarray,
+    ) -> None:
+        self.outer = outer
+        self.inner = inner
+        self.outer_pos = outer_pos
+        self.inner_pos = inner_pos
+        self._pos_lists: Dict[bool, List[int]] = {}
+
+    @property
+    def count(self) -> int:
+        return len(self.outer_pos)
+
+    def has(self, column: str) -> bool:
+        return self.outer.has(column) or self.inner.has(column)
+
+    def _side(self, column: str) -> Tuple[_ScanBatch, np.ndarray, bool]:
+        if self.outer.has(column):
+            return self.outer, self.outer_pos, True
+        return self.inner, self.inner_pos, False
+
+    def output_names(self) -> Tuple[str, ...]:
+        """Merged-dict key order: inner carried names, then outer ones."""
+        names = dict.fromkeys(self.inner.output_names())
+        for name in self.outer.output_names():
+            names.setdefault(name)
+        return tuple(names)
+
+    def codes(self, column: str) -> np.ndarray:
+        side, pos, _is_outer = self._side(column)
+        return side.projection.vector(column).codes()[pos]
+
+    def values_at(self, column: str, positions: List[int]) -> List[object]:
+        side, pos, is_outer = self._side(column)
+        raw = side.projection.raw_column(column)
+        take = self._pos_lists.get(is_outer)
+        if take is None:
+            take = self._pos_lists[is_outer] = pos.tolist()
+        return [raw[take[p]] for p in positions]
+
+    def materialize(
+        self,
+        order: Optional[np.ndarray],
+        names: Tuple[str, ...],
+        missing_as_none: bool = False,
+    ) -> List[RowDict]:
+        if not missing_as_none:
+            names = tuple(name for name in names if self.has(name))
+        outer_idx = self.outer_pos if order is None else self.outer_pos[order]
+        inner_idx = self.inner_pos if order is None else self.inner_pos[order]
+        n = len(outer_idx)
+        if n == 0:
+            return []
+        if not names:
+            return [{} for _ in range(n)]
+        pickers: Dict[bool, object] = {}
+
+        def gather(raw: List[object], positions: np.ndarray, is_outer: bool):
+            pick = pickers.get(is_outer)
+            if pick is None:
+                span = contiguous_slice(positions)
+                if span is not None:
+                    pick = span
+                elif n > 1:
+                    pick = operator.itemgetter(*positions.tolist())
+                else:
+                    pick = operator.itemgetter(int(positions[0]))
+                pickers[is_outer] = pick
+            if type(pick) is tuple:
+                return raw[pick[0]:pick[1]]
+            cells = pick(raw)
+            return cells if n > 1 else (cells,)
+
+        gathered = []
+        for name in names:
+            if self.outer.has(name):
+                raw = self.outer.projection.raw_column(name)
+                gathered.append(gather(raw, outer_idx, True))
+            elif self.inner.has(name):
+                raw = self.inner.projection.raw_column(name)
+                gathered.append(gather(raw, inner_idx, False))
+            else:
+                gathered.append((None,) * n)
+        return row_builder(names)(gathered)
 
 
 class _Runner:
@@ -127,24 +341,31 @@ class _Runner:
         if isinstance(node, TopNode):
             limit = node.limit
             node = node.child
+            if not isinstance(node, (SortNode,) + _AGG_NODES):
+                # Top over a lazy scan/join must keep early-exit metering.
+                raise VectorUnsupported("TOP over a lazy source stays interpreted")
         if isinstance(node, SortNode):
             if isinstance(node.child, _AGG_NODES):
-                rows = self._run_aggregate(node.child)
+                rows = self._run_aggregate(
+                    self._source_batch(node.child.child), node.child
+                )
                 return self._sort_dict_rows(rows, node.order_by, limit)
-            return self._run_scan_sort(node, limit)
+            return self._run_sort(self._source_batch(node.child), node, limit)
         if isinstance(node, _AGG_NODES):
-            rows = self._run_aggregate(node)
+            rows = self._run_aggregate(self._source_batch(node.child), node)
             return rows if limit is None else rows[:limit]
+        return self._materialize_batch(self._source_batch(node))
+
+    def _source_batch(self, node: PlanNode):
         if isinstance(node, _SCAN_NODES):
-            if limit is not None:
-                # Top over a lazy scan must keep early-exit metering.
-                raise VectorUnsupported("TOP over a bare scan stays interpreted")
-            return self._run_scan(node)
+            return self._scan_batch(node)
+        if isinstance(node, HashJoinNode):
+            return self._run_join(node)
         raise VectorUnsupported(f"unsupported node {type(node).__name__}")
 
     # -- scans ----------------------------------------------------------
 
-    def _scan_batch(self, node) -> Tuple[Table, Projection, np.ndarray]:
+    def _scan_batch(self, node) -> _ScanBatch:
         table = self._tables.get(node.table)
         if table is None:
             raise VectorUnsupported(f"unknown table {node.table!r}")
@@ -153,6 +374,9 @@ class _Runner:
             projection = table.columnar().projection(node.index_name)
         else:
             projection = table.columnar().projection(None)
+        # Raises on unknown needed columns exactly as the interpreter's
+        # per-scan columns_for call does.
+        names, _positions = self._meters.columns_for(table)
         # Build every predicate mask before charging: a VectorUnsupported
         # after this point would leak partial meters into the fallback.
         masks = [
@@ -170,7 +394,7 @@ class _Runner:
             selected = np.flatnonzero(mask)
         else:
             selected = np.arange(projection.row_count, dtype=np.int64)
-        return table, projection, selected
+        return _ScanBatch(table, projection, selected, names)
 
     def _mask(
         self, projection: Projection, predicate, schema
@@ -207,45 +431,98 @@ class _Runner:
             return (values >= value) & (values <= value2) & valid
         raise VectorUnsupported(f"unsupported operator {op}")
 
-    def _materialize(
-        self, table: Table, projection: Projection, selected: np.ndarray
-    ) -> List[RowDict]:
-        if self._project_columns is not None:
-            for name in self._project_columns:
-                if not projection.has(name):
-                    # Unknown columns must raise exactly as the
-                    # interpreter's columns_for does; known-but-absent
-                    # ones (non-covering projections) become None.
-                    table.schema.position(name)
-            return projection.materialize(
-                selected, self._project_columns, missing_as_none=True
-            )
-        names, _positions = self._meters.columns_for(table)
-        return projection.materialize(selected, names)
+    # -- hash join ------------------------------------------------------
 
-    def _run_scan(self, node) -> List[RowDict]:
-        table, projection, selected = self._scan_batch(node)
-        return self._materialize(table, projection, selected)
+    def _run_join(self, node: HashJoinNode) -> _JoinBatch:
+        join = node.join
+        # Build (inner) side first, probe (outer) second — the
+        # interpreter's consumption order, so error surfacing matches.
+        inner = self._scan_batch(node.inner)
+        outer = self._scan_batch(node.outer)
+        # One hash charge per post-residual row on each side, exactly
+        # what the interpreter's per-row build/probe increments total.
+        self._meters.hash_rows += hash_join_meter_rows(inner.count)
+        self._meters.hash_rows += hash_join_meter_rows(outer.count)
+        empty = np.empty(0, dtype=np.int64)
+        if (
+            inner.count == 0
+            or outer.count == 0
+            or not inner.has(join.right_column)
+            or not outer.has(join.left_column)
+        ):
+            # A key column missing from a side reads as NULL on every
+            # row there, and NULL never matches — output is empty while
+            # scan/hash charges stand, as in the interpreter.
+            return _JoinBatch(outer, inner, empty, empty)
+        outer_vec = outer.projection.vector(join.left_column)
+        inner_vec = inner.projection.vector(join.right_column)
+        valid_probe = ~outer_vec.nulls[outer.selected]
+        probe_pos = outer.selected[valid_probe]
+        if probe_pos.size == 0:
+            return _JoinBatch(outer, inner, empty, empty)
+        reconciled = _join_key_arrays(outer_vec.values[probe_pos], inner_vec)
+        if reconciled is None:
+            # Incomparable key domains (string vs numeric): Python
+            # equality never matches across them.
+            return _JoinBatch(outer, inner, empty, empty)
+        probe_vals, sorted_vals, order = reconciled
+        if sorted_vals.size and bool(
+            (sorted_vals[1:] != sorted_vals[:-1]).all()
+        ):
+            # Unique build keys (the common FK-join shape): each probe
+            # matches at most one build row, so one searchsorted plus an
+            # equality check replaces the lo/hi range expansion.  Output
+            # pairs are identical to the generic path's: probe-major
+            # order with every count in {0, 1}.
+            slot = np.searchsorted(sorted_vals, probe_vals, side="left")
+            slot = np.minimum(slot, sorted_vals.size - 1)
+            matched = sorted_vals[slot] == probe_vals
+            outer_pos = probe_pos[matched]
+            inner_pos = order[slot[matched]]
+        else:
+            lo = np.searchsorted(sorted_vals, probe_vals, side="left")
+            hi = np.searchsorted(sorted_vals, probe_vals, side="right")
+            outer_pos, inner_pos = _expand_matches(probe_pos, lo, hi, order)
+        if inner.count != inner.projection.row_count:
+            # Build-side residuals: keep only matches into selected rows.
+            build_mask = np.zeros(inner.projection.row_count, dtype=bool)
+            build_mask[inner.selected] = True
+            keep = build_mask[inner_pos]
+            outer_pos, inner_pos = outer_pos[keep], inner_pos[keep]
+        return _JoinBatch(outer, inner, outer_pos, inner_pos)
+
+    # -- materialization ------------------------------------------------
+
+    def _materialize_batch(self, batch, order: Optional[np.ndarray] = None):
+        if self._project_columns is not None:
+            if isinstance(batch, _ScanBatch):
+                for name in self._project_columns:
+                    if not batch.projection.has(name):
+                        # Unknown columns must raise exactly as the
+                        # interpreter's columns_for does; known-but-absent
+                        # ones (non-covering projections) become None.
+                        batch.table.schema.position(name)
+            return batch.materialize(
+                order, self._project_columns, missing_as_none=True
+            )
+        return batch.materialize(order, batch.output_names())
 
     # -- sort / TOP-N ---------------------------------------------------
 
-    def _run_scan_sort(
-        self, node: SortNode, limit: Optional[int]
-    ) -> List[RowDict]:
-        table, projection, selected = self._scan_batch(node.child)
-        n = len(selected)
+    def _run_sort(self, batch, node: SortNode, limit: Optional[int]):
+        n = batch.count
         self._meters.sort_rows += sort_meter_rows(n, limit)
         keys = []
         for item in node.order_by:
-            if projection.has(item.column):
-                codes = projection.vector(item.column).codes()[selected]
+            if batch.has(item.column):
+                codes = batch.codes(item.column)
             else:
                 # The interpreter keys a missing column as NULL for every
                 # row: a constant key, i.e. a stable no-op pass.
                 codes = np.zeros(n, dtype=np.int64)
             keys.append(codes if item.ascending else -codes)
         order = _ordering(keys, n, limit)
-        return self._materialize(table, projection, selected[order])
+        return self._materialize_batch(batch, order)
 
     def _sort_dict_rows(
         self, rows: List[RowDict], order_by, limit: Optional[int]
@@ -259,89 +536,141 @@ class _Runner:
 
     # -- aggregation ----------------------------------------------------
 
-    def _run_aggregate(self, node) -> List[RowDict]:
-        table, projection, selected = self._scan_batch(node.child)
-        n = len(selected)
+    def _run_aggregate(self, batch, node) -> List[RowDict]:
+        n = batch.count
         group_by = node.group_by
         for column in group_by:
-            if not projection.has(column):
+            if not batch.has(column):
                 # Interpreter raises KeyError building the group key.
                 raise VectorUnsupported(f"group column {column!r} missing")
         if isinstance(node, HashAggregateNode):
             self._meters.hash_rows += n
         if not group_by:
-            groups = [selected] if n else [np.empty(0, dtype=np.int64)]
+            members = np.arange(n, dtype=np.int64)
+            groups = [members]
         elif n == 0:
             groups = []
         else:
-            groups = self._group_members(projection, group_by, selected)
+            groups = _group_members(
+                [batch.codes(column) for column in group_by], n
+            )
         out_rows: List[RowDict] = []
-        raw_columns: Dict[str, List[object]] = {}
-        for column in group_by:
-            raw_columns[column] = projection.raw_column(column)
-        for aggregate in node.aggregates:
-            column = aggregate.column
-            if column is not None and column not in raw_columns:
-                # Missing aggregate columns read as NULL in the
-                # interpreter (row.get), yielding COUNT 0 / None.
-                raw_columns[column] = (
-                    projection.raw_column(column)
-                    if projection.has(column)
-                    else []
-                )
+        agg_present = {
+            aggregate.column: batch.has(aggregate.column)
+            for aggregate in node.aggregates
+            if aggregate.column is not None
+        }
         for members in groups:
             positions = members.tolist()
             out: RowDict = {}
             if positions:
-                first = positions[0]
+                first = [positions[0]]
                 for column in group_by:
-                    out[column] = raw_columns[column][first]
+                    out[column] = batch.values_at(column, first)[0]
             for aggregate in node.aggregates:
-                if aggregate.column is None:
+                column = aggregate.column
+                if column is None or not agg_present[column]:
+                    # Missing aggregate columns read as NULL in the
+                    # interpreter (row.get), yielding COUNT 0 / None.
                     out[aggregate.label()] = aggregate_values(
                         aggregate, [], len(positions)
                     )
                     continue
-                raw = raw_columns[aggregate.column]
-                if raw:
-                    values = [raw[i] for i in positions]
-                    values = [v for v in values if v is not None]
-                else:
-                    values = []
+                values = [
+                    v
+                    for v in batch.values_at(column, positions)
+                    if v is not None
+                ]
                 out[aggregate.label()] = aggregate_values(
                     aggregate, values, len(positions)
                 )
             out_rows.append(out)
         return out_rows
 
-    def _group_members(
-        self, projection: Projection, group_by, selected: np.ndarray
-    ) -> List[np.ndarray]:
-        """Member index arrays per group, groups in first-appearance
-        order and members in input order — the dict-insertion order the
-        interpreter produces."""
-        n = len(selected)
-        code_columns = [
-            projection.vector(column).codes()[selected] for column in group_by
-        ]
-        if len(code_columns) == 1:
-            _uniq, inverse = np.unique(code_columns[0], return_inverse=True)
-        else:
-            stacked = np.stack(code_columns, axis=1)
-            _uniq, inverse = np.unique(
-                stacked, axis=0, return_inverse=True
-            )
-        inverse = inverse.reshape(n)
-        group_count = int(inverse.max()) + 1
-        first_seen = np.full(group_count, n, dtype=np.int64)
-        np.minimum.at(first_seen, inverse, np.arange(n, dtype=np.int64))
-        appearance = np.argsort(first_seen, kind="stable")
-        by_input = np.argsort(inverse, kind="stable")
-        ordered_gids = inverse[by_input]
-        boundaries = np.flatnonzero(np.diff(ordered_gids)) + 1
-        chunks = np.split(by_input, boundaries)
-        members_by_gid = {int(inverse[c[0]]): c for c in chunks}
-        return [selected[members_by_gid[int(g)]] for g in appearance]
+
+# ----------------------------------------------------------------------
+# Join key matching
+
+
+def _join_key_arrays(
+    probe_vals: np.ndarray, inner_vec: ColumnVector
+) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Comparable (probe values, sorted build values, build order).
+
+    Reconciles the two sides' array dtypes under Python `==` semantics:
+    same-kind arrays compare directly; int64 vs float64 casts the int
+    side to float64 (exact below 2**53, else fall back — the
+    interpreter's dict handles it fine); string vs numeric never match.
+    NaN keys fall back: NaN equality is identity-dependent in a dict.
+    """
+    order, sorted_vals = inner_vec.equi_index()
+    pk, bk = probe_vals.dtype.kind, sorted_vals.dtype.kind
+    if pk == "f" and np.isnan(probe_vals).any():
+        raise VectorUnsupported("NaN join key")
+    if bk == "f" and np.isnan(sorted_vals).any():
+        raise VectorUnsupported("NaN join key")
+    if pk == bk:
+        return probe_vals, sorted_vals, order
+    if pk in "if" and bk in "if":
+        if pk == "i":
+            if probe_vals.size and int(np.abs(probe_vals).max()) > _EXACT_FLOAT_INT:
+                raise VectorUnsupported("join key beyond exact float range")
+            return probe_vals.astype(np.float64), sorted_vals, order
+        if sorted_vals.size and int(np.abs(sorted_vals).max()) > _EXACT_FLOAT_INT:
+            raise VectorUnsupported("join key beyond exact float range")
+        # Exact int -> float cast preserves sortedness.
+        return probe_vals, sorted_vals.astype(np.float64), order
+    return None
+
+
+def _expand_matches(
+    probe_pos: np.ndarray, lo: np.ndarray, hi: np.ndarray, order: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Expand per-probe match ranges into aligned position pairs.
+
+    Output order is probe-major (outer scan order) with each probe's
+    matches in build scan order — exactly the interpreter's loop
+    nesting over its build dict's per-key lists.
+    """
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    starts = np.repeat(lo, counts)
+    ends = np.cumsum(counts)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
+    inner_pos = order[starts + offsets]
+    outer_pos = np.repeat(probe_pos, counts)
+    return outer_pos, inner_pos
+
+
+# ----------------------------------------------------------------------
+# Grouping and ordering
+
+
+def _group_members(
+    code_columns: List[np.ndarray], n: int
+) -> List[np.ndarray]:
+    """Member batch-position arrays per group, groups in first-appearance
+    order and members in input order — the dict-insertion order the
+    interpreter produces."""
+    if len(code_columns) == 1:
+        _uniq, inverse = np.unique(code_columns[0], return_inverse=True)
+    else:
+        stacked = np.stack(code_columns, axis=1)
+        _uniq, inverse = np.unique(stacked, axis=0, return_inverse=True)
+    inverse = inverse.reshape(n)
+    group_count = int(inverse.max()) + 1
+    first_seen = np.full(group_count, n, dtype=np.int64)
+    np.minimum.at(first_seen, inverse, np.arange(n, dtype=np.int64))
+    appearance = np.argsort(first_seen, kind="stable")
+    by_input = np.argsort(inverse, kind="stable")
+    ordered_gids = inverse[by_input]
+    boundaries = np.flatnonzero(np.diff(ordered_gids)) + 1
+    chunks = np.split(by_input, boundaries)
+    members_by_gid = {int(inverse[c[0]]): c for c in chunks}
+    return [members_by_gid[int(g)] for g in appearance]
 
 
 def _ordering(

@@ -282,6 +282,140 @@ class Table:
                     meter.charge(2)
         return new_row
 
+    # ------------------------------------------------------------------
+    # Batched DML (metered; grouped per-index maintenance)
+    #
+    # The batch paths apply the *same per-tree operation sequence* as the
+    # row-at-a-time methods above — clustered ops in row order, then each
+    # secondary index's ops in row order — so tree structure, page
+    # charges, and ``data_version`` are byte-identical to a row loop.
+    # Only the interleaving across trees changes, which no counter or
+    # structure observes.  See DESIGN.md §8.
+
+    def prepare_insert_rows(
+        self, rows: Iterable[Sequence[object]]
+    ) -> Optional[List[tuple]]:
+        """Validate a batch for :meth:`insert_rows`; ``None`` to decline.
+
+        Checks every row's schema validation and primary-key uniqueness
+        (against the table and within the batch) with unmetered seeks.
+        Any failure declines the batch so the caller can fall back to
+        row-at-a-time inserts, which mutate-then-raise exactly as a
+        plain loop over :meth:`insert` would.
+        """
+        prepared: List[tuple] = []
+        seen_keys = set()
+        for row in rows:
+            try:
+                validated = self.schema.validate_row(row)
+            except Exception:
+                return None
+            pk = self.schema.pk_values(validated)
+            if pk in seen_keys:
+                return None
+            if next(self.clustered.seek_prefix(pk), None) is not None:
+                return None
+            seen_keys.add(pk)
+            prepared.append(validated)
+        return prepared
+
+    def insert_rows(
+        self, rows: List[tuple], meter: Optional[PageMeter] = None
+    ) -> None:
+        """Insert pre-validated rows (see :meth:`prepare_insert_rows`),
+        maintaining each secondary index as one grouped pass."""
+        clustered = self.clustered
+        pk_values = self.schema.pk_values
+        pages = 0
+        for row in rows:
+            clustered.insert(pk_values(row), row)
+            # Post-insert height, as the row path charges after inserting.
+            pages += clustered.height + 2
+        self.data_version += len(rows)
+        for index in self.indexes.values():
+            entry_for_row = index.entry_for_row
+            tree_insert = index.tree.insert
+            for row in rows:
+                key, payload = entry_for_row(row)
+                tree_insert(key, payload)
+            pages += len(rows)
+        if meter is not None and pages:
+            meter.charge(pages)
+
+    def delete_rows(
+        self, rows: List[tuple], meter: Optional[PageMeter] = None
+    ) -> None:
+        """Delete rows, maintaining each secondary index as one grouped
+        pass."""
+        clustered = self.clustered
+        pk_values = self.schema.pk_values
+        pages = 0
+        for row in rows:
+            pk = pk_values(row)
+            if not clustered.delete(pk):
+                raise ExecutionError(
+                    f"row with pk {pk!r} vanished during delete"
+                )
+            pages += clustered.height + 2
+        self.data_version += len(rows)
+        for index in self.indexes.values():
+            entry_for_row = index.entry_for_row
+            tree_delete = index.tree.delete
+            for row in rows:
+                key, payload = entry_for_row(row)
+                tree_delete(key, payload)
+            pages += len(rows)
+        if meter is not None and pages:
+            meter.charge(pages)
+
+    def update_rows(
+        self,
+        old_rows: List[tuple],
+        coerced_assignments: Sequence[Tuple[str, object]],
+        meter: Optional[PageMeter] = None,
+    ) -> None:
+        """Apply pre-coerced assignments to rows, grouping maintenance.
+
+        Assignments must not touch primary-key columns (the caller
+        declines those batches) and values must already be coerced to
+        their column types, so no per-row code path can raise mid-batch.
+        Rows the assignments leave unchanged are skipped entirely, as in
+        :meth:`update_row`.
+        """
+        positions = [
+            (self.schema.position(column), value)
+            for column, value in coerced_assignments
+        ]
+        columns = [column for column, _value in coerced_assignments]
+        changes: List[Tuple[tuple, tuple, List[str]]] = []
+        for old_row in old_rows:
+            new_values = list(old_row)
+            changed_columns = []
+            for (position, value), column in zip(positions, columns):
+                if new_values[position] != value:
+                    changed_columns.append(column)
+                new_values[position] = value
+            if changed_columns:
+                changes.append((old_row, tuple(new_values), changed_columns))
+        clustered = self.clustered
+        pk_values = self.schema.pk_values
+        pages = 0
+        for old_row, new_row, _changed in changes:
+            pk = pk_values(old_row)
+            clustered.delete(pk)
+            clustered.insert(pk, new_row)
+            pages += clustered.height + 2
+        self.data_version += len(changes)
+        for index in self.indexes.values():
+            touches = index.touches_columns
+            for old_row, new_row, changed_columns in changes:
+                if touches(changed_columns):
+                    index.delete_row(old_row)
+                    index.insert_row(new_row)
+                    pages += 2
+        if meter is not None and pages:
+            meter.charge(pages)
+
     def fetch_by_pk(self, pk: tuple, meter: Optional[PageMeter] = None) -> Optional[tuple]:
         """Key lookup: fetch a full row through the clustered index."""
         for _key, row in self.clustered.seek_prefix(pk, meter=meter):

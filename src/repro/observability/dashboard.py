@@ -190,6 +190,25 @@ def render_dashboard(
             f"  statements:      {int(dispatched)} "
             f"(vectorized {vector_share:.1%}, batch rows {int(batch_rows)})"
         )
+        # Imported lazily: the engine's btree counts pages through
+        # observability.profiling, so this package must not import the
+        # engine at module level.
+        from repro.engine.exec.dispatch import (
+            FALLBACK_GAUGES,
+            FALLBACK_REASONS,
+        )
+
+        fallback_parts = []
+        for reason in FALLBACK_REASONS:
+            count = registry.total(  # observability-names: allow-dynamic
+                FALLBACK_GAUGES[reason]
+            )
+            if count:
+                fallback_parts.append(f"{reason} {int(count)}")
+        if fallback_parts:
+            lines.append(
+                "  fallbacks:       " + ", ".join(fallback_parts)
+            )
         if cache_lookups:
             cache_hit_rate = cache_hits / cache_lookups
             lines.append(

@@ -12,6 +12,7 @@ from repro.engine import (
     DeleteQuery,
     IndexDefinition,
     InsertQuery,
+    JoinSpec,
     Op,
     Predicate,
     SelectQuery,
@@ -145,6 +146,81 @@ class TestNoStaleReadsThroughExecution:
         )
         assert eng.execute(count).rows == []
         assert eng.executor.vector_statements >= 3
+
+    def test_join_build_side_invalidates_on_right_table_dml(self):
+        """A vectorized join caches its hash-build side inside the
+        *right* table's columnar cache, so right-table DML must refresh
+        the next probe — the regression here would be a stale build
+        serving matches for deleted/updated dim rows."""
+        eng = perfect_engine(seed=31)
+        eng.settings.execution.executor_mode = "vector"
+        probe = SelectQuery(
+            "orders",
+            ("o_id",),
+            (Predicate("o_cust", Op.EQ, 7),),
+            join=JoinSpec(
+                "customers",
+                left_column="o_cust",
+                right_column="c_id",
+                select_columns=("c_region",),
+            ),
+        )
+        customers = eng.database.table("customers")
+        before = eng.execute(probe).rows
+        assert before  # customer 7 exists and has orders
+        baseline_region = before[0]["c_region"]
+        statements_before = eng.executor.vector_statements
+
+        # UPDATE on the right table: every probe row must see the new
+        # attribute value, not the cached build side's old one.
+        eng.execute(
+            UpdateQuery(
+                "customers",
+                (("c_region", baseline_region + 100),),
+                (Predicate("c_id", Op.EQ, 7),),
+            )
+        )
+        after_update = eng.execute(probe).rows
+        assert len(after_update) == len(before)
+        assert all(r["c_region"] == baseline_region + 100 for r in after_update)
+        assert customers.columnar().invalidations >= 1
+
+        # DELETE on the right table: the key must stop matching even
+        # though the probe (orders) table never changed.
+        eng.execute(
+            DeleteQuery("customers", (Predicate("c_id", Op.EQ, 7),))
+        )
+        assert eng.execute(probe).rows == []
+
+        # Right-table DDL moves schema_version; still no stale build.
+        eng.create_index(
+            IndexDefinition("ix_creg", "customers", ("c_region",))
+        )
+        assert eng.execute(probe).rows == []
+        # The joins above all took the vectorized path (not fallbacks).
+        assert eng.executor.vector_statements >= statements_before + 3
+
+    def test_join_build_side_reused_when_right_table_unchanged(self):
+        eng = perfect_engine(seed=31)
+        eng.settings.execution.executor_mode = "vector"
+        query = SelectQuery(
+            "orders",
+            ("o_id",),
+            (Predicate("o_status", Op.EQ, 1),),
+            join=JoinSpec(
+                "customers", left_column="o_cust", right_column="c_id"
+            ),
+        )
+        first = eng.execute(query).rows
+        customers = eng.database.table("customers")
+        projection = customers.columnar().projection()
+        equi = projection.vector("c_id").equi_index()
+        second = eng.execute(query).rows
+        assert second == first
+        # Same projection object, same cached equi-index: nothing rebuilt.
+        assert customers.columnar().projection() is projection
+        assert projection.vector("c_id").equi_index() is equi
+        assert customers.columnar().invalidations == 0
 
     def test_stats_monotone_and_summed(self):
         eng = perfect_engine(seed=31)

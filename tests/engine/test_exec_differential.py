@@ -16,7 +16,15 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.engine import Op, OrderItem, Predicate, SelectQuery
-from repro.engine.query import Aggregate, AggFunc
+from repro.engine.query import (
+    Aggregate,
+    AggFunc,
+    DeleteQuery,
+    InsertQuery,
+    JoinSpec,
+    UpdateQuery,
+)
+from repro.errors import ExecutionError
 from tests.engine.test_optimizer import perfect_engine
 
 COLUMNS = {
@@ -153,3 +161,375 @@ def test_vector_path_was_exercised(engine_pair):
     vector.execute(query)
     assert vector.executor.vector_statements > 0
     assert interp.executor.vector_statements == 0
+
+
+# ----------------------------------------------------------------------
+# Joins and DML
+#
+# A second fixture pair with data the single-table suite cannot produce:
+# NULL join keys on both sides, duplicate keys (one-to-many fan-out),
+# key ranges that miss entirely (empty build side), and a secondary
+# index on the dim key so the optimizer sometimes picks a nested-loop
+# join over the hash join.  The DML table carries two secondary indexes
+# so batched maintenance totals have something to get wrong.
+
+
+def _joined_engine(seed: int):
+    import numpy as np
+
+    from repro.engine import (
+        Column,
+        Database,
+        IndexDefinition,
+        SqlEngine,
+        SqlType,
+        TableSchema,
+    )
+    from repro.engine.cost_model import CostModelSettings
+    from repro.engine.engine import EngineSettings
+
+    db = Database("joined", seed=seed)
+    fact = db.create_table(
+        TableSchema(
+            "f",
+            [
+                Column("f_id", SqlType.BIGINT, nullable=False),
+                Column("f_key", SqlType.INT),
+                Column("f_val", SqlType.FLOAT),
+                Column("f_note", SqlType.TEXT),
+            ],
+            primary_key=["f_id"],
+        )
+    )
+    dim = db.create_table(
+        TableSchema(
+            "d",
+            [
+                Column("d_id", SqlType.INT, nullable=False),
+                Column("d_key", SqlType.INT),
+                Column("d_num", SqlType.INT),
+                Column("d_cat", SqlType.TEXT),
+            ],
+            primary_key=["d_id"],
+        )
+    )
+    work = db.create_table(
+        TableSchema(
+            "w",
+            [
+                Column("w_id", SqlType.INT, nullable=False),
+                Column("w_a", SqlType.INT),
+                Column("w_b", SqlType.FLOAT),
+                Column("w_c", SqlType.TEXT),
+            ],
+            primary_key=["w_id"],
+        )
+    )
+    rng = np.random.default_rng(77)
+    for i in range(900):
+        key = None if rng.random() < 0.08 else int(rng.integers(0, 40))
+        fact.insert((i, key, float(rng.random() * 100), f"n-{i % 13}"))
+    for i in range(120):
+        # Keys 0..29 overlap the fact side (with duplicates); 50..59 miss.
+        key = None if rng.random() < 0.1 else int(
+            rng.integers(0, 30) if rng.random() < 0.8 else rng.integers(50, 60)
+        )
+        dim.insert((i, key, int(rng.integers(0, 8)), f"c-{i % 7}"))
+    dim.create_index(IndexDefinition("ix_d_key", "d", ("d_key",)))
+    for i in range(300):
+        work.insert(
+            (
+                i,
+                None if rng.random() < 0.1 else int(rng.integers(0, 25)),
+                None if rng.random() < 0.1 else float(rng.random() * 50),
+                f"w-{i % 11}",
+            )
+        )
+    work.create_index(IndexDefinition("ix_w_a", "w", ("w_a",)))
+    work.create_index(
+        IndexDefinition("ix_w_b", "w", ("w_b",), included_columns=("w_c",))
+    )
+    settings = EngineSettings(
+        cost_model=CostModelSettings(error_sigma=0.0, severe_error_rate=0.0)
+    )
+    settings.execution.noise_sigma = 0.05
+    eng = SqlEngine(db, settings=settings)
+    eng.build_all_statistics()
+    return eng
+
+
+@pytest.fixture(scope="module")
+def joined_pair():
+    interp = _joined_engine(seed=91)
+    vector = _joined_engine(seed=91)
+    interp.settings.execution.executor_mode = "interp"
+    vector.settings.execution.executor_mode = "vector"
+    return interp, vector
+
+
+F_COLUMNS = sorted(["f_id", "f_key", "f_val", "f_note"])
+D_COLUMNS = sorted(["d_id", "d_key", "d_num", "d_cat"])
+
+D_VALUES = {
+    "d_id": st.integers(0, 125),
+    "d_key": st.integers(-5, 62),
+    "d_num": st.integers(-5, 9),
+    "d_cat": st.sampled_from([f"c-{i}" for i in range(9)]),
+}
+F_VALUES = {
+    "f_id": st.integers(0, 950),
+    "f_key": st.integers(-5, 62),
+    "f_val": st.floats(0, 110, allow_nan=False),
+    "f_note": st.sampled_from([f"n-{i}" for i in range(15)]),
+}
+
+
+@st.composite
+def side_predicates(draw, values, columns):
+    column = draw(st.sampled_from(columns))
+    op = draw(st.sampled_from(OPS))
+    value = draw(values[column])
+    if op is Op.BETWEEN:
+        value2 = draw(values[column])
+        low, high = sorted((value, value2))
+        return Predicate(column, op, low, high)
+    return Predicate(column, op, value)
+
+
+@st.composite
+def join_queries(draw):
+    left_preds = tuple(
+        draw(
+            st.lists(
+                side_predicates(F_VALUES, ["f_key", "f_val", "f_note"]),
+                max_size=2,
+            )
+        )
+    )
+    right_preds = tuple(
+        draw(
+            st.lists(
+                side_predicates(D_VALUES, ["d_key", "d_num", "d_cat"]),
+                max_size=2,
+            )
+        )
+    )
+    join_select = tuple(
+        draw(st.lists(st.sampled_from(D_COLUMNS), max_size=2, unique=True))
+    )
+    join = JoinSpec(
+        "d",
+        left_column="f_key",
+        right_column="d_key",
+        predicates=right_preds,
+        select_columns=join_select,
+    )
+    limit = draw(st.one_of(st.none(), st.integers(0, 40)))
+    shape = draw(st.sampled_from(["plain", "agg", "order"]))
+    if shape == "agg":
+        # Group/order/aggregate columns must come from the driving
+        # table — a pre-existing planner restriction, same on both
+        # executor paths.
+        group = tuple(
+            draw(
+                st.lists(
+                    st.sampled_from(["f_note", "f_key"]),
+                    max_size=2,
+                    unique=True,
+                )
+            )
+        )
+        aggregates = tuple(
+            dict.fromkeys(
+                draw(
+                    st.lists(
+                        st.sampled_from(
+                            [
+                                Aggregate(AggFunc.COUNT),
+                                Aggregate(AggFunc.COUNT, "f_key"),
+                                Aggregate(AggFunc.SUM, "f_val"),
+                                Aggregate(AggFunc.AVG, "f_val"),
+                                Aggregate(AggFunc.MIN, "f_note"),
+                                Aggregate(AggFunc.MAX, "f_id"),
+                            ]
+                        ),
+                        min_size=1,
+                        max_size=3,
+                    )
+                )
+            )
+        )
+        order_by = ()
+        if group and draw(st.booleans()):
+            order_by = (draw(order_items(list(group))),)
+        return SelectQuery(
+            "f",
+            predicates=left_preds,
+            join=join,
+            group_by=group,
+            aggregates=aggregates,
+            order_by=order_by,
+            limit=limit,
+        )
+    projection = tuple(
+        draw(st.lists(st.sampled_from(F_COLUMNS), max_size=2, unique=True))
+    )
+    if shape == "order":
+        order_by = tuple(
+            draw(st.lists(order_items(F_COLUMNS), min_size=1, max_size=2))
+        )
+    else:
+        order_by = ()
+    return SelectQuery(
+        "f",
+        select_columns=projection,
+        predicates=left_preds,
+        join=join,
+        order_by=order_by,
+        limit=limit,
+    )
+
+
+@settings(
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(query=join_queries())
+def test_property_join_paths_indistinguishable(joined_pair, query):
+    interp, vector = joined_pair
+    expected = interp.execute(query)
+    got = vector.execute(query)
+    assert got.rows == expected.rows
+    assert got.metrics == expected.metrics
+
+
+def test_hash_join_vector_path_was_exercised(joined_pair):
+    """The join property must not pass because joins all fell back."""
+    interp, vector = joined_pair
+    before = vector.executor.vector_statements
+    query = SelectQuery(
+        "f",
+        select_columns=("f_id", "f_val"),
+        join=JoinSpec("d", left_column="f_key", right_column="d_key"),
+    )
+    interp.execute(query)  # keep the paired noise RNG streams lockstep
+    result = vector.execute(query)
+    assert result.rows  # the join actually matched something
+    assert vector.executor.vector_statements == before + 1
+
+
+def test_join_empty_build_side(joined_pair):
+    interp, vector = joined_pair
+    query = SelectQuery(
+        "f",
+        select_columns=("f_id",),
+        join=JoinSpec(
+            "d",
+            left_column="f_key",
+            right_column="d_key",
+            predicates=(Predicate("d_num", Op.EQ, -99),),
+        ),
+    )
+    expected = interp.execute(query)
+    got = vector.execute(query)
+    assert expected.rows == [] and got.rows == []
+    assert got.metrics == expected.metrics
+
+
+@st.composite
+def dml_statements(draw):
+    kind = draw(st.sampled_from(["insert", "update", "delete", "bulk"]))
+    if kind in ("insert", "bulk"):
+        n = draw(st.integers(1, 12)) if kind == "bulk" else 1
+        rows = tuple(
+            (
+                draw(st.integers(0, 5000)),
+                draw(st.one_of(st.none(), st.integers(0, 25))),
+                draw(
+                    st.one_of(st.none(), st.floats(0, 50, allow_nan=False))
+                ),
+                draw(st.sampled_from([f"w-{i}" for i in range(13)])),
+            )
+            for _ in range(n)
+        )
+        return InsertQuery("w", rows, bulk=kind == "bulk")
+    preds = tuple(
+        draw(
+            st.lists(
+                side_predicates(
+                    {
+                        "w_id": st.integers(0, 5200),
+                        "w_a": st.integers(-2, 27),
+                        "w_b": st.floats(0, 55, allow_nan=False),
+                    },
+                    ["w_id", "w_a", "w_b"],
+                ),
+                min_size=1,
+                max_size=2,
+            )
+        )
+    )
+    if kind == "delete":
+        return DeleteQuery("w", predicates=preds)
+    column = draw(st.sampled_from(["w_a", "w_b", "w_c", "w_id"]))
+    if column == "w_a":
+        value = draw(st.one_of(st.none(), st.integers(0, 25)))
+    elif column == "w_b":
+        value = draw(st.one_of(st.none(), st.floats(0, 50, allow_nan=False)))
+    elif column == "w_c":
+        value = draw(st.sampled_from([f"w-{i}" for i in range(13)]))
+    else:
+        value = draw(st.integers(6000, 9000))
+    return UpdateQuery("w", assignments=((column, value),), predicates=preds)
+
+
+@settings(
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(statement=dml_statements())
+def test_property_dml_paths_indistinguishable(joined_pair, statement):
+    """Batched DML maintenance is byte-identical to the row loop.
+
+    Both engines execute the same statement stream (Hypothesis applies
+    each example to both), so their table states evolve in lockstep;
+    metrics equality then proves page/maintenance charge parity, and the
+    version/row-count asserts prove the mutations themselves matched —
+    including after duplicate-key inserts, where both paths must
+    partially mutate and raise identically.
+    """
+    interp, vector = joined_pair
+    expected = got = None
+    expected_error = got_error = None
+    try:
+        expected = interp.execute(statement)
+    except ExecutionError as exc:
+        expected_error = str(exc)
+    try:
+        got = vector.execute(statement)
+    except ExecutionError as exc:
+        got_error = str(exc)
+    assert got_error == expected_error
+    if expected is not None:
+        assert got.rows == expected.rows
+        assert got.metrics == expected.metrics
+    interp_w = interp.database.tables["w"]
+    vector_w = vector.database.tables["w"]
+    assert vector_w.row_count == interp_w.row_count
+    assert vector_w.data_version == interp_w.data_version
+
+
+def test_batched_dml_path_was_exercised(joined_pair):
+    """The DML property must not pass because batches all declined."""
+    interp, vector = joined_pair
+    before = vector.executor.batch_rows
+    rows = tuple((9000 + i, i % 5, float(i), f"w-{i % 13}") for i in range(10))
+    cleanup = DeleteQuery("w", predicates=(Predicate("w_id", Op.GE, 9000),))
+    # Mutate both engines identically so later tests stay comparable.
+    for engine in (interp, vector):
+        engine.execute(InsertQuery("w", rows, bulk=True))
+    assert vector.executor.batch_rows >= before + 10
+    for engine in (interp, vector):
+        engine.execute(cleanup)

@@ -184,3 +184,37 @@ class TestWatchdogOnScenario:
             )
         )
         assert "FIRING revert_rate_spike" in text
+
+
+class TestExecutorPanel:
+    def test_fallback_breakdown_lists_nonzero_reasons_in_order(self):
+        from repro.observability.metrics import MetricsRegistry
+        from repro.observability.spans import SpanRecorder
+
+        registry = MetricsRegistry()
+        registry.gauge(
+            "executor_vector_dispatch_total", database="db", path="vector"
+        ).set(10)
+        registry.gauge(
+            "executor_vector_dispatch_total", database="db", path="interp"
+        ).set(7)
+        registry.gauge("executor_batch_rows", database="db").set(1234)
+        registry.gauge(
+            "executor_fallback_threshold_total", database="db"
+        ).set(4)
+        registry.gauge("executor_fallback_dml_total", database="db").set(3)
+        text = "\n".join(render_dashboard(registry, SpanRecorder()))
+        assert "vectorized executor:" in text
+        assert "fallbacks:       threshold 4, dml 3" in text
+
+    def test_no_fallback_line_when_nothing_fell_back(self):
+        from repro.observability.metrics import MetricsRegistry
+        from repro.observability.spans import SpanRecorder
+
+        registry = MetricsRegistry()
+        registry.gauge(
+            "executor_vector_dispatch_total", database="db", path="vector"
+        ).set(10)
+        text = "\n".join(render_dashboard(registry, SpanRecorder()))
+        assert "vectorized executor:" in text
+        assert "fallbacks:" not in text

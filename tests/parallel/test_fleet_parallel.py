@@ -44,6 +44,7 @@ def run_fleet(
     seed: int = 11,
     batch_ticks: int | None = None,
     prepare=None,
+    tier: str = "standard",
 ):
     if batch_ticks is None:
         # The serial single-worker baseline anchors every equivalence
@@ -56,6 +57,7 @@ def run_fleet(
         backend=backend,
         batch_ticks=batch_ticks,
         seed=seed,
+        tier=tier,
         control_settings=ControlPlaneSettings(
             snapshot_period=2 * HOURS,
             analysis_period=8 * HOURS,
@@ -270,6 +272,28 @@ class TestExecutorModeDeterminism:
         # Hot-path profiles describe *how* the host executed (the vector
         # path ticks vector_batch, skips interpreter counters), so they
         # are the one stream allowed to differ across executor modes.
+        interp.pop("hot_paths")
+        vector.pop("hot_paths")
+        assert vector == interp
+
+    def test_vector_join_heavy_fleet_deterministic(self, monkeypatch):
+        """Premium-tier fleets lean on the analytics archetype — hash
+        joins, group-bys, and report queries plus the usual DML — so
+        this run exercises the vectorized join and batched index
+        maintenance paths end to end.  The audit hash must hold both
+        across executor modes and across backends within vector mode.
+        """
+        kwargs = dict(n_databases=2, hours=24.0, seed=13, tier="premium")
+        monkeypatch.setenv("REPRO_EXECUTOR", "interp")
+        interp = run_fleet("serial", 1, **kwargs)
+        monkeypatch.setenv("REPRO_EXECUTOR", "vector")
+        vector = run_fleet("serial", 1, **kwargs)
+        sharded = run_fleet("thread", WORKERS, **kwargs)
+        assert self._audit_sha256(vector) == self._audit_sha256(interp)
+        assert self._audit_sha256(sharded) == self._audit_sha256(vector)
+        assert sharded == vector  # every stream, including hot paths
+        # Hot-path rows are mode-specific by design; everything else
+        # must be byte-identical between the two executor modes.
         interp.pop("hot_paths")
         vector.pop("hot_paths")
         assert vector == interp
